@@ -1,0 +1,100 @@
+// Command camsim regenerates every table and figure of the paper's
+// evaluation from the camsim library. Each experiment is a subcommand;
+// `camsim all` runs the full battery in order.
+//
+// Usage:
+//
+//	camsim <experiment> [flags]
+//
+// Experiments (paper artifact → subcommand):
+//
+//	nn-topology     E1  §III-A NN topology accuracy/energy sweep
+//	pe-sweep        E2  §III-A accelerator geometry (energy-optimal 8 PEs)
+//	bitwidth        E3  §III-A datapath width (float/16/8/4-bit, −41% power)
+//	sigmoid         E4  §III-A sigmoid LUT approximation
+//	fig4c           E5  Fig. 4c Viola-Jones parameter sensitivity
+//	fa-e2e          E6  §III end-to-end face-authentication workload
+//	fa-offload      E7  §III offload-vs-onload energy on harvested power
+//	fig6            E8  Fig. 6 bilateral filter edge-aware smoothing demo
+//	fig7            E9  Fig. 7 bilateral grid size vs depth quality
+//	fig9            E10 Fig. 9 per-block compute share and output bytes
+//	fig10           E11 Fig. 10 pipeline configurations vs 30 FPS target
+//	table1          E12 Table I FPGA resource requirements
+//	linksweep       E13 §IV-C uplink bandwidth sensitivity (400 GbE)
+//	stereo-baseline E14 BSSA vs block-matching quality/work comparison
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+type command struct {
+	name  string
+	brief string
+	run   func(args []string) error
+}
+
+func commands() []command {
+	return []command{
+		{"nn-topology", "E1: NN topology accuracy vs energy sweep", cmdNNTopology},
+		{"pe-sweep", "E2: accelerator geometry sweep (PE count)", cmdPESweep},
+		{"bitwidth", "E3: datapath bit-width accuracy/power sweep", cmdBitwidth},
+		{"sigmoid", "E4: sigmoid LUT approximation error", cmdSigmoid},
+		{"fig4c", "E5: Viola-Jones parameter sensitivity (Fig. 4c)", cmdFig4c},
+		{"fa-e2e", "E6: end-to-end face-authentication workload", cmdFAE2E},
+		{"fa-offload", "E7: offload vs onload on harvested power", cmdFAOffload},
+		{"fig6", "E8: bilateral filter demo (Fig. 6)", cmdFig6},
+		{"fig7", "E9: grid size vs depth quality (Fig. 7)", cmdFig7},
+		{"fig9", "E10: per-block compute share and bytes (Fig. 9)", cmdFig9},
+		{"fig10", "E11: pipeline configurations (Fig. 10)", cmdFig10},
+		{"table1", "E12: FPGA resource requirements (Table I)", cmdTable1},
+		{"linksweep", "E13: uplink bandwidth sensitivity", cmdLinkSweep},
+		{"stereo-baseline", "E14: BSSA vs block matching", cmdStereoBaseline},
+		{"compress-block", "E15: in-camera compression as an optional block", cmdCompressBlock},
+		{"fa-roc", "E16: authentication threshold sweep (miss vs false-accept)", cmdFAROC},
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	args := os.Args[2:]
+	if name == "all" {
+		for _, c := range commands() {
+			fmt.Printf("\n================ %s — %s ================\n", c.name, c.brief)
+			if err := c.run(nil); err != nil {
+				fmt.Fprintf(os.Stderr, "camsim %s: %v\n", c.name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	for _, c := range commands() {
+		if c.name == name {
+			if err := c.run(args); err != nil {
+				fmt.Fprintf(os.Stderr, "camsim %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "camsim: unknown experiment %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: camsim <experiment> [flags]")
+	fmt.Fprintln(os.Stderr, "\nexperiments:")
+	cs := commands()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	for _, c := range cs {
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", c.name, c.brief)
+	}
+	fmt.Fprintln(os.Stderr, "  all              run every experiment in order")
+}

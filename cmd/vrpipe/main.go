@@ -1,0 +1,102 @@
+// Command vrpipe runs the complete real-time VR video pipeline (case
+// study 2, §IV) over a synthetic camera rig at working resolution: B1
+// pre-processing, B2 alignment, B3 bilateral-space depth, B4 stitching —
+// then evaluates output quality against the rig's ground truth and maps
+// the workload onto the CPU/GPU/FPGA platform models to report which
+// deployment sustains 30 FPS at full scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"camsim/internal/img"
+	"camsim/internal/platform"
+	"camsim/internal/quality"
+	"camsim/internal/rig"
+	"camsim/internal/stereo"
+	"camsim/internal/vr"
+)
+
+func main() {
+	cams := flag.Int("cams", 8, "cameras in the rig (even)")
+	viewW := flag.Int("width", 192, "camera view width")
+	viewH := flag.Int("height", 96, "camera view height")
+	seed := flag.Int64("seed", 5, "scene seed")
+	outDir := flag.String("out", "", "optional directory for PGM dumps of the outputs")
+	flag.Parse()
+
+	r := rig.NewRig(rand.New(rand.NewSource(*seed)), *cams, *viewW, *viewH, 0.75, 3)
+	fmt.Printf("rig: %d cameras, %dx%d views, max disparity %d px, panorama %d px wide\n",
+		r.Cameras, r.ViewW, r.ViewH, r.MaxDisparity(), r.PanoramaWidth())
+
+	p := vr.NewPipeline(r)
+	start := time.Now()
+	res, err := p.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vrpipe:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	// Depth quality vs ground truth.
+	var mae float64
+	for i := 0; i < r.Cameras; i += 2 {
+		_, _, gt := r.Pair(i)
+		mae += stereo.MeanAbsError(res.Disparities[i/2], gt)
+	}
+	mae /= float64(r.Cameras / 2)
+
+	// Stitch quality vs the reference panorama.
+	ref := r.ReferencePanorama()
+	w := ref.W
+	if res.Panorama.W < w {
+		w = res.Panorama.W
+	}
+	ssim := quality.SSIM(ref.SubImage(0, 0, w, ref.H), res.Panorama.SubImage(0, 0, w, res.Panorama.H))
+
+	fmt.Printf("\nfull-rig frame processed in %v (working resolution)\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("depth MAE vs ground truth: %.2f px; panorama SSIM vs reference: %.3f\n", mae, ssim)
+	fmt.Printf("stage bytes: sensor %d, B1 %d, B2 %d, B3 %d, B4 %d\n",
+		res.Bytes.Sensor, res.Bytes.B1, res.Bytes.B2, res.Bytes.B3, res.Bytes.B4)
+
+	// Full-scale deployment projection.
+	m := vr.PaperByteModel()
+	tp := platform.PaperThroughput()
+	link := platform.Ethernet25G
+	fmt.Printf("\nfull-scale (16x4K) deployment on %s:\n", link.Name)
+	for _, d := range []platform.Device{platform.CPU, platform.GPU, platform.FPGA} {
+		compute := tp.BlockFPS(3, d) // B3 dominates
+		comm := link.FPS(m.B4)
+		total := compute
+		if comm < total {
+			total = comm
+		}
+		verdict := "below real time"
+		if compute >= 30 && comm >= 30 {
+			verdict = "REAL TIME"
+		}
+		fmt.Printf("  B3 on %-4s: compute %6.2f FPS, upload %6.2f FPS -> %6.2f FPS  %s\n",
+			d, compute, comm, total, verdict)
+	}
+
+	if *outDir != "" {
+		dump := func(name string, g *img.Gray) {
+			path := *outDir + "/" + name + ".pgm"
+			c := g.Clone()
+			c.Normalize()
+			if err := img.SavePGM(path, c); err != nil {
+				fmt.Fprintln(os.Stderr, "vrpipe: save:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+		dump("panorama", res.Panorama)
+		dump("left_eye", res.LeftEye)
+		dump("right_eye", res.RightEye)
+		dump("depth_pair0", res.Disparities[0])
+	}
+}

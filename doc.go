@@ -1,0 +1,15 @@
+// Package camsim is a from-scratch reproduction of "Exploring
+// Computation-Communication Tradeoffs in Camera Systems" (Mazumdar et al.,
+// IISWC 2017).
+//
+// The library decomposes camera applications into in-camera processing
+// pipelines (internal/core) and instantiates the paper's two case studies
+// end to end: an RF-harvesting face-authentication camera
+// (internal/faceauth over internal/{motion,vj,nn,fixed,snnap,energy}) and
+// a real-time 3D-360° VR video rig (internal/vr over
+// internal/{rig,bilateral,stereo,platform}).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and cmd/camsim for the experiment driver
+// that regenerates every table and figure.
+package camsim

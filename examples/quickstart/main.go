@@ -1,0 +1,53 @@
+// Quickstart: model a camera application as an in-camera processing
+// pipeline (the paper's Fig. 1) and find the placement — which blocks run
+// in the camera, which implementation each uses, where the data is
+// offloaded — that maximizes end-to-end throughput.
+package main
+
+import (
+	"fmt"
+
+	"camsim/internal/core"
+)
+
+func main() {
+	// A hypothetical three-block pipeline behind a 24 MB/frame sensor.
+	// Each block shrinks (or expands!) the data and has one or more
+	// implementations with different throughputs.
+	pipeline := &core.ThroughputPipeline{
+		SensorBytes: 24e6,
+		Stages: []core.Stage{
+			{Name: "denoise", OutputBytes: 24e6, FPS: map[string]float64{"CPU": 120}},
+			{Name: "features", OutputBytes: 60e6, // feature maps are bigger than pixels
+				FPS: map[string]float64{"CPU": 9, "FPGA": 85}},
+			{Name: "classify", OutputBytes: 2e3, // a label is tiny
+				FPS: map[string]float64{"CPU": 40, "FPGA": 200}},
+		},
+	}
+
+	const linkBytesPerSec = 100e6 // a 800 Mb/s uplink
+	const target = 30.0
+
+	fmt.Println("placement                                  compute  comm   total  real-time?")
+	for _, pl := range pipeline.Enumerate(nil) {
+		a, err := pipeline.Evaluate(pl, linkBytesPerSec)
+		if err != nil {
+			panic(err)
+		}
+		mark := ""
+		if a.MeetsRealTime(target) {
+			mark = "YES"
+		}
+		fmt.Printf("%-42s %7.1f %6.1f %7.1f  %s\n", a.Label, a.ComputeFPS, a.CommFPS, a.TotalFPS, mark)
+	}
+
+	best, err := pipeline.Best(pipeline.Enumerate(nil), linkBytesPerSec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nbest placement: %s at %.1f FPS (bottleneck: %s)\n",
+		best.Label, best.TotalFPS, best.Bottleneck)
+	fmt.Println("\nthe lesson from the paper: the winning design runs the data-reducing")
+	fmt.Println("block in-camera even though an intermediate stage *expands* the data —")
+	fmt.Println("judging blocks in isolation would have missed it.")
+}

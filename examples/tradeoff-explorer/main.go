@@ -1,0 +1,66 @@
+// Tradeoff explorer: sweep the uplink bandwidth and watch the optimal
+// placement move from "process everything in-camera" to "ship raw pixels"
+// — the paper's §IV-C observation, generalized. Also prints the Pareto
+// frontier of (hardware cost, throughput) across placements.
+package main
+
+import (
+	"fmt"
+
+	"camsim/internal/core"
+	"camsim/internal/platform"
+	"camsim/internal/vr"
+)
+
+func main() {
+	m := vr.PaperByteModel()
+	tp := platform.PaperThroughput()
+	pipeline := &core.ThroughputPipeline{
+		SensorBytes: m.Sensor,
+		Stages: []core.Stage{
+			{Name: "B1", OutputBytes: m.B1, FPS: map[string]float64{"CPU": tp.BlockFPS(1, platform.CPU)}},
+			{Name: "B2", OutputBytes: m.B2, FPS: map[string]float64{"CPU": tp.BlockFPS(2, platform.CPU)}},
+			{Name: "B3", OutputBytes: m.B3, FPS: map[string]float64{
+				"CPU": tp.BlockFPS(3, platform.CPU), "GPU": tp.BlockFPS(3, platform.GPU),
+				"FPGA": tp.BlockFPS(3, platform.FPGA)}},
+			{Name: "B4", OutputBytes: m.B4, FPS: map[string]float64{
+				"CPU": tp.BlockFPS(4, platform.CPU), "GPU": tp.BlockFPS(4, platform.GPU),
+				"FPGA": tp.BlockFPS(4, platform.FPGA)}},
+		},
+	}
+	placements := pipeline.Enumerate([]string{"CPU", "GPU", "FPGA"})
+
+	fmt.Println("-- best placement per uplink speed --")
+	fmt.Println("uplink    best placement                              total FPS")
+	for _, gbps := range []float64{1, 5, 10, 25, 50, 100, 200, 400} {
+		best, err := pipeline.Best(placements, gbps*1e9/8)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%5.0fG    %-42s  %8.2f\n", gbps, best.Label, best.TotalFPS)
+	}
+
+	// Pareto frontier of hardware cost vs throughput at 25 GbE. Cost model:
+	// CPU is free (it ships with the SoC), GPU and FPGA devices cost 1 unit
+	// each, counted once per distinct device used.
+	fmt.Println("\n-- Pareto frontier (hardware cost vs FPS at 25 GbE) --")
+	var points []core.ParetoPoint
+	for _, pl := range placements {
+		a, err := pipeline.Evaluate(pl, platform.Ethernet25G.BytesPerSecond())
+		if err != nil {
+			panic(err)
+		}
+		devices := map[string]bool{}
+		for _, impl := range pl.Impl {
+			if impl != "CPU" {
+				devices[impl] = true
+			}
+		}
+		points = append(points, core.ParetoPoint{
+			Label: a.Label, Cost: float64(len(devices)), Value: a.TotalFPS,
+		})
+	}
+	for _, p := range core.Pareto(points) {
+		fmt.Printf("cost %.0f  %-42s  %8.2f FPS\n", p.Cost, p.Label, p.Value)
+	}
+}

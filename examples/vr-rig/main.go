@@ -1,0 +1,80 @@
+// VR rig example: run the depth-estimation block over a synthetic stereo
+// rig at several bilateral-grid design points and watch the quality/cost
+// tradeoff of Fig. 7 emerge, then check which grid still fits the FPGA's
+// real-time budget.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"camsim/internal/bilateral"
+	"camsim/internal/img"
+	"camsim/internal/platform"
+	"camsim/internal/rig"
+	"camsim/internal/stereo"
+)
+
+func main() {
+	r := rig.NewRig(rand.New(rand.NewSource(7)), 4, 256, 128, 0.75, 3)
+	left, right, gt := r.Pair(0)
+	maxD := r.MaxDisparity()
+	fmt.Printf("stereo pair: %dx%d, disparity range up to %d px\n\n", left.W, left.H, maxD)
+
+	fpga := platform.Zynq7020()
+	cus := fpga.MaxComputeUnits()
+
+	fmt.Println("grid cell  vertices   bytes     MAE(px)  bad>2px  FPGA FPS (12 CUs, full 4K pair)")
+	for _, cell := range []float64{4, 8, 16, 32, 64} {
+		cfg := bilateral.DefaultBSSAConfig(maxD)
+		cfg.CellXY = cell
+		cfg.IntensityBins = max(2, int(64/cell))
+		disp, st, err := bilateral.Solve(left, right, cfg)
+		if err != nil {
+			panic(err)
+		}
+		// Project the same cell size onto the full-scale 4K pair.
+		fullVertices := int64(3840/cell) * int64(2160/cell) * int64(cfg.IntensityBins)
+		fps := fpga.DepthFPS(cus, fullVertices, platform.CalibratedCyclesPerVertex)
+		fmt.Printf("%8.0f  %8d  %8d   %6.3f   %5.1f%%   %7.1f\n",
+			cell, st.GridVertices, st.GridBytes,
+			stereo.MeanAbsError(disp, gt), stereo.BadPixelRate(disp, gt, 2)*100, fps)
+	}
+
+	// Show the depth map as coarse ASCII for a quick visual check.
+	cfg := bilateral.DefaultBSSAConfig(maxD)
+	disp, _, err := bilateral.Solve(left, right, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nrefined disparity (darker = far, brighter = near):")
+	printAscii(disp, 72, 18)
+	fmt.Println("\nground truth:")
+	printAscii(gt, 72, 18)
+}
+
+func printAscii(g *img.Gray, w, h int) {
+	small := img.ResizeBilinear(g, w, h)
+	small.Normalize()
+	ramp := " .:-=+*#%@"
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			idx := int(small.At(x, y) * 9.99)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx > 9 {
+				idx = 9
+			}
+			fmt.Print(string(ramp[idx]))
+		}
+		fmt.Println()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

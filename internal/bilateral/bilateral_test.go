@@ -1,0 +1,303 @@
+package bilateral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"camsim/internal/img"
+	"camsim/internal/quality"
+	"camsim/internal/rig"
+	"camsim/internal/stereo"
+)
+
+func TestNewGridDimensions(t *testing.T) {
+	g := NewGrid(64, 32, 8, 8)
+	if g.NX < 64/8+1 || g.NY < 32/8+1 || g.NZ != 9 {
+		t.Fatalf("grid dims %dx%dx%d", g.NX, g.NY, g.NZ)
+	}
+	if g.SizeBytes() != int64(g.Vertices())*8 {
+		t.Fatal("SizeBytes inconsistent with Vertices")
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGrid(0, 4, 4, 4) },
+		func() { NewGrid(4, 4, 0, 4) },
+		func() { NewGrid(4, 4, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSplatSliceIdentityOnConstant(t *testing.T) {
+	// Splatting a constant image and slicing it back must return the
+	// constant (homogeneous normalization cancels the weights).
+	ref := img.NewGray(32, 32)
+	ref.Fill(0.5)
+	data := img.NewGray(32, 32)
+	data.Fill(0.7)
+	g := NewGrid(32, 32, 4, 8)
+	g.Splat(ref, data, nil)
+	out := g.Slice(ref)
+	for _, v := range out.Pix {
+		if math.Abs(float64(v)-0.7) > 1e-3 {
+			t.Fatalf("constant round trip value %v, want 0.7", v)
+		}
+	}
+}
+
+func TestSplatMassConservation(t *testing.T) {
+	// Total splatted weight equals the number of pixels (trilinear weights
+	// sum to 1 per pixel), and blur preserves interior mass approximately.
+	rng := rand.New(rand.NewSource(1))
+	ref := img.NewGray(24, 24)
+	data := img.NewGray(24, 24)
+	for i := range ref.Pix {
+		ref.Pix[i] = rng.Float32()
+		data.Pix[i] = rng.Float32()
+	}
+	g := NewGrid(24, 24, 4, 8)
+	g.Splat(ref, data, nil)
+	var wsum float64
+	for _, w := range g.Wt {
+		wsum += float64(w)
+	}
+	if math.Abs(wsum-24*24) > 0.1 {
+		t.Fatalf("splatted weight %v, want %d", wsum, 24*24)
+	}
+}
+
+func TestConfidenceZeroSkipsPixels(t *testing.T) {
+	ref := img.NewGray(16, 16)
+	data := img.NewGray(16, 16)
+	data.Fill(1)
+	conf := img.NewGray(16, 16) // all zero
+	g := NewGrid(16, 16, 4, 4)
+	g.Splat(ref, data, conf)
+	for _, w := range g.Wt {
+		if w != 0 {
+			t.Fatal("zero-confidence pixels were splatted")
+		}
+	}
+}
+
+func TestSplatPanicsOnMismatch(t *testing.T) {
+	g := NewGrid(16, 16, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Splat(img.NewGray(16, 16), img.NewGray(15, 16), nil)
+}
+
+func TestBlurNaiveMatchesSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func() *Grid {
+		ref := img.NewGray(20, 20)
+		data := img.NewGray(20, 20)
+		for i := range ref.Pix {
+			ref.Pix[i] = rng.Float32()
+			data.Pix[i] = rng.Float32()
+		}
+		g := NewGrid(20, 20, 4, 6)
+		g.Splat(ref, data, nil)
+		return g
+	}
+	rng = rand.New(rand.NewSource(2))
+	a := mk()
+	rng = rand.New(rand.NewSource(2))
+	b := mk()
+	a.Blur(1)
+	b.BlurNaive()
+	for i := range a.Val {
+		if d := math.Abs(float64(a.Val[i] - b.Val[i])); d > 1e-4 {
+			t.Fatalf("separable vs naive blur differ at %d by %v", i, d)
+		}
+		if d := math.Abs(float64(a.Wt[i] - b.Wt[i])); d > 1e-4 {
+			t.Fatalf("weights differ at %d by %v", i, d)
+		}
+	}
+}
+
+// noisyStep builds the Fig. 6 test signal: a sharp step with additive noise.
+func noisyStep(w, h int, seed int64) (*img.Gray, *img.Gray) {
+	rng := rand.New(rand.NewSource(seed))
+	clean := img.NewGray(w, h)
+	noisy := img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := float32(0.25)
+			if x >= w/2 {
+				v = 0.75
+			}
+			clean.Pix[y*w+x] = v
+			noisy.Pix[y*w+x] = v + 0.08*float32(rng.NormFloat64())
+		}
+	}
+	noisy.Clamp01()
+	return clean, noisy
+}
+
+func TestBilateralFilterPreservesEdges(t *testing.T) {
+	// The Fig. 6 property: bilateral smoothing reduces noise like a box
+	// blur but keeps the step edge sharp.
+	clean, noisy := noisyStep(64, 32, 3)
+	bilat := Filter(noisy, noisy, 4, 16, 2)
+	box := img.BoxFilter(noisy, 4)
+
+	edgeSharpness := func(g *img.Gray) float64 {
+		// Mean |difference| across the step at x = w/2.
+		var s float64
+		for y := 0; y < g.H; y++ {
+			s += math.Abs(float64(g.At(g.W/2+2, y) - g.At(g.W/2-3, y)))
+		}
+		return s / float64(g.H)
+	}
+	noiseLevel := func(g *img.Gray) float64 {
+		// Mean abs deviation from clean within the flat halves.
+		var s float64
+		var n int
+		for y := 0; y < g.H; y++ {
+			for x := 4; x < g.W/2-4; x++ {
+				s += math.Abs(float64(g.At(x, y) - clean.At(x, y)))
+				n++
+			}
+			for x := g.W/2 + 4; x < g.W-4; x++ {
+				s += math.Abs(float64(g.At(x, y) - clean.At(x, y)))
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+
+	if nl := noiseLevel(bilat); nl > noiseLevel(noisy)*0.6 {
+		t.Fatalf("bilateral filter barely denoised: %v vs %v", nl, noiseLevel(noisy))
+	}
+	if es := edgeSharpness(bilat); es < edgeSharpness(box)*1.5 {
+		t.Fatalf("bilateral edge %v not sharper than box blur %v", es, edgeSharpness(box))
+	}
+}
+
+func makePair(t *testing.T, seed int64) (left, right, gt *img.Gray, maxDisp int) {
+	t.Helper()
+	r := rig.NewRig(rand.New(rand.NewSource(seed)), 4, 128, 64, 0.75, 3)
+	l, rr, g := r.Pair(0)
+	return l, rr, g, r.MaxDisparity()
+}
+
+func TestSolveBSSAReducesErrorVsBlockMatch(t *testing.T) {
+	left, right, gt, maxD := makePair(t, 11)
+	cfg := DefaultBSSAConfig(maxD)
+	refined, st, err := Solve(left, right, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := stereo.BlockMatch(left, right, stereo.Config{MaxDisparity: maxD, WindowRadius: cfg.MatchRadius})
+	errBM := stereo.MeanAbsError(bm.Disparity, gt)
+	errBSSA := stereo.MeanAbsError(refined, gt)
+	if errBSSA >= errBM {
+		t.Fatalf("BSSA error %v not below block-matching %v", errBSSA, errBM)
+	}
+	if st.GridVertices == 0 || st.GridBytes == 0 || st.VertexOps == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	a := img.NewGray(32, 32)
+	if _, _, err := Solve(a, img.NewGray(31, 32), DefaultBSSAConfig(8)); err == nil {
+		t.Fatal("accepted size mismatch")
+	}
+	cfg := DefaultBSSAConfig(0)
+	if _, _, err := Solve(a, a.Clone(), cfg); err == nil {
+		t.Fatal("accepted MaxDisparity 0")
+	}
+	cfg = DefaultBSSAConfig(8)
+	cfg.CellXY = -1
+	if _, _, err := Solve(a, a.Clone(), cfg); err == nil {
+		t.Fatal("accepted negative cell size")
+	}
+}
+
+func TestGridSizeQualityTradeoff(t *testing.T) {
+	// Fig. 7's shape: a coarser grid is smaller and cheaper but degrades
+	// depth-map quality (MS-SSIM vs a fine-grid reference).
+	left, right, _, maxD := makePair(t, 12)
+	fine := DefaultBSSAConfig(maxD) // cell 4
+	coarse := DefaultBSSAConfig(maxD)
+	coarse.CellXY = 32
+	coarse.IntensityBins = 4
+
+	dFine, stFine, err := Solve(left, right, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCoarse, stCoarse, err := Solve(left, right, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCoarse.GridBytes >= stFine.GridBytes {
+		t.Fatalf("coarse grid (%d B) not smaller than fine (%d B)", stCoarse.GridBytes, stFine.GridBytes)
+	}
+	norm := func(g *img.Gray) *img.Gray {
+		o := g.Clone()
+		for i := range o.Pix {
+			o.Pix[i] /= float32(maxD)
+		}
+		return o
+	}
+	selfQ := quality.MSSSIM(norm(dFine), norm(dFine))
+	coarseQ := quality.MSSSIM(norm(dFine), norm(dCoarse))
+	if coarseQ >= selfQ {
+		t.Fatalf("coarse grid quality %v not below fine reference %v", coarseQ, selfQ)
+	}
+}
+
+func TestSolveDefaultsAppliedForDegenerateKnobs(t *testing.T) {
+	left, right, _, maxD := makePair(t, 13)
+	cfg := DefaultBSSAConfig(maxD)
+	cfg.Iterations = 0
+	cfg.Lambda = 5
+	cfg.BlurPasses = 0
+	if _, _, err := Solve(left, right, cfg); err != nil {
+		t.Fatalf("degenerate knobs should fall back to defaults: %v", err)
+	}
+}
+
+func BenchmarkBSSA128(b *testing.B) {
+	r := rig.NewRig(rand.New(rand.NewSource(1)), 4, 128, 64, 0.75, 3)
+	left, right, _ := r.Pair(0)
+	cfg := DefaultBSSAConfig(r.MaxDisparity())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(left, right, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridBlurSeparable(b *testing.B) {
+	g := NewGrid(256, 256, 4, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Blur(1)
+	}
+}
+
+func BenchmarkGridBlurNaive(b *testing.B) {
+	g := NewGrid(256, 256, 4, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BlurNaive()
+	}
+}

@@ -1,0 +1,131 @@
+package bilateral
+
+import (
+	"fmt"
+
+	"camsim/internal/img"
+	"camsim/internal/stereo"
+)
+
+// BSSAConfig parameterizes the bilateral-space stereo solver.
+type BSSAConfig struct {
+	// MaxDisparity bounds the search range in pixels.
+	MaxDisparity int
+	// MatchRadius is the SAD window radius of the local matcher that
+	// produces the noisy data term.
+	MatchRadius int
+	// CellXY is the spatial grid cell edge in pixels per vertex — the
+	// quality/cost knob swept in Fig. 7 (4 → 64).
+	CellXY float64
+	// IntensityBins is the number of guide-intensity bins (Fig. 7 scales
+	// this dimension together with CellXY).
+	IntensityBins int
+	// Iterations of the bilateral-space smooth + data-reattach loop that
+	// stands in for Barron's preconditioned solver.
+	Iterations int
+	// Lambda is the data-attachment strength in (0, 1]: each iteration
+	// blends lambda of the splatted data term back into the smoothed grid.
+	Lambda float32
+	// BlurPasses per iteration.
+	BlurPasses int
+}
+
+// DefaultBSSAConfig returns the fine-grid reference configuration.
+func DefaultBSSAConfig(maxDisp int) BSSAConfig {
+	return BSSAConfig{
+		MaxDisparity:  maxDisp,
+		MatchRadius:   3,
+		CellXY:        4,
+		IntensityBins: 16,
+		Iterations:    3,
+		Lambda:        0.35,
+		BlurPasses:    2,
+	}
+}
+
+// Stats reports the work and memory of one BSSA solve — the quantities the
+// Fig. 7/Fig. 10 cost models consume.
+type Stats struct {
+	GridVertices int
+	GridBytes    int64
+	// VertexOps counts vertex visits across splat/blur/slice: the unit the
+	// FPGA compute-unit throughput model is calibrated in.
+	VertexOps int64
+}
+
+// Solve computes a refined disparity map for a rectified stereo pair
+// (left is the reference view) in bilateral space:
+//
+//  1. a local block matcher produces a noisy disparity + confidence map;
+//  2. disparity is splatted into a bilateral grid of the reference image,
+//     weighted by confidence;
+//  3. the grid is iteratively smoothed with data re-attachment, the cheap
+//     bilateral-space equivalent of global edge-aware optimization;
+//  4. the result is sliced back to pixels.
+func Solve(left, right *img.Gray, cfg BSSAConfig) (*img.Gray, Stats, error) {
+	if left.W != right.W || left.H != right.H {
+		return nil, Stats{}, fmt.Errorf("bilateral: stereo pair size mismatch %dx%d vs %dx%d",
+			left.W, left.H, right.W, right.H)
+	}
+	if cfg.MaxDisparity < 1 {
+		return nil, Stats{}, fmt.Errorf("bilateral: MaxDisparity %d < 1", cfg.MaxDisparity)
+	}
+	if cfg.CellXY <= 0 || cfg.IntensityBins < 1 {
+		return nil, Stats{}, fmt.Errorf("bilateral: invalid grid spec cell=%v bins=%d", cfg.CellXY, cfg.IntensityBins)
+	}
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 1
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
+		cfg.Lambda = 0.35
+	}
+	if cfg.BlurPasses < 1 {
+		cfg.BlurPasses = 1
+	}
+
+	// 1. Local data term.
+	bm := stereo.BlockMatch(left, right, stereo.Config{
+		MaxDisparity: cfg.MaxDisparity,
+		WindowRadius: cfg.MatchRadius,
+	})
+
+	// Normalize disparity to [0, 1] for grid processing.
+	norm := img.NewGray(left.W, left.H)
+	scale := 1 / float32(cfg.MaxDisparity)
+	for i, d := range bm.Disparity.Pix {
+		norm.Pix[i] = d * scale
+	}
+
+	// 2. Splat the data term once; keep a pristine copy for re-attachment.
+	data := NewGrid(left.W, left.H, cfg.CellXY, cfg.IntensityBins)
+	data.Splat(left, norm, bm.Confidence)
+
+	work := NewGrid(left.W, left.H, cfg.CellXY, cfg.IntensityBins)
+	copy(work.Val, data.Val)
+	copy(work.Wt, data.Wt)
+
+	var st Stats
+	st.GridVertices = work.Vertices()
+	st.GridBytes = work.SizeBytes()
+	st.VertexOps += int64(left.W * left.H) // splat visits
+
+	// 3. Smooth with data re-attachment.
+	for it := 0; it < cfg.Iterations; it++ {
+		work.Blur(cfg.BlurPasses)
+		st.VertexOps += int64(cfg.BlurPasses) * 3 * int64(st.GridVertices)
+		lam := cfg.Lambda
+		for i := range work.Val {
+			work.Val[i] = (1-lam)*work.Val[i] + lam*data.Val[i]
+			work.Wt[i] = (1-lam)*work.Wt[i] + lam*data.Wt[i]
+		}
+		st.VertexOps += int64(st.GridVertices)
+	}
+
+	// 4. Slice back to pixel space and rescale to pixels of disparity.
+	out := work.Slice(left)
+	st.VertexOps += int64(left.W * left.H)
+	for i := range out.Pix {
+		out.Pix[i] *= float32(cfg.MaxDisparity)
+	}
+	return out, st, nil
+}

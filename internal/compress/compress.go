@@ -1,0 +1,285 @@
+// Package compress implements in-camera frame compression, the optional
+// pipeline block the paper's §II points at but does not evaluate
+// ("compression can be treated as an optional block in in-camera
+// processing pipelines"). It provides a real lossless codec suited to
+// streaming camera hardware: per-row left-prediction residuals followed by
+// Rice/Golomb coding with per-row adaptive parameters — the scheme used by
+// low-complexity hardware codecs (CCSDS-123/FELICS family).
+//
+// The codec exists so the tradeoff framework can price the block honestly:
+// Encode returns real bytes for real frames, and the compute cost is a
+// counted number of per-pixel operations.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"camsim/internal/img"
+)
+
+// Codec holds the (few) parameters of the hardware-friendly coder.
+type Codec struct {
+	// Bits is the sample precision of the input frames (matches img.Raw).
+	Bits int
+}
+
+// NewCodec returns a codec for the given sample precision (1..16).
+func NewCodec(sampleBits int) (*Codec, error) {
+	if sampleBits < 1 || sampleBits > 16 {
+		return nil, fmt.Errorf("compress: unsupported sample precision %d", sampleBits)
+	}
+	return &Codec{Bits: sampleBits}, nil
+}
+
+// magic identifies the stream format.
+var magic = [4]byte{'C', 'S', 'R', '1'}
+
+// Encode compresses a raw frame. The returned byte count is the
+// communication payload a pipeline placement would ship.
+func (c *Codec) Encode(r *img.Raw) ([]byte, error) {
+	if r.Bits != c.Bits {
+		return nil, fmt.Errorf("compress: frame precision %d, codec %d", r.Bits, c.Bits)
+	}
+	var bw bitWriter
+	hdr := make([]byte, 4+2+4+4)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(c.Bits))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(r.W))
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(r.H))
+	bw.buf = append(bw.buf, hdr...)
+
+	for y := 0; y < r.H; y++ {
+		row := r.Pix[y*r.W : (y+1)*r.W]
+		// Choose the Rice parameter k for this row from the mean absolute
+		// residual (the standard FELICS/JPEG-LS heuristic).
+		var sumAbs uint64
+		prev := uint16(0)
+		if y > 0 {
+			prev = r.Pix[(y-1)*r.W] // top neighbour predicts the first sample
+		}
+		p := prev
+		for x, v := range row {
+			pred := p
+			if x == 0 {
+				pred = prev
+			}
+			d := int32(v) - int32(pred)
+			if d < 0 {
+				d = -d
+			}
+			sumAbs += uint64(d)
+			p = v
+		}
+		mean := sumAbs / uint64(len(row))
+		k := 0
+		for uint64(1)<<uint(k) < mean+1 && k < c.Bits {
+			k++
+		}
+		bw.writeBits(uint64(k), 5)
+
+		// Encode residuals with zig-zag mapping then Rice(k).
+		p = prev
+		for x, v := range row {
+			pred := p
+			if x == 0 {
+				pred = prev
+			}
+			d := int32(v) - int32(pred)
+			u := zigzag(d)
+			bw.writeRice(u, k)
+			p = v
+		}
+	}
+	bw.flush()
+	return bw.buf, nil
+}
+
+// Decode reverses Encode exactly.
+func (c *Codec) Decode(data []byte) (*img.Raw, error) {
+	if len(data) < 14 || string(data[:4]) != string(magic[:]) {
+		return nil, fmt.Errorf("compress: bad stream header")
+	}
+	bitsP := int(binary.LittleEndian.Uint16(data[4:]))
+	w := int(binary.LittleEndian.Uint32(data[6:]))
+	h := int(binary.LittleEndian.Uint32(data[10:]))
+	if bitsP != c.Bits {
+		return nil, fmt.Errorf("compress: stream precision %d, codec %d", bitsP, c.Bits)
+	}
+	if w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("compress: implausible dimensions %dx%d", w, h)
+	}
+	out := img.NewRaw(w, h, c.Bits, img.BayerRGGB)
+	br := bitReader{buf: data[14:]}
+	for y := 0; y < h; y++ {
+		k, err := br.readBits(5)
+		if err != nil {
+			return nil, err
+		}
+		prev := uint16(0)
+		if y > 0 {
+			prev = out.Pix[(y-1)*w]
+		}
+		p := prev
+		for x := 0; x < w; x++ {
+			u, err := br.readRice(int(k))
+			if err != nil {
+				return nil, err
+			}
+			pred := p
+			if x == 0 {
+				pred = prev
+			}
+			v := int32(pred) + unzigzag(u)
+			if v < 0 || v > int32(out.MaxValue()) {
+				return nil, fmt.Errorf("compress: sample out of range at (%d,%d)", x, y)
+			}
+			out.Pix[y*w+x] = uint16(v)
+			p = uint16(v)
+		}
+	}
+	return out, nil
+}
+
+// PixelOps returns the per-pixel operation count of encoding (predict,
+// subtract, zig-zag, Rice emit ≈ 6 ops), the number the energy/throughput
+// models charge for the optional block.
+func PixelOps(w, h int) int64 { return int64(w) * int64(h) * 6 }
+
+// Ratio returns compressed/raw size for a frame (1.0 means no gain).
+func Ratio(r *img.Raw, encoded []byte) float64 {
+	raw := r.SizeBytes()
+	if raw == 0 {
+		return 1
+	}
+	return float64(len(encoded)) / float64(raw)
+}
+
+func zigzag(d int32) uint64 {
+	if d >= 0 {
+		return uint64(d) << 1
+	}
+	return uint64(-d)<<1 - 1
+}
+
+func unzigzag(u uint64) int32 {
+	if u&1 == 0 {
+		return int32(u >> 1)
+	}
+	return -int32((u + 1) >> 1)
+}
+
+// bitWriter emits MSB-first bits.
+type bitWriter struct {
+	buf  []byte
+	cur  uint8
+	nCur int
+}
+
+func (w *bitWriter) writeBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := uint8(v>>uint(i)) & 1
+		w.cur = w.cur<<1 | bit
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// writeRice encodes u as quotient unary + k remainder bits, with an escape
+// to plain 32-bit encoding for pathological quotients.
+func (w *bitWriter) writeRice(u uint64, k int) {
+	q := u >> uint(k)
+	if q >= 48 {
+		// Escape: 48 ones then 32 raw bits.
+		for i := 0; i < 48; i++ {
+			w.writeBits(1, 1)
+		}
+		w.writeBits(0, 1)
+		w.writeBits(u, 32)
+		return
+	}
+	for i := uint64(0); i < q; i++ {
+		w.writeBits(1, 1)
+	}
+	w.writeBits(0, 1)
+	if k > 0 {
+		w.writeBits(u&(1<<uint(k)-1), k)
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nCur > 0 {
+		w.cur <<= uint(8 - w.nCur)
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// bitReader consumes MSB-first bits.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	cur  uint8
+	nCur int
+}
+
+func (r *bitReader) readBit() (uint8, error) {
+	if r.nCur == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("compress: truncated stream")
+		}
+		r.cur = r.buf[r.pos]
+		r.pos++
+		r.nCur = 8
+	}
+	bit := r.cur >> 7
+	r.cur <<= 1
+	r.nCur--
+	return bit, nil
+}
+
+func (r *bitReader) readBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+func (r *bitReader) readRice(k int) (uint64, error) {
+	var q uint64
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			break
+		}
+		q++
+		if q == 48 {
+			// Escape marker: a separator 0 then 32 raw bits follow.
+			if b, err := r.readBit(); err != nil {
+				return 0, err
+			} else if b != 0 {
+				return 0, fmt.Errorf("compress: bad escape")
+			}
+			return r.readBits(32)
+		}
+	}
+	if k == 0 {
+		return q, nil
+	}
+	rem, err := r.readBits(k)
+	if err != nil {
+		return 0, err
+	}
+	return q<<uint(k) | rem, nil
+}

@@ -1,0 +1,230 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camsim/internal/img"
+	"camsim/internal/rig"
+	"camsim/internal/vr"
+)
+
+func mustCodec(t testing.TB, bits int) *Codec {
+	t.Helper()
+	c, err := NewCodec(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCodecValidation(t *testing.T) {
+	for _, bits := range []int{0, 17, -3} {
+		if _, err := NewCodec(bits); err == nil {
+			t.Fatalf("accepted precision %d", bits)
+		}
+	}
+	if _, err := NewCodec(12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripRandomFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bits := range []int{8, 10, 12, 16} {
+		c := mustCodec(t, bits)
+		r := img.NewRaw(37, 23, bits, img.BayerRGGB)
+		for i := range r.Pix {
+			r.Pix[i] = uint16(rng.Intn(int(r.MaxValue()) + 1))
+		}
+		enc, err := c.Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.W != r.W || dec.H != r.H {
+			t.Fatalf("size %dx%d", dec.W, dec.H)
+		}
+		for i := range r.Pix {
+			if dec.Pix[i] != r.Pix[i] {
+				t.Fatalf("bits=%d: sample %d: %d != %d", bits, i, dec.Pix[i], r.Pix[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	c := mustCodec(t, 12)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 1 + rng.Intn(40)
+		h := 1 + rng.Intn(20)
+		r := img.NewRaw(w, h, 12, img.BayerRGGB)
+		switch rng.Intn(3) {
+		case 0: // smooth gradient
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					r.Pix[y*w+x] = uint16((x*40 + y*13) % 4096)
+				}
+			}
+		case 1: // constant
+			v := uint16(rng.Intn(4096))
+			for i := range r.Pix {
+				r.Pix[i] = v
+			}
+		default: // white noise (worst case, exercises the escape path)
+			for i := range r.Pix {
+				r.Pix[i] = uint16(rng.Intn(4096))
+			}
+		}
+		enc, err := c.Encode(r)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			return false
+		}
+		for i := range r.Pix {
+			if dec.Pix[i] != r.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionRatioOnCameraContent(t *testing.T) {
+	// Real camera content (the VR rig's sensor output) must compress well
+	// below 1.0 — that is what makes the optional block worth its ops.
+	r := rig.NewRig(rand.New(rand.NewSource(3)), 2, 192, 96, 0.75, 3)
+	raw := vr.CaptureFrame(r.View(0))
+	c := mustCodec(t, 12)
+	enc, err := c.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := Ratio(raw, enc)
+	if ratio > 0.8 {
+		t.Fatalf("camera frame compressed to %.2f of raw, want < 0.8", ratio)
+	}
+	// And it must be lossless.
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw.Pix {
+		if dec.Pix[i] != raw.Pix[i] {
+			t.Fatal("lossy round trip on camera content")
+		}
+	}
+}
+
+func TestConstantFrameCompressesHard(t *testing.T) {
+	r := img.NewRaw(64, 64, 12, img.BayerRGGB)
+	for i := range r.Pix {
+		r.Pix[i] = 2048
+	}
+	c := mustCodec(t, 12)
+	enc, err := c.Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := Ratio(r, enc); ratio > 0.15 {
+		t.Fatalf("constant frame ratio %.3f, want < 0.15", ratio)
+	}
+}
+
+func TestNoiseFrameDoesNotExplode(t *testing.T) {
+	// Incompressible content must stay within ~40% overhead of raw
+	// (the Rice escape bounds the worst case).
+	rng := rand.New(rand.NewSource(4))
+	r := img.NewRaw(64, 64, 12, img.BayerRGGB)
+	for i := range r.Pix {
+		r.Pix[i] = uint16(rng.Intn(4096))
+	}
+	c := mustCodec(t, 12)
+	enc, err := c.Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := Ratio(r, enc); ratio > 1.4 {
+		t.Fatalf("noise frame ratio %.3f, want <= 1.4", ratio)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	c := mustCodec(t, 12)
+	cases := [][]byte{
+		nil,
+		[]byte("nope"),
+		[]byte("CSR1\x0c\x00\xff\xff\xff\xff\xff\xff\xff\xff"), // absurd dims
+	}
+	for i, data := range cases {
+		if _, err := c.Decode(data); err == nil {
+			t.Fatalf("case %d: accepted garbage", i)
+		}
+	}
+	// Truncated but plausible header.
+	r := img.NewRaw(16, 16, 12, img.BayerRGGB)
+	enc, err := c.Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(enc[:len(enc)/2]); err == nil {
+		t.Fatal("accepted truncated stream")
+	}
+}
+
+func TestDecodeRejectsPrecisionMismatch(t *testing.T) {
+	c12 := mustCodec(t, 12)
+	c8 := mustCodec(t, 8)
+	enc, err := c12.Encode(img.NewRaw(8, 8, 12, img.BayerRGGB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c8.Decode(enc); err == nil {
+		t.Fatal("8-bit codec accepted 12-bit stream")
+	}
+	if _, err := c8.Encode(img.NewRaw(8, 8, 12, img.BayerRGGB)); err == nil {
+		t.Fatal("8-bit codec encoded 12-bit frame")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(d int32) bool {
+		if d < -1<<30 || d > 1<<30 {
+			return true
+		}
+		return unzigzag(zigzag(d)) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPixelOps(t *testing.T) {
+	if PixelOps(160, 120) != 160*120*6 {
+		t.Fatal("PixelOps model changed unexpectedly")
+	}
+}
+
+func BenchmarkEncodeQVGA(b *testing.B) {
+	r := rig.NewRig(rand.New(rand.NewSource(1)), 2, 320, 240, 0.75, 3)
+	raw := vr.CaptureFrame(r.View(0))
+	c := mustCodec(b, 12)
+	b.SetBytes(raw.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig10Pipeline builds the paper's VR pipeline from the Fig. 10 anchor
+// numbers (bytes chosen so a 3.125 GB/s link gives the published rates).
+func fig10Pipeline() *ThroughputPipeline {
+	const link = 3.125e9
+	bytesFor := func(fps float64) int64 { return int64(link / fps) }
+	return &ThroughputPipeline{
+		SensorBytes: bytesFor(15.8),
+		Stages: []Stage{
+			{Name: "B1", OutputBytes: bytesFor(15.8), FPS: map[string]float64{"CPU": 442.4}},
+			{Name: "B2", OutputBytes: bytesFor(3.95), FPS: map[string]float64{"CPU": 110.6}},
+			{Name: "B3", OutputBytes: bytesFor(11.2), FPS: map[string]float64{"CPU": 0.09, "GPU": 5.27, "FPGA": 31.6}},
+			{Name: "B4", OutputBytes: bytesFor(174), FPS: map[string]float64{"CPU": 442.4, "GPU": 442.4, "FPGA": 442.4}},
+		},
+	}
+}
+
+func TestEvaluateSensorOnly(t *testing.T) {
+	p := fig10Pipeline()
+	a, err := p.Evaluate(Placement{}, 3.125e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.CommFPS-15.8) > 0.01 {
+		t.Fatalf("sensor comm FPS %v, want 15.8", a.CommFPS)
+	}
+	if a.ComputeFPS != MaxFPS {
+		t.Fatalf("sensor compute FPS %v, want cap", a.ComputeFPS)
+	}
+	if a.Bottleneck != "communication" || a.TotalFPS != a.CommFPS {
+		t.Fatalf("assessment %+v", a)
+	}
+}
+
+func TestEvaluateFig10Table(t *testing.T) {
+	// The nine configurations of Fig. 10 with their expected total rates.
+	p := fig10Pipeline()
+	cases := []struct {
+		impl  []string
+		total float64
+	}{
+		{nil, 15.8},
+		{[]string{"CPU"}, 15.8},
+		{[]string{"CPU", "CPU"}, 3.95},
+		{[]string{"CPU", "CPU", "CPU"}, 0.09},
+		{[]string{"CPU", "CPU", "GPU"}, 5.27},
+		{[]string{"CPU", "CPU", "FPGA"}, 11.2}, // communication-limited!
+		{[]string{"CPU", "CPU", "CPU", "CPU"}, 0.09},
+		{[]string{"CPU", "CPU", "GPU", "GPU"}, 5.27},
+		{[]string{"CPU", "CPU", "FPGA", "FPGA"}, 31.6},
+	}
+	for _, c := range cases {
+		a, err := p.Evaluate(Placement{InCamera: len(c.impl), Impl: c.impl}, 3.125e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.TotalFPS-c.total)/c.total > 0.01 {
+			t.Fatalf("%s: total %v, want %v", a.Label, a.TotalFPS, c.total)
+		}
+	}
+}
+
+func TestOnlyFullFPGAPipelineMeetsRealTime(t *testing.T) {
+	// The paper's headline Fig. 10 finding.
+	p := fig10Pipeline()
+	placements := p.Enumerate([]string{"CPU", "GPU", "FPGA"})
+	var winners []string
+	for _, pl := range placements {
+		a, err := p.Evaluate(pl, 3.125e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MeetsRealTime(30) {
+			winners = append(winners, a.Label)
+		}
+	}
+	if len(winners) == 0 {
+		t.Fatal("no configuration meets 30 FPS — pipeline anchors wrong")
+	}
+	for _, w := range winners {
+		if !strings.Contains(w, "B4") || !strings.Contains(w, "B3(FPGA)") {
+			t.Fatalf("non-full/non-FPGA config %q meets real time", w)
+		}
+	}
+}
+
+func TestOffloadAfterB3IsCommunicationLimited(t *testing.T) {
+	// The subtle Fig. 10 point: FPGA-accelerated B3 clears 30 FPS on
+	// compute, but the depth-map payload still only uploads at 11.2 FPS.
+	p := fig10Pipeline()
+	a, err := p.Evaluate(Placement{InCamera: 3, Impl: []string{"CPU", "CPU", "FPGA"}}, 3.125e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ComputeFPS < 30 {
+		t.Fatalf("compute side %v should clear 30", a.ComputeFPS)
+	}
+	if a.Bottleneck != "communication" {
+		t.Fatalf("bottleneck %q, want communication", a.Bottleneck)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	p := fig10Pipeline()
+	if _, err := p.Evaluate(Placement{InCamera: 9}, 1); err == nil {
+		t.Fatal("accepted out-of-range prefix")
+	}
+	if _, err := p.Evaluate(Placement{InCamera: 1}, 1); err == nil {
+		t.Fatal("accepted missing impls")
+	}
+	if _, err := p.Evaluate(Placement{InCamera: 1, Impl: []string{"TPU"}}, 1); err == nil {
+		t.Fatal("accepted unknown implementation")
+	}
+	if _, err := p.Evaluate(Placement{}, 0); err == nil {
+		t.Fatal("accepted zero link rate")
+	}
+}
+
+func TestEnumerateCountsAndDeterminism(t *testing.T) {
+	p := fig10Pipeline()
+	got := p.Enumerate([]string{"CPU", "GPU", "FPGA"})
+	// 1 (sensor) + 1 (B1) + 1 (B1B2) + 3 (B3 devices) + 9 (B3×B4 devices).
+	want := 1 + 1 + 1 + 3 + 9
+	if len(got) != want {
+		t.Fatalf("enumerated %d placements, want %d", len(got), want)
+	}
+	again := p.Enumerate([]string{"CPU", "GPU", "FPGA"})
+	for i := range got {
+		if got[i].Label(p) != again[i].Label(p) {
+			t.Fatal("enumeration not deterministic")
+		}
+	}
+	// nil impls: same count via sorted FPS keys.
+	if all := p.Enumerate(nil); len(all) != want {
+		t.Fatalf("nil-impl enumeration %d, want %d", len(all), want)
+	}
+}
+
+func TestBestPicksFullFPGA(t *testing.T) {
+	p := fig10Pipeline()
+	best, err := p.Best(p.Enumerate(nil), 3.125e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(best.Label, "B3(FPGA)") || best.Placement.InCamera != 4 {
+		t.Fatalf("best config %q, want full FPGA pipeline", best.Label)
+	}
+	if _, err := p.Best(nil, 1); err == nil {
+		t.Fatal("Best of empty placements should error")
+	}
+}
+
+func TestCrossover400G(t *testing.T) {
+	// §IV-C: at 400 GbE the raw 16-camera output uploads far above 30 FPS,
+	// removing the in-camera incentive.
+	p := fig10Pipeline()
+	_, gbps := p.Crossover(30)
+	if gbps < 25 || gbps > 400 {
+		t.Fatalf("raw-offload crossover at %v Gb/s — expected between 25G and 400G", gbps)
+	}
+	a, err := p.Evaluate(Placement{}, 400e9/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalFPS < 30 {
+		t.Fatalf("sensor offload at 400G = %v FPS, want real-time", a.TotalFPS)
+	}
+}
+
+func TestParetoBasics(t *testing.T) {
+	pts := []ParetoPoint{
+		{"a", 1, 1},
+		{"b", 2, 2},
+		{"c", 2, 1.5}, // dominated by b
+		{"d", 0.5, 0.5},
+	}
+	front := Pareto(pts)
+	labels := map[string]bool{}
+	for _, p := range front {
+		labels[p.Label] = true
+	}
+	if labels["c"] {
+		t.Fatal("dominated point survived")
+	}
+	for _, want := range []string{"a", "b", "d"} {
+		if !labels[want] {
+			t.Fatalf("non-dominated point %q missing", want)
+		}
+	}
+}
+
+func TestParetoProperty(t *testing.T) {
+	// No point in the frontier dominates another frontier point.
+	f := func(costs, values [8]float64) bool {
+		pts := make([]ParetoPoint, 8)
+		for i := range pts {
+			c, v := math.Abs(costs[i]), math.Abs(values[i])
+			if math.IsNaN(c) || math.IsInf(c, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			pts[i] = ParetoPoint{Cost: c, Value: v}
+		}
+		front := Pareto(pts)
+		for i, p := range front {
+			for j, q := range front {
+				if i == j {
+					continue
+				}
+				if q.Cost <= p.Cost && q.Value >= p.Value && (q.Cost < p.Cost || q.Value > p.Value) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Energy pipeline ---
+
+func faPipeline(md, vj bool) *EnergyPipeline {
+	// Representative joule figures: capture 4.3 µJ, motion detect 1.3 µJ
+	// passing 12%, VJ detect 40 µJ passing 60%, NN authenticate 5 nJ.
+	p := &EnergyPipeline{CaptureEnergy: 4.3e-6}
+	if md {
+		p.Stages = append(p.Stages, EnergyStage{Name: "MD", EnergyPerFrame: 1.3e-6, PassRate: 0.12})
+	}
+	if vj {
+		p.Stages = append(p.Stages, EnergyStage{Name: "VJ", EnergyPerFrame: 40e-6, PassRate: 0.6})
+	}
+	p.Stages = append(p.Stages, EnergyStage{Name: "NN", EnergyPerFrame: 4.9e-9, PassRate: 0})
+	return p
+}
+
+func TestEnergyEvaluateFiltering(t *testing.T) {
+	noFilter := faPipeline(false, false)
+	withMD := faPipeline(true, false)
+	a0, err := noFilter.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := withMD.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a pure-NN pipeline the NN runs every frame; the NN is so cheap
+	// that adding MD costs more than it saves — filtering pays off for the
+	// *expensive* downstream blocks (VJ), mirroring the paper's point that
+	// optional blocks must be judged against the blocks they gate.
+	nnEvery := a0.PerStage[0]
+	nnGated := a1.PerStage[1]
+	if nnGated >= nnEvery {
+		t.Fatalf("MD did not reduce NN energy: %v vs %v", nnGated, nnEvery)
+	}
+}
+
+func TestEnergyFilteringGatesExpensiveOffload(t *testing.T) {
+	// Offloading raw frames (active radio) with and without motion gating.
+	mk := func(md bool) *EnergyPipeline {
+		p := &EnergyPipeline{CaptureEnergy: 4.3e-6,
+			OffloadBytes: 19200, OffloadFixed: 15e-6, OffloadPerByte: 12e-9 * 8}
+		if md {
+			p.Stages = append(p.Stages, EnergyStage{Name: "MD", EnergyPerFrame: 1.3e-6, PassRate: 0.12})
+		}
+		return p
+	}
+	aAll, err := mk(false).Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aGated, err := mk(true).Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aGated.Total >= aAll.Total/2 {
+		t.Fatalf("motion gating saved too little: %v vs %v", aGated.Total, aAll.Total)
+	}
+	if aGated.OffloadShare != 0.12 {
+		t.Fatalf("offload share %v, want 0.12", aGated.OffloadShare)
+	}
+}
+
+func TestReachProbabilityChain(t *testing.T) {
+	p := faPipeline(true, true)
+	if got := p.ReachProbability(0); got != 1 {
+		t.Fatalf("reach(0) = %v", got)
+	}
+	if got := p.ReachProbability(1); got != 0.12 {
+		t.Fatalf("reach(1) = %v", got)
+	}
+	if got := p.ReachProbability(2); math.Abs(got-0.072) > 1e-12 {
+		t.Fatalf("reach(2) = %v", got)
+	}
+	if got := p.ReachProbability(3); got != 0 {
+		t.Fatalf("reach(end) = %v (NN passes nothing)", got)
+	}
+}
+
+func TestReachProbabilityPanics(t *testing.T) {
+	p := faPipeline(false, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.ReachProbability(5)
+}
+
+func TestEnergyValidate(t *testing.T) {
+	bad := []*EnergyPipeline{
+		{CaptureEnergy: -1},
+		{Stages: []EnergyStage{{Name: "x", EnergyPerFrame: -1, PassRate: 0.5}}},
+		{Stages: []EnergyStage{{Name: "x", EnergyPerFrame: 1, PassRate: 2}}},
+		{OffloadBytes: -5},
+	}
+	for i, p := range bad {
+		if _, err := p.Evaluate(); err == nil {
+			t.Fatalf("case %d: accepted invalid pipeline", i)
+		}
+	}
+}
+
+func TestEnergyPowerAndSustainability(t *testing.T) {
+	a, err := faPipeline(true, true).Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the WISPCam's 1 FPS, this pipeline must run far below 1 mW.
+	if w := a.AveragePowerWatts(1); w >= 1e-3 {
+		t.Fatalf("average power %v W not sub-mW", w)
+	}
+	// A 200 µW harvester sustains well above 1 FPS.
+	if fps := a.SustainableFPS(200e-6); fps < 1 {
+		t.Fatalf("sustainable FPS %v < 1 on harvested power", fps)
+	}
+}
+
+func TestEnergyMonotoneInPassRateProperty(t *testing.T) {
+	// Lowering a filter's pass rate never increases total expected energy.
+	f := func(rate1, rate2 float64) bool {
+		r1 := math.Mod(math.Abs(rate1), 1)
+		r2 := math.Mod(math.Abs(rate2), 1)
+		lo, hi := math.Min(r1, r2), math.Max(r1, r2)
+		mk := func(r float64) float64 {
+			p := &EnergyPipeline{
+				CaptureEnergy: 1e-6,
+				Stages: []EnergyStage{
+					{Name: "filter", EnergyPerFrame: 1e-7, PassRate: r},
+					{Name: "heavy", EnergyPerFrame: 1e-4, PassRate: 0},
+				},
+			}
+			a, err := p.Evaluate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a.Total
+		}
+		return mk(lo) <= mk(hi)+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// EnergyStage is one block of an energy-oriented (progressive filtering)
+// pipeline: it costs EnergyPerFrame joules for every frame that reaches it
+// and forwards a PassRate fraction of those frames downstream. Optional
+// blocks like motion detection have cheap energy and low pass rates; core
+// blocks like NN authentication are expensive and (usually) terminal.
+type EnergyStage struct {
+	Name           string
+	EnergyPerFrame float64 // joules per processed frame
+	PassRate       float64 // fraction of processed frames forwarded, in [0, 1]
+}
+
+// EnergyPipeline is a filtering chain behind a sensor, optionally
+// offloading the survivors' payload over a radio.
+type EnergyPipeline struct {
+	// CaptureEnergy is paid for every frame (the sensor).
+	CaptureEnergy float64
+	Stages        []EnergyStage
+	// OffloadBytes is the payload transmitted for frames that pass every
+	// stage (0 disables offload — a fully in-camera decision pipeline).
+	OffloadBytes int64
+	// OffloadFixed and OffloadPerByte model the radio: E = fixed + bytes·perByte.
+	OffloadFixed   float64
+	OffloadPerByte float64
+}
+
+// Validate checks stage parameters.
+func (p *EnergyPipeline) Validate() error {
+	if p.CaptureEnergy < 0 {
+		return fmt.Errorf("core: negative capture energy")
+	}
+	for _, s := range p.Stages {
+		if s.EnergyPerFrame < 0 {
+			return fmt.Errorf("core: stage %s has negative energy", s.Name)
+		}
+		if s.PassRate < 0 || s.PassRate > 1 {
+			return fmt.Errorf("core: stage %s pass rate %v outside [0,1]", s.Name, s.PassRate)
+		}
+	}
+	if p.OffloadBytes < 0 || p.OffloadFixed < 0 || p.OffloadPerByte < 0 {
+		return fmt.Errorf("core: negative offload parameters")
+	}
+	return nil
+}
+
+// ReachProbability returns the fraction of frames that reach stage i
+// (i == len(Stages) means "pass the whole chain").
+func (p *EnergyPipeline) ReachProbability(i int) float64 {
+	if i < 0 || i > len(p.Stages) {
+		panic(fmt.Sprintf("core: stage index %d out of range 0..%d", i, len(p.Stages)))
+	}
+	prob := 1.0
+	for j := 0; j < i; j++ {
+		prob *= p.Stages[j].PassRate
+	}
+	return prob
+}
+
+// EnergyBreakdown itemizes the expected per-frame energy.
+type EnergyAssessment struct {
+	Capture      float64
+	PerStage     []float64 // expected joules per frame attributed to each stage
+	Offload      float64
+	Total        float64
+	OffloadShare float64 // fraction of frames whose payload is transmitted
+}
+
+// Evaluate returns the expected energy cost per captured frame.
+func (p *EnergyPipeline) Evaluate() (EnergyAssessment, error) {
+	if err := p.Validate(); err != nil {
+		return EnergyAssessment{}, err
+	}
+	a := EnergyAssessment{Capture: p.CaptureEnergy}
+	a.Total = p.CaptureEnergy
+	for i, s := range p.Stages {
+		e := p.ReachProbability(i) * s.EnergyPerFrame
+		a.PerStage = append(a.PerStage, e)
+		a.Total += e
+	}
+	a.OffloadShare = p.ReachProbability(len(p.Stages))
+	if p.OffloadBytes > 0 {
+		a.Offload = a.OffloadShare * (p.OffloadFixed + float64(p.OffloadBytes)*p.OffloadPerByte)
+		a.Total += a.Offload
+	}
+	return a, nil
+}
+
+// AveragePowerWatts returns the steady-state power draw at the given frame
+// rate (frames per second × joules per frame).
+func (a EnergyAssessment) AveragePowerWatts(fps float64) float64 {
+	return a.Total * fps
+}
+
+// SustainableFPS returns the frame rate a harvested power budget supports.
+func (a EnergyAssessment) SustainableFPS(harvestWatts float64) float64 {
+	if a.Total <= 0 {
+		return 0
+	}
+	return harvestWatts / a.Total
+}

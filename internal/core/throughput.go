@@ -1,0 +1,243 @@
+// Package core implements the paper's central abstraction: the in-camera
+// processing pipeline (Fig. 1). A camera application decomposes into an
+// ordered chain of blocks; a *placement* decides how many blocks run in
+// the camera (and on which implementation) before the intermediate data is
+// offloaded. The total cost combines the computation cost of the in-camera
+// blocks with the communication cost of shipping the offload payload.
+//
+// Two cost regimes cover the paper's case studies:
+//
+//   - ThroughputPipeline (the VR system): every block and the uplink are
+//     pipelined, so the system rate is the minimum of block throughputs
+//     and upload rate; real time means both sides clear a target FPS.
+//   - EnergyPipeline (the face-authentication system): blocks are
+//     progressive filters; the expected energy per frame is the sum of
+//     block energies weighted by the fraction of frames that reach them,
+//     plus the transmit energy of whatever is offloaded.
+//
+// The package is deliberately stdlib-only: case-study packages adapt
+// their devices, links, radios and harvesters onto these structures.
+package core
+
+import (
+	"fmt"
+)
+
+// Stage is one block of a throughput-oriented pipeline.
+type Stage struct {
+	Name string
+	// OutputBytes is the payload size if the pipeline offloads after this
+	// stage (the communication cost driver).
+	OutputBytes int64
+	// FPS maps implementation names (e.g. "CPU", "GPU", "FPGA") to the
+	// block's throughput on that implementation.
+	FPS map[string]float64
+}
+
+// ThroughputPipeline is a chain of stages behind a sensor.
+type ThroughputPipeline struct {
+	// SensorBytes is the raw payload when offloading straight off the
+	// sensor (placement with zero in-camera blocks).
+	SensorBytes int64
+	Stages      []Stage
+}
+
+// Placement selects how much of the pipeline runs in-camera and on what.
+type Placement struct {
+	// InCamera is the number of leading stages computed at the camera;
+	// the output of stage InCamera−1 (or the sensor) is offloaded.
+	InCamera int
+	// Impl names the implementation of each in-camera stage
+	// (len == InCamera).
+	Impl []string
+}
+
+// Label renders a Fig. 10-style config label such as "S+B1+B2+B3(FPGA)".
+func (pl Placement) Label(p *ThroughputPipeline) string {
+	s := "S"
+	for i := 0; i < pl.InCamera; i++ {
+		s += "+" + p.Stages[i].Name + "(" + pl.Impl[i] + ")"
+	}
+	return s
+}
+
+// Assessment is the evaluated cost of one placement.
+type Assessment struct {
+	Placement  Placement
+	Label      string
+	ComputeFPS float64 // slowest in-camera block (∞ exposure capped by MaxFPS)
+	CommFPS    float64 // uplink rate for the offloaded payload
+	TotalFPS   float64 // min(compute, communication) — the pipelined system rate
+	Bottleneck string  // which side (and block) limits the system
+	// OffloadBytes is the payload shipped per frame-set.
+	OffloadBytes int64
+}
+
+// MaxFPS caps the reported compute rate of an empty in-camera pipeline
+// (pure sensor offload has no compute cost; the paper's Fig. 10 draws it
+// as "off the chart").
+const MaxFPS = 1e4
+
+// Evaluate computes the assessment of a placement on a link with the given
+// payload rate in bytes per second.
+func (p *ThroughputPipeline) Evaluate(pl Placement, linkBytesPerSec float64) (Assessment, error) {
+	if pl.InCamera < 0 || pl.InCamera > len(p.Stages) {
+		return Assessment{}, fmt.Errorf("core: placement includes %d of %d stages", pl.InCamera, len(p.Stages))
+	}
+	if len(pl.Impl) != pl.InCamera {
+		return Assessment{}, fmt.Errorf("core: placement names %d impls for %d stages", len(pl.Impl), pl.InCamera)
+	}
+	a := Assessment{Placement: pl, Label: pl.Label(p)}
+	a.ComputeFPS = MaxFPS
+	a.Bottleneck = "communication"
+	for i := 0; i < pl.InCamera; i++ {
+		fps, ok := p.Stages[i].FPS[pl.Impl[i]]
+		if !ok {
+			return Assessment{}, fmt.Errorf("core: stage %s has no %q implementation", p.Stages[i].Name, pl.Impl[i])
+		}
+		if fps <= 0 {
+			return Assessment{}, fmt.Errorf("core: stage %s on %s has non-positive FPS", p.Stages[i].Name, pl.Impl[i])
+		}
+		if fps < a.ComputeFPS {
+			a.ComputeFPS = fps
+			a.Bottleneck = "compute:" + p.Stages[i].Name + "(" + pl.Impl[i] + ")"
+		}
+	}
+	a.OffloadBytes = p.SensorBytes
+	if pl.InCamera > 0 {
+		a.OffloadBytes = p.Stages[pl.InCamera-1].OutputBytes
+	}
+	if linkBytesPerSec <= 0 || a.OffloadBytes <= 0 {
+		return Assessment{}, fmt.Errorf("core: invalid link rate %v or payload %d", linkBytesPerSec, a.OffloadBytes)
+	}
+	a.CommFPS = linkBytesPerSec / float64(a.OffloadBytes)
+	if a.CommFPS < a.ComputeFPS {
+		a.TotalFPS = a.CommFPS
+		a.Bottleneck = "communication"
+	} else {
+		a.TotalFPS = a.ComputeFPS
+	}
+	return a, nil
+}
+
+// Enumerate generates every placement: each in-camera prefix length crossed
+// with every combination of available implementations for the included
+// stages. Stage implementations are taken from the stage's FPS keys,
+// restricted to the impls list when non-nil (preserving its order for
+// deterministic output).
+func (p *ThroughputPipeline) Enumerate(impls []string) []Placement {
+	var out []Placement
+	out = append(out, Placement{}) // sensor-only
+	for n := 1; n <= len(p.Stages); n++ {
+		choices := make([][]string, n)
+		for i := 0; i < n; i++ {
+			if impls == nil {
+				for name := range p.Stages[i].FPS {
+					choices[i] = append(choices[i], name)
+				}
+				sortStrings(choices[i])
+			} else {
+				for _, name := range impls {
+					if _, ok := p.Stages[i].FPS[name]; ok {
+						choices[i] = append(choices[i], name)
+					}
+				}
+			}
+		}
+		cur := make([]string, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				out = append(out, Placement{InCamera: n, Impl: append([]string(nil), cur...)})
+				return
+			}
+			for _, c := range choices[i] {
+				cur[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	return out
+}
+
+// Best returns the assessment with the highest total FPS among the given
+// placements, with ties broken toward fewer in-camera stages (cheaper
+// hardware).
+func (p *ThroughputPipeline) Best(placements []Placement, linkBytesPerSec float64) (Assessment, error) {
+	var best Assessment
+	found := false
+	for _, pl := range placements {
+		a, err := p.Evaluate(pl, linkBytesPerSec)
+		if err != nil {
+			return Assessment{}, err
+		}
+		if !found || a.TotalFPS > best.TotalFPS ||
+			(a.TotalFPS == best.TotalFPS && a.Placement.InCamera < best.Placement.InCamera) {
+			best = a
+			found = true
+		}
+	}
+	if !found {
+		return Assessment{}, fmt.Errorf("core: no placements to evaluate")
+	}
+	return best, nil
+}
+
+// MeetsRealTime reports whether the assessment clears the target on both
+// the computation and communication sides — the paper's Fig. 10 criterion
+// ("if one or both costs falls below the threshold, the system cannot
+// support real-time operation").
+func (a Assessment) MeetsRealTime(targetFPS float64) bool {
+	return a.ComputeFPS >= targetFPS && a.CommFPS >= targetFPS
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort for 3-item
+// slices on the hot enumeration path.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Pareto computes the Pareto-efficient subset of (cost, value) points:
+// a point survives unless another point has cost ≤ and value ≥ with at
+// least one strict. Order of the input is preserved in the output.
+func Pareto(points []ParetoPoint) []ParetoPoint {
+	var out []ParetoPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Cost <= p.Cost && q.Value >= p.Value && (q.Cost < p.Cost || q.Value > p.Value) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParetoPoint is a labelled (cost, value) design point, lower cost and
+// higher value being better.
+type ParetoPoint struct {
+	Label string
+	Cost  float64
+	Value float64
+}
+
+// Crossover finds the link rate (bytes/s) at which offloading the raw
+// sensor data reaches the target FPS — the paper's §IV-C observation that
+// faster networks remove the incentive for in-camera processing. It
+// returns the minimum link rate and the rate expressed in Gb/s.
+func (p *ThroughputPipeline) Crossover(targetFPS float64) (bytesPerSec, gbps float64) {
+	bytesPerSec = targetFPS * float64(p.SensorBytes)
+	return bytesPerSec, bytesPerSec * 8 / 1e9
+}

@@ -1,0 +1,88 @@
+// Package energy provides the energy and power models for the low-power
+// face-authentication case study: per-event ASIC energies for the
+// SNNAP-style accelerator (parameterized by datapath width), a
+// general-purpose microcontroller baseline, radio transmit models
+// (backscatter and active), and the RF energy-harvesting supply of a
+// WISPCam-class battery-free camera.
+//
+// All absolute constants are *models*, calibrated to published
+// 28 nm-class figures and to the paper's reported ratios (the 8-PE
+// energy optimum and the 41 % power reduction from 16-bit to 8-bit);
+// the simulator's event counts are exact.
+package energy
+
+import "fmt"
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Convenience units.
+const (
+	Picojoule  Energy = 1e-12
+	Nanojoule  Energy = 1e-9
+	Microjoule Energy = 1e-6
+	Millijoule Energy = 1e-3
+	Joule      Energy = 1
+)
+
+// String formats the energy with an SI prefix.
+func (e Energy) String() string {
+	abs := e
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 J"
+	case abs < Nanojoule:
+		return fmt.Sprintf("%.3g pJ", float64(e/Picojoule))
+	case abs < Microjoule:
+		return fmt.Sprintf("%.3g nJ", float64(e/Nanojoule))
+	case abs < Millijoule:
+		return fmt.Sprintf("%.3g µJ", float64(e/Microjoule))
+	case abs < Joule:
+		return fmt.Sprintf("%.3g mJ", float64(e/Millijoule))
+	}
+	return fmt.Sprintf("%.3g J", float64(e))
+}
+
+// Power is a rate of energy use in watts.
+type Power float64
+
+// Convenience units.
+const (
+	Nanowatt  Power = 1e-9
+	Microwatt Power = 1e-6
+	Milliwatt Power = 1e-3
+	Watt      Power = 1
+)
+
+// String formats the power with an SI prefix.
+func (p Power) String() string {
+	abs := p
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 W"
+	case abs < Microwatt:
+		return fmt.Sprintf("%.3g nW", float64(p/Nanowatt))
+	case abs < Milliwatt:
+		return fmt.Sprintf("%.3g µW", float64(p/Microwatt))
+	case abs < Watt:
+		return fmt.Sprintf("%.3g mW", float64(p/Milliwatt))
+	}
+	return fmt.Sprintf("%.3g W", float64(p))
+}
+
+// Over returns the energy consumed by drawing power p for d seconds.
+func (p Power) Over(seconds float64) Energy { return Energy(float64(p) * seconds) }
+
+// Average returns the average power of consuming e over d seconds.
+func (e Energy) Average(seconds float64) Power {
+	if seconds <= 0 {
+		return 0
+	}
+	return Power(float64(e) / seconds)
+}

@@ -1,0 +1,234 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyStringPrefixes(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{0, "0 J"},
+		{3 * Picojoule, "pJ"},
+		{42 * Nanojoule, "nJ"},
+		{1.5 * Microjoule, "µJ"},
+		{900 * Millijoule, "mJ"},
+		{2 * Joule, "J"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("%v.String() = %q, want suffix %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestPowerStringPrefixes(t *testing.T) {
+	if got := (320 * Milliwatt).String(); !strings.Contains(got, "mW") {
+		t.Errorf("got %q", got)
+	}
+	if got := (200 * Microwatt).String(); !strings.Contains(got, "µW") {
+		t.Errorf("got %q", got)
+	}
+	if got := Power(0).String(); got != "0 W" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPowerEnergyConversions(t *testing.T) {
+	p := 2 * Milliwatt
+	e := p.Over(3) // 6 mJ
+	if math.Abs(float64(e)-6e-3) > 1e-12 {
+		t.Fatalf("Over = %v", e)
+	}
+	back := e.Average(3)
+	if math.Abs(float64(back-p)) > 1e-15 {
+		t.Fatalf("Average = %v", back)
+	}
+	if e.Average(0) != 0 {
+		t.Fatal("Average over zero time should be 0")
+	}
+}
+
+func TestPowerEnergyRoundTripProperty(t *testing.T) {
+	f := func(pw float64, secs float64) bool {
+		if math.IsNaN(pw) || math.IsInf(pw, 0) || math.Abs(pw) > 1e6 {
+			return true
+		}
+		s := math.Abs(secs)
+		if s < 1e-9 || s > 1e6 || math.IsNaN(s) {
+			return true
+		}
+		p := Power(pw)
+		back := p.Over(s).Average(s)
+		return math.Abs(float64(back-p)) <= 1e-9*math.Max(1, math.Abs(pw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASICEventsForSupportedWidths(t *testing.T) {
+	for _, bits := range []int{4, 8, 16} {
+		ev, err := ASICEventsFor(bits)
+		if err != nil {
+			t.Fatalf("width %d: %v", bits, err)
+		}
+		if ev.Bits != bits {
+			t.Fatalf("Bits = %d", ev.Bits)
+		}
+		if ev.MAC <= 0 || ev.WeightRead <= 0 || ev.LeakPerPE <= 0 {
+			t.Fatalf("width %d: non-positive energies %+v", bits, ev)
+		}
+	}
+	if _, err := ASICEventsFor(12); err == nil {
+		t.Fatal("accepted unsupported width 12")
+	}
+}
+
+func TestASICEnergiesMonotoneInWidth(t *testing.T) {
+	e4 := MustASICEventsFor(4)
+	e8 := MustASICEventsFor(8)
+	e16 := MustASICEventsFor(16)
+	if !(e4.MAC < e8.MAC && e8.MAC < e16.MAC) {
+		t.Fatal("MAC energy not monotone in bit width")
+	}
+	if !(e4.WeightRead < e8.WeightRead && e8.WeightRead < e16.WeightRead) {
+		t.Fatal("SRAM energy not monotone in bit width")
+	}
+	if !(e4.LeakPerPE < e8.LeakPerPE && e8.LeakPerPE < e16.LeakPerPE) {
+		t.Fatal("leakage not monotone in bit width")
+	}
+}
+
+func TestMustASICEventsForPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustASICEventsFor(5)
+}
+
+func TestMCUInferenceEnergy(t *testing.T) {
+	m := DefaultMCU()
+	e, lat := m.InferenceEnergy(3217, 9)
+	wantCycles := 3217*4 + 9*40.0
+	wantE := Energy(wantCycles) * m.EnergyPerCycle
+	if math.Abs(float64(e-wantE)) > 1e-18 {
+		t.Fatalf("energy %v, want %v", e, wantE)
+	}
+	if math.Abs(lat-wantCycles/30e6) > 1e-12 {
+		t.Fatalf("latency %v", lat)
+	}
+	// Sanity: a 400-8-1 inference on the MCU should be in the ~0.1 µJ
+	// range, orders of magnitude above the accelerator's nanojoules.
+	if e < 50*Nanojoule || e > 10*Microjoule {
+		t.Fatalf("MCU inference energy %v outside plausible range", e)
+	}
+}
+
+func TestMCUPixelOpEnergyScales(t *testing.T) {
+	m := DefaultMCU()
+	if m.PixelOpEnergy(200) != 2*m.PixelOpEnergy(100) {
+		t.Fatal("pixel-op energy not linear in pixels")
+	}
+}
+
+func TestRadioTransmitEnergy(t *testing.T) {
+	r := BackscatterRadio()
+	e1 := r.TransmitEnergy(1000)
+	e2 := r.TransmitEnergy(2000)
+	// Affine in bytes: doubling payload less than doubles total (overhead).
+	if !(e2 > e1 && e2 < 2*e1+r.WakeOverhead) {
+		t.Fatalf("transmit energies %v, %v", e1, e2)
+	}
+	marginal := float64(e2-e1) / (1000 * 8)
+	if math.Abs(marginal-float64(r.EnergyPerBit)) > 1e-18 {
+		t.Fatalf("marginal energy/bit %v, want %v", marginal, float64(r.EnergyPerBit))
+	}
+}
+
+func TestBackscatterCheaperPerBitThanActive(t *testing.T) {
+	if BackscatterRadio().EnergyPerBit >= ActiveRadio().EnergyPerBit {
+		t.Fatal("backscatter must be cheaper per bit than an active radio")
+	}
+}
+
+func TestTransmitSeconds(t *testing.T) {
+	r := RadioModel{ThroughputBps: 1e6}
+	if s := r.TransmitSeconds(125000); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("1 Mb at 1 Mbps = %v s", s)
+	}
+	r.ThroughputBps = 0
+	if r.TransmitSeconds(100) != 0 {
+		t.Fatal("zero-throughput radio should report 0 airtime")
+	}
+}
+
+func TestHarvesterUsableEnergy(t *testing.T) {
+	h := Harvester{HarvestPower: 100 * Microwatt, CapFarads: 1e-3, VMax: 3, VMin: 1}
+	want := 0.5 * 1e-3 * (9 - 1)
+	if math.Abs(float64(h.UsableEnergy())-want) > 1e-15 {
+		t.Fatalf("UsableEnergy = %v, want %v", h.UsableEnergy(), want)
+	}
+}
+
+func TestHarvesterSustainableFPS(t *testing.T) {
+	h := DefaultHarvester()
+	perFrame := 100 * Microjoule
+	fps := h.SustainableFPS(perFrame)
+	if math.Abs(fps-2) > 1e-9 { // 200 µW / 100 µJ = 2 FPS
+		t.Fatalf("SustainableFPS = %v, want 2", fps)
+	}
+	ok, margin := h.CanSustain(perFrame, 1)
+	if !ok || margin <= 0 {
+		t.Fatalf("1 FPS should be sustainable with margin, got %v %v", ok, margin)
+	}
+	ok, _ = h.CanSustain(perFrame, 3)
+	if ok {
+		t.Fatal("3 FPS should exceed the harvest budget")
+	}
+}
+
+func TestHarvesterDegenerate(t *testing.T) {
+	var h Harvester
+	if h.SustainableFPS(1*Microjoule) != 0 {
+		t.Fatal("zero-power harvester should sustain 0 FPS")
+	}
+	if h.RechargeSeconds(1*Microjoule) != 0 {
+		t.Fatal("zero-power harvester recharge must not divide by zero")
+	}
+	if DefaultHarvester().SustainableFPS(0) != 0 {
+		t.Fatal("zero per-frame energy should return 0, not Inf")
+	}
+}
+
+func TestSensorCaptureEnergy(t *testing.T) {
+	s := DefaultSensor()
+	e := s.CaptureEnergy(160, 120)
+	want := s.FixedPerFrame + Energy(160*120)*s.EnergyPerPixel
+	if e != want {
+		t.Fatalf("CaptureEnergy = %v, want %v", e, want)
+	}
+	// QVGA-class capture should be a few µJ — small vs raw-frame radio.
+	if e > 20*Microjoule {
+		t.Fatalf("capture energy %v implausibly high", e)
+	}
+}
+
+func TestOffloadVsOnloadShape(t *testing.T) {
+	// The core tradeoff: transmitting a raw QVGA frame over backscatter
+	// must cost much more energy than one accelerator NN inference
+	// (nanojoules), and comparable to or more than MCU inference — this
+	// is what motivates in-camera processing in the paper.
+	r := BackscatterRadio()
+	raw := r.TransmitEnergy(160 * 120)
+	mcu, _ := DefaultMCU().InferenceEnergy(3217, 9)
+	if raw < mcu {
+		t.Fatalf("raw-frame offload %v cheaper than MCU inference %v — tradeoff inverted", raw, mcu)
+	}
+}

@@ -1,0 +1,103 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVJAccelDetectEnergyComposition(t *testing.T) {
+	v := DefaultVJAccel()
+	e := v.DetectEnergy(1000, 500)
+	want := Energy(1000)*v.PerPixel + Energy(500)*v.PerFeature
+	if e != want {
+		t.Fatalf("DetectEnergy = %v, want %v", e, want)
+	}
+	if v.DetectEnergy(0, 0) != 0 {
+		t.Fatal("zero work should cost zero")
+	}
+}
+
+func TestMCUDetectEnergyAboveASIC(t *testing.T) {
+	// The software VJ baseline must cost orders of magnitude more than the
+	// fixed-function accelerator for the same work — the premise of the
+	// pre-filter accelerator.
+	m := DefaultMCU()
+	v := DefaultVJAccel()
+	pixels, features := 160*120, int64(60000)
+	sw := m.MCUDetectEnergy(pixels, features)
+	hw := v.DetectEnergy(pixels, features)
+	if float64(sw)/float64(hw) < 20 {
+		t.Fatalf("software VJ (%v) only %.1fx the ASIC (%v)", sw, float64(sw)/float64(hw), hw)
+	}
+}
+
+func TestStreamAccelCheaperThanMCUPixelOps(t *testing.T) {
+	s := DefaultStreamAccel()
+	m := DefaultMCU()
+	pixels := 160 * 120
+	hw := Energy(pixels) * s.MotionPerPixel
+	sw := m.PixelOpEnergy(2 * pixels)
+	if hw >= sw {
+		t.Fatalf("streaming motion engine (%v) not cheaper than software (%v)", hw, sw)
+	}
+	if s.ScalePerPixel <= 0 || s.MotionPerPixel <= 0 {
+		t.Fatal("stream accel energies must be positive")
+	}
+}
+
+func TestEnergyStringNegativeValues(t *testing.T) {
+	if got := (-3 * Nanojoule).String(); !strings.Contains(got, "nJ") || !strings.Contains(got, "-") {
+		t.Fatalf("negative energy formatted as %q", got)
+	}
+	if got := (-2 * Watt).String(); !strings.Contains(got, "W") {
+		t.Fatalf("negative power formatted as %q", got)
+	}
+}
+
+func TestPowerStringLargeAndTiny(t *testing.T) {
+	if got := (5 * Watt).String(); !strings.HasSuffix(got, " W") {
+		t.Fatalf("got %q", got)
+	}
+	if got := (3 * Nanowatt).String(); !strings.Contains(got, "nW") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEnergyStringJouleRange(t *testing.T) {
+	if got := (1.5 * Joule).String(); !strings.HasSuffix(got, " J") || strings.Contains(got, "m") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestActiveRadioThroughputFaster(t *testing.T) {
+	// The active radio trades energy for throughput: more J/bit but more
+	// bits/s than backscatter.
+	b, a := BackscatterRadio(), ActiveRadio()
+	if a.ThroughputBps <= b.ThroughputBps {
+		t.Fatal("active radio should be faster than backscatter")
+	}
+	// Airtime for one QVGA frame on backscatter is substantial — this is
+	// why WISPCam ships at ~1 frame/minute-scale rates.
+	if secs := b.TransmitSeconds(160 * 120); secs < 0.1 {
+		t.Fatalf("backscatter QVGA airtime %v implausibly fast", secs)
+	}
+}
+
+func TestHarvesterRechargeTime(t *testing.T) {
+	h := DefaultHarvester()
+	e := h.UsableEnergy()
+	secs := h.RechargeSeconds(e)
+	want := float64(e) / float64(h.HarvestPower)
+	if secs != want {
+		t.Fatalf("RechargeSeconds = %v, want %v", secs, want)
+	}
+	if secs < 60 {
+		t.Fatalf("full 6 mF recharge in %v s implausible at 200 µW", secs)
+	}
+}
+
+func TestSensorString(t *testing.T) {
+	if s := DefaultSensor().String(); !strings.Contains(s, "sensor(") {
+		t.Fatalf("got %q", s)
+	}
+}

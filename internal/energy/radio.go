@@ -1,0 +1,118 @@
+package energy
+
+import "fmt"
+
+// RadioModel is a transmit-side communication model: energy per bit and
+// sustained uplink throughput. The FA case study's offload-vs-onload
+// tradeoff (E7) compares shipping raw frames against local processing.
+type RadioModel struct {
+	Name          string
+	EnergyPerBit  Energy
+	ThroughputBps float64
+	WakeOverhead  Energy // per-transmission fixed cost (synchronization, preamble)
+}
+
+// BackscatterRadio models the WISPCam's EPC Gen2 backscatter uplink:
+// extremely cheap per bit (the tag only modulates reflection) but slow.
+// The effective energy/bit includes protocol overhead and the logic that
+// drives the modulator.
+func BackscatterRadio() RadioModel {
+	return RadioModel{
+		Name:          "backscatter",
+		EnergyPerBit:  60 * Picojoule,
+		ThroughputBps: 256e3,
+		WakeOverhead:  2 * Microjoule,
+	}
+}
+
+// ActiveRadio models a low-power active transmitter (BLE-class) as the
+// non-harvested alternative.
+func ActiveRadio() RadioModel {
+	return RadioModel{
+		Name:          "active",
+		EnergyPerBit:  12 * Nanojoule,
+		ThroughputBps: 1e6,
+		WakeOverhead:  15 * Microjoule,
+	}
+}
+
+// TransmitEnergy returns the energy to ship the given payload.
+func (r RadioModel) TransmitEnergy(bytes int64) Energy {
+	return r.WakeOverhead + Energy(float64(bytes*8))*r.EnergyPerBit
+}
+
+// TransmitSeconds returns the airtime for the given payload.
+func (r RadioModel) TransmitSeconds(bytes int64) float64 {
+	if r.ThroughputBps <= 0 {
+		return 0
+	}
+	return float64(bytes*8) / r.ThroughputBps
+}
+
+// Harvester models the RF energy supply of a battery-free camera: a
+// rectenna charging a storage capacitor from a reader's field.
+type Harvester struct {
+	HarvestPower Power   // average rectified power at the deployment distance
+	CapFarads    float64 // storage capacitor
+	VMax, VMin   float64 // usable voltage window on the capacitor
+}
+
+// DefaultHarvester returns a WISPCam-class supply: ~200 µW harvested a few
+// meters from an RFID reader into a 6 mF capacitor used from 5.5 V down
+// to 2.4 V.
+func DefaultHarvester() Harvester {
+	return Harvester{HarvestPower: 200 * Microwatt, CapFarads: 6e-3, VMax: 5.5, VMin: 2.4}
+}
+
+// UsableEnergy returns the energy available per full capacitor discharge:
+// ½C(Vmax² − Vmin²).
+func (h Harvester) UsableEnergy() Energy {
+	return Energy(0.5 * h.CapFarads * (h.VMax*h.VMax - h.VMin*h.VMin))
+}
+
+// RechargeSeconds returns the time to recharge after consuming e.
+func (h Harvester) RechargeSeconds(e Energy) float64 {
+	if h.HarvestPower <= 0 {
+		return 0
+	}
+	return float64(e) / float64(h.HarvestPower)
+}
+
+// SustainableFPS returns the steady-state frame rate supportable when each
+// frame costs perFrame: the harvest power divided by the per-frame energy.
+func (h Harvester) SustainableFPS(perFrame Energy) float64 {
+	if perFrame <= 0 {
+		return 0
+	}
+	return float64(h.HarvestPower) / float64(perFrame)
+}
+
+// CanSustain reports whether the harvester supports the target frame rate,
+// and the power margin (positive means headroom).
+func (h Harvester) CanSustain(perFrame Energy, fps float64) (bool, Power) {
+	need := Power(float64(perFrame) * fps)
+	margin := h.HarvestPower - need
+	return margin >= 0, margin
+}
+
+// SensorModel is the image-sensor capture cost, charged per frame in every
+// pipeline configuration.
+type SensorModel struct {
+	EnergyPerPixel Energy
+	FixedPerFrame  Energy
+}
+
+// DefaultSensor returns an ultra-low-power QVGA-class sensor model:
+// ~120 pJ/pixel plus ADC and readout overhead.
+func DefaultSensor() SensorModel {
+	return SensorModel{EnergyPerPixel: 120 * Picojoule, FixedPerFrame: 1 * Microjoule}
+}
+
+// CaptureEnergy returns the cost of capturing one w×h frame.
+func (s SensorModel) CaptureEnergy(w, h int) Energy {
+	return s.FixedPerFrame + Energy(float64(w*h))*s.EnergyPerPixel
+}
+
+func (s SensorModel) String() string {
+	return fmt.Sprintf("sensor(%v/px + %v/frame)", s.EnergyPerPixel, s.FixedPerFrame)
+}

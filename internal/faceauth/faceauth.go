@@ -1,0 +1,299 @@
+// Package faceauth assembles the paper's first case study (§III): the
+// battery-free face-authentication camera. It trains the Viola-Jones
+// pre-filter and the 400-8-1 authentication network on synthetic
+// identities, then replays security-camera traces through configurable
+// pipeline variants — {motion detection?} → {face detection?} → NN — on
+// either the SNNAP-style accelerator or a microcontroller baseline,
+// accounting energy per frame and authentication accuracy end to end.
+package faceauth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"camsim/internal/energy"
+	"camsim/internal/fixed"
+	"camsim/internal/img"
+	"camsim/internal/motion"
+	"camsim/internal/nn"
+	"camsim/internal/snnap"
+	"camsim/internal/synth"
+	"camsim/internal/vj"
+)
+
+// BuildOptions sizes the training phase.
+type BuildOptions struct {
+	TargetSeed  int64 // identity of the enrolled user
+	ChipSize    int   // NN input window edge (paper: 20 → 400 inputs)
+	Hidden      int   // hidden layer width (paper: 8)
+	TrainPos    int   // verification positives
+	TrainNeg    int   // verification negatives
+	Impostors   int
+	CascadePos  int // cascade training faces
+	CascadeNeg  int // cascade training non-faces
+	TrainEpochs int
+	Bits        int // accelerator datapath width
+	Seed        int64
+}
+
+// DefaultBuildOptions returns the paper's design point with training sizes
+// that complete in seconds.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		TargetSeed: 7, ChipSize: 20, Hidden: 8,
+		TrainPos: 250, TrainNeg: 250, Impostors: 25,
+		CascadePos: 300, CascadeNeg: 600,
+		TrainEpochs: 150, Bits: 8, Seed: 1,
+	}
+}
+
+// System bundles the trained models and hardware models of the camera SoC.
+type System struct {
+	Opts     BuildOptions
+	Cascade  *vj.Cascade
+	NetFloat *nn.Network
+	NetQuant *fixed.Net
+	AccelCfg snnap.Config
+	// TestConfusion is the held-out verification accuracy of the quantized
+	// network (the E1-style benchmark number).
+	TestConfusion nn.Confusion
+
+	MCU       energy.MCUModel
+	VJAccel   energy.VJAccelModel
+	Stream    energy.StreamAccelModel
+	Sensor    energy.SensorModel
+	Radio     energy.RadioModel
+	Harvester energy.Harvester
+}
+
+// authScales and authOffsets define the multi-crop authentication sweep:
+// each face candidate is re-cropped at three scales and five offsets so the
+// verifier tolerates detector-box misalignment (15 cheap NN inferences per
+// candidate — still nanojoules on the accelerator).
+var (
+	authScales  = []float64{0.85, 1.0, 1.2}
+	authOffsets = [][2]float64{{0, 0}, {-0.08, 0}, {0.08, 0}, {0, -0.08}, {0, 0.08}}
+)
+
+// Build trains the cascade and the verification network.
+func Build(opts BuildOptions) (*System, error) {
+	if opts.ChipSize < 5 || opts.Hidden < 1 {
+		return nil, fmt.Errorf("faceauth: invalid topology %d/%d", opts.ChipSize, opts.Hidden)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Viola-Jones pre-filter.
+	cascadeCfg := vj.DefaultTrainConfig()
+	cascadeCfg.Base = opts.ChipSize
+	pos := synth.FaceChips(rng, opts.CascadePos, opts.ChipSize)
+	neg := synth.NonFaceChips(rng, opts.CascadeNeg, opts.ChipSize)
+	cascade, err := vj.Train(rng, pos, neg, cascadeCfg)
+	if err != nil {
+		return nil, fmt.Errorf("faceauth: cascade training: %w", err)
+	}
+
+	// Verification network on the target identity (90/10 protocol).
+	set := synth.BuildVerificationSet(rng, synth.VerificationConfig{
+		Size: opts.ChipSize, Positives: opts.TrainPos, Negatives: opts.TrainNeg,
+		Impostors: opts.Impostors, TrainFrac: 0.9, Hard: false, TargetSeed: opts.TargetSeed,
+	})
+	inputs := opts.ChipSize * opts.ChipSize
+	net := nn.New(rand.New(rand.NewSource(opts.Seed+1)), inputs, opts.Hidden, 1)
+	net.TrainRPROP(nn.ToTrainSamples(set.Train), nn.DefaultRPROP(opts.TrainEpochs))
+	quant := fixed.QuantizeNet(net, opts.Bits, nil)
+
+	accelCfg := snnap.DefaultConfig()
+	accelCfg.Bits = opts.Bits
+
+	return &System{
+		Opts:          opts,
+		Cascade:       cascade,
+		NetFloat:      net,
+		NetQuant:      quant,
+		AccelCfg:      accelCfg,
+		TestConfusion: nn.Evaluate(set.Test, quant.Predict),
+		MCU:           energy.DefaultMCU(),
+		VJAccel:       energy.DefaultVJAccel(),
+		Stream:        energy.DefaultStreamAccel(),
+		Sensor:        energy.DefaultSensor(),
+		Radio:         energy.BackscatterRadio(),
+		Harvester:     energy.DefaultHarvester(),
+	}, nil
+}
+
+// PipelineConfig selects which optional blocks run and on what hardware.
+type PipelineConfig struct {
+	UseMotion bool // B1: motion-detection gate
+	UseVJ     bool // B2: face-detection pre-filter + localization
+	UseAccel  bool // run the NN on the SNNAP accelerator (else MCU software)
+	// OffloadRaw replaces all in-camera processing with raw-frame
+	// transmission over the radio (the WISPCam baseline).
+	OffloadRaw bool
+}
+
+// Label renders a short config name for tables.
+func (c PipelineConfig) Label() string {
+	if c.OffloadRaw {
+		return "offload-raw"
+	}
+	s := ""
+	if c.UseMotion {
+		s += "MD+"
+	}
+	if c.UseVJ {
+		s += "VJ+"
+	}
+	s += "NN"
+	if c.UseAccel {
+		s += "(accel)"
+	} else {
+		s += "(MCU)"
+	}
+	return s
+}
+
+// TraceReport aggregates one trace replay.
+type TraceReport struct {
+	Config PipelineConfig
+	Frames int
+
+	MotionPassed int // frames past the motion gate
+	VJRan        int // frames where the detector ran
+	VJPassed     int // frames with at least one candidate
+	NNRuns       int // NN inferences executed
+
+	Confusion nn.Confusion // per-frame target-present decisions
+
+	Energy         energy.Energy // total across the trace
+	EnergyPerFrame energy.Energy
+	AveragePower   energy.Power // at the trace's 1 FPS rate
+	SustainableFPS float64      // on the harvested supply
+}
+
+// RunTrace replays a security trace through the configured pipeline.
+func (s *System) RunTrace(tr *synth.Trace, cfg PipelineConfig) TraceReport {
+	rep := TraceReport{Config: cfg, Frames: tr.Cfg.Frames}
+	det := motion.New(motion.DefaultConfig())
+	dp := vj.DefaultDetectParams()
+	dp.StepSize = 2
+	dp.MinNeighbors = 1 // pre-filter: favour recall, the NN rejects impostors
+
+	var total energy.Energy
+	for f := 0; f < tr.Cfg.Frames; f++ {
+		frame, truth := tr.Frame(f)
+		total += s.Sensor.CaptureEnergy(frame.W, frame.H)
+
+		if cfg.OffloadRaw {
+			// Ship the 8-bit frame; the "decision" happens in the cloud and
+			// is assumed perfect (computation there is free, per §II).
+			total += s.Radio.TransmitEnergy(int64(frame.W * frame.H))
+			rep.accumulate(truth.TargetPresent, truth.TargetPresent)
+			continue
+		}
+
+		pixels := frame.W * frame.H
+		if cfg.UseMotion {
+			// Streaming frame-difference engine at the sensor vs software.
+			if cfg.UseAccel {
+				total += energy.Energy(pixels) * s.Stream.MotionPerPixel
+			} else {
+				total += s.MCU.PixelOpEnergy(motion.PixelOps(frame.W, frame.H))
+			}
+			r := det.Step(frame)
+			if f == 0 {
+				// Background priming frame: no decision possible.
+				rep.accumulate(false, truth.TargetPresent)
+				continue
+			}
+			if !r.Motion {
+				rep.accumulate(false, truth.TargetPresent)
+				continue
+			}
+		}
+		rep.MotionPassed++
+
+		var chips []*img.Gray
+		addCrop := func(x, y, w int) {
+			chips = append(chips, img.ResizeBilinear(frame.SubImage(x, y, w, w), s.Opts.ChipSize, s.Opts.ChipSize))
+			if cfg.UseAccel {
+				total += energy.Energy(w*w) * s.Stream.ScalePerPixel
+			} else {
+				total += s.MCU.PixelOpEnergy(w * w)
+			}
+		}
+		if cfg.UseVJ {
+			rep.VJRan++
+			boxes, st := s.Cascade.Detect(frame, dp)
+			if cfg.UseAccel {
+				total += s.VJAccel.DetectEnergy(pixels, st.FeatureEvals)
+			} else {
+				total += s.MCU.MCUDetectEnergy(pixels, st.FeatureEvals)
+			}
+			if len(boxes) == 0 {
+				rep.accumulate(false, truth.TargetPresent)
+				continue
+			}
+			rep.VJPassed++
+			for _, b := range boxes {
+				for _, sc := range authScales {
+					for _, off := range authOffsets {
+						w := int(float64(b.W) * sc)
+						x := b.X + int(float64(b.W)*off[0]) + (b.W-w)/2
+						y := b.Y + int(float64(b.H)*off[1]) + (b.H-w)/2
+						addCrop(x, y, w)
+					}
+				}
+			}
+		} else {
+			// Without localization the NN sees the downsampled whole frame.
+			chips = []*img.Gray{img.ResizeBilinear(frame, s.Opts.ChipSize, s.Opts.ChipSize)}
+			if cfg.UseAccel {
+				total += energy.Energy(pixels) * s.Stream.ScalePerPixel
+			} else {
+				total += s.MCU.PixelOpEnergy(pixels)
+			}
+		}
+
+		authenticated := false
+		for _, chip := range chips {
+			rep.NNRuns++
+			in := nn.FlattenChip(chip)
+			if cfg.UseAccel {
+				out, simRep, err := snnap.Run(s.NetQuant, in, s.AccelCfg)
+				if err != nil {
+					panic(err) // construction guarantees bit widths match
+				}
+				total += simRep.Energy
+				if out[0] > 0.5 {
+					authenticated = true
+				}
+			} else {
+				e, _ := s.MCU.InferenceEnergy(s.NetFloat.NumMACs(), s.Opts.Hidden+1)
+				total += e
+				if s.NetQuant.Predict(in) {
+					authenticated = true
+				}
+			}
+		}
+		rep.accumulate(authenticated, truth.TargetPresent)
+	}
+
+	rep.Energy = total
+	rep.EnergyPerFrame = total / energy.Energy(rep.Frames)
+	rep.AveragePower = rep.EnergyPerFrame.Average(1) // trace is 1 FPS
+	rep.SustainableFPS = s.Harvester.SustainableFPS(rep.EnergyPerFrame)
+	return rep
+}
+
+func (r *TraceReport) accumulate(decision, truth bool) {
+	switch {
+	case decision && truth:
+		r.Confusion.TP++
+	case decision && !truth:
+		r.Confusion.FP++
+	case !decision && truth:
+		r.Confusion.FN++
+	default:
+		r.Confusion.TN++
+	}
+}

@@ -1,0 +1,183 @@
+package faceauth
+
+import (
+	"sync"
+	"testing"
+
+	"camsim/internal/energy"
+	"camsim/internal/synth"
+)
+
+// Shared trained system: building trains a cascade and an NN, the
+// expensive part of this suite.
+var (
+	sysOnce sync.Once
+	sys     *System
+	sysErr  error
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		opts := DefaultBuildOptions()
+		sys, sysErr = Build(opts)
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sys
+}
+
+func testTrace() *synth.Trace {
+	cfg := synth.DefaultTraceConfig(250)
+	cfg.VisitRate = 4
+	return synth.NewTrace(33, cfg)
+}
+
+func TestBuildValidates(t *testing.T) {
+	opts := DefaultBuildOptions()
+	opts.ChipSize = 2
+	if _, err := Build(opts); err == nil {
+		t.Fatal("accepted tiny chip size")
+	}
+}
+
+func TestBuildProducesWorkingModels(t *testing.T) {
+	s := testSystem(t)
+	if s.Cascade == nil || s.NetQuant == nil {
+		t.Fatal("missing models")
+	}
+	if s.NetFloat.Topology() != "400-8-1" {
+		t.Fatalf("topology %q, want 400-8-1 (the paper's design point)", s.NetFloat.Topology())
+	}
+	// Held-out verification error should be small on easy captures
+	// (the paper reports 5.9% on the harder LFW protocol).
+	if e := s.TestConfusion.Error(); e > 0.15 {
+		t.Fatalf("held-out verification error %v too high", e)
+	}
+}
+
+func TestConfigLabels(t *testing.T) {
+	cases := map[string]PipelineConfig{
+		"offload-raw":     {OffloadRaw: true},
+		"NN(MCU)":         {},
+		"NN(accel)":       {UseAccel: true},
+		"MD+NN(accel)":    {UseMotion: true, UseAccel: true},
+		"MD+VJ+NN(accel)": {UseMotion: true, UseVJ: true, UseAccel: true},
+	}
+	for want, cfg := range cases {
+		if got := cfg.Label(); got != want {
+			t.Fatalf("Label() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestProgressiveFilteringReducesEnergy(t *testing.T) {
+	// The paper's E6 finding: the motion gate pays for itself by filtering
+	// frames away from the *expensive* downstream block (face detection) —
+	// on both the accelerator and the MCU — and the accelerator beats the
+	// MCU at every configuration.
+	s := testSystem(t)
+	tr := testTrace()
+
+	for _, accel := range []bool{false, true} {
+		vjOnly := s.RunTrace(tr, PipelineConfig{UseVJ: true, UseAccel: accel})
+		gated := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: accel})
+		if gated.Energy >= vjOnly.Energy {
+			t.Fatalf("accel=%v: motion gating increased energy: %v vs %v",
+				accel, gated.Energy, vjOnly.Energy)
+		}
+	}
+
+	nnMCU := s.RunTrace(tr, PipelineConfig{})
+	nnAccel := s.RunTrace(tr, PipelineConfig{UseAccel: true})
+	if nnAccel.Energy >= nnMCU.Energy {
+		t.Fatalf("accelerator (%v) not below MCU (%v)", nnAccel.Energy, nnMCU.Energy)
+	}
+
+	fullMCU := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseVJ: true})
+	fullAccel := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: true})
+	if float64(fullAccel.Energy) > 0.5*float64(fullMCU.Energy) {
+		t.Fatalf("full accelerated pipeline (%v) should be well below the MCU pipeline (%v)",
+			fullAccel.Energy, fullMCU.Energy)
+	}
+}
+
+func TestVJImprovesAccuracyOverWholeFrameNN(t *testing.T) {
+	// Localization is what makes the NN usable: whole-frame inputs miss
+	// the target, VJ-cropped chips catch it (the paper's 0% true-miss
+	// result on the multi-stage pipeline).
+	s := testSystem(t)
+	tr := testTrace()
+	whole := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseAccel: true})
+	localized := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: true})
+	if localized.Confusion.MissRate() > whole.Confusion.MissRate() {
+		t.Fatalf("VJ localization raised miss rate: %v vs %v",
+			localized.Confusion.MissRate(), whole.Confusion.MissRate())
+	}
+	// The paper reports a 0% true-miss rate on its real-data workload;
+	// we tolerate a small residual on the synthetic trace.
+	if localized.Confusion.MissRate() > 0.15 {
+		t.Fatalf("multi-stage miss rate %v too high (confusion %+v)",
+			localized.Confusion.MissRate(), localized.Confusion)
+	}
+}
+
+func TestFullPipelineSubMilliwattAndSustainable(t *testing.T) {
+	s := testSystem(t)
+	tr := testTrace()
+	rep := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: true})
+	if rep.AveragePower >= 1*energy.Milliwatt {
+		t.Fatalf("average power %v not sub-mW", rep.AveragePower)
+	}
+	if rep.SustainableFPS < 1 {
+		t.Fatalf("harvested supply sustains only %v FPS, want >= 1", rep.SustainableFPS)
+	}
+}
+
+func TestOffloadCostsMoreThanInCamera(t *testing.T) {
+	// E7: shipping raw frames over the radio costs more than deciding
+	// in-camera with the full accelerated pipeline.
+	s := testSystem(t)
+	tr := testTrace()
+	off := s.RunTrace(tr, PipelineConfig{OffloadRaw: true})
+	in := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: true})
+	if in.Energy >= off.Energy {
+		t.Fatalf("in-camera (%v) not cheaper than offload (%v)", in.Energy, off.Energy)
+	}
+}
+
+func TestMotionGateCountsConsistent(t *testing.T) {
+	s := testSystem(t)
+	tr := testTrace()
+	rep := s.RunTrace(tr, PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: true})
+	if rep.MotionPassed > rep.Frames {
+		t.Fatalf("counts inconsistent: %+v", rep)
+	}
+	if rep.VJRan != rep.MotionPassed {
+		t.Fatalf("VJ ran %d times but %d frames passed motion", rep.VJRan, rep.MotionPassed)
+	}
+	if rep.VJPassed > rep.VJRan || rep.NNRuns < rep.VJPassed {
+		t.Fatalf("counts inconsistent: %+v", rep)
+	}
+	// The filtering property: most frames never reach VJ.
+	if float64(rep.MotionPassed) > 0.6*float64(rep.Frames) {
+		t.Fatalf("motion gate passed %d of %d frames — not filtering", rep.MotionPassed, rep.Frames)
+	}
+	st := tr.Stats()
+	total := rep.Confusion.TP + rep.Confusion.FP + rep.Confusion.TN + rep.Confusion.FN
+	if total != st.Frames {
+		t.Fatalf("decisions %d != frames %d", total, st.Frames)
+	}
+}
+
+func TestRunTraceDeterministic(t *testing.T) {
+	s := testSystem(t)
+	tr := testTrace()
+	cfg := PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: true}
+	a := s.RunTrace(tr, cfg)
+	b := s.RunTrace(tr, cfg)
+	if a.Energy != b.Energy || a.Confusion != b.Confusion || a.NNRuns != b.NNRuns {
+		t.Fatal("trace replay not deterministic")
+	}
+}

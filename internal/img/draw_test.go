@@ -1,0 +1,118 @@
+package img
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFillRectClips(t *testing.T) {
+	g := NewGray(4, 4)
+	FillRect(g, -2, -2, 4, 4, 1) // only the 2x2 top-left overlap is inside
+	var count int
+	for _, v := range g.Pix {
+		if v == 1 {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Fatalf("filled %d pixels, want 4", count)
+	}
+	if g.At(0, 0) != 1 || g.At(1, 1) != 1 || g.At(2, 2) != 0 {
+		t.Fatal("wrong pixels filled")
+	}
+}
+
+func TestFillRectFullyOutsideIsNoop(t *testing.T) {
+	g := NewGray(4, 4)
+	FillRect(g, 10, 10, 3, 3, 1)
+	for _, v := range g.Pix {
+		if v != 0 {
+			t.Fatal("out-of-bounds rect modified image")
+		}
+	}
+}
+
+func TestBlendRectAlpha(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Fill(0.2)
+	BlendRect(g, 0, 0, 2, 2, 1, 0.5)
+	for _, v := range g.Pix {
+		if math.Abs(float64(v)-0.6) > 1e-6 {
+			t.Fatalf("blend result %v, want 0.6", v)
+		}
+	}
+}
+
+func TestFillEllipseCentreAndOutside(t *testing.T) {
+	g := NewGray(21, 21)
+	FillEllipse(g, 10, 10, 6, 4, 1)
+	if g.At(10, 10) != 1 {
+		t.Fatalf("centre %v, want 1", g.At(10, 10))
+	}
+	if g.At(0, 0) != 0 || g.At(10, 2) != 0 {
+		t.Fatal("pixels outside ellipse were painted")
+	}
+	// Interior point on the long axis.
+	if g.At(14, 10) != 1 {
+		t.Fatalf("interior point %v, want 1", g.At(14, 10))
+	}
+}
+
+func TestFillEllipseDegenerateRadii(t *testing.T) {
+	g := NewGray(8, 8)
+	FillEllipse(g, 4, 4, 0, 3, 1)
+	for _, v := range g.Pix {
+		if v != 0 {
+			t.Fatal("degenerate ellipse painted pixels")
+		}
+	}
+}
+
+func TestDrawLineHorizontalVertical(t *testing.T) {
+	g := NewGray(8, 8)
+	DrawLine(g, 1, 3, 6, 3, 1)
+	for x := 1; x <= 6; x++ {
+		if g.At(x, 3) != 1 {
+			t.Fatalf("horizontal line missing pixel at x=%d", x)
+		}
+	}
+	DrawLine(g, 2, 1, 2, 6, 0.5)
+	for y := 1; y <= 6; y++ {
+		if g.At(2, y) != 0.5 && !(y == 3 && g.At(2, y) == 0.5) {
+			if g.At(2, y) != 0.5 {
+				t.Fatalf("vertical line missing pixel at y=%d: %v", y, g.At(2, y))
+			}
+		}
+	}
+}
+
+func TestDrawLineDiagonalEndpoints(t *testing.T) {
+	g := NewGray(8, 8)
+	DrawLine(g, 0, 0, 7, 7, 1)
+	if g.At(0, 0) != 1 || g.At(7, 7) != 1 || g.At(3, 3) != 1 {
+		t.Fatal("diagonal line missing endpoints or midpoint")
+	}
+}
+
+func TestDrawLineClipsOutOfBounds(t *testing.T) {
+	g := NewGray(4, 4)
+	DrawLine(g, -3, -3, 8, 8, 1) // must not panic
+	if g.At(1, 1) != 1 {
+		t.Fatal("clipped diagonal missing interior pixel")
+	}
+}
+
+func TestDrawRectOutline(t *testing.T) {
+	g := NewGray(10, 10)
+	DrawRectOutline(g, 2, 2, 5, 4, 1)
+	// Corners.
+	for _, c := range [][2]int{{2, 2}, {6, 2}, {2, 5}, {6, 5}} {
+		if g.At(c[0], c[1]) != 1 {
+			t.Fatalf("corner (%d,%d) not drawn", c[0], c[1])
+		}
+	}
+	// Interior stays empty.
+	if g.At(4, 3) != 0 {
+		t.Fatal("outline filled interior")
+	}
+}

@@ -1,0 +1,158 @@
+package img
+
+import "math"
+
+// BoxFilter applies a (2r+1)×(2r+1) mean filter using a summed-area table,
+// with windows clipped at the image borders (so edge pixels average over the
+// in-bounds part of the window only). It runs in O(W·H) independent of r.
+func BoxFilter(g *Gray, r int) *Gray {
+	if r <= 0 {
+		return g.Clone()
+	}
+	it := NewIntegral(g)
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		y0 := y - r
+		if y0 < 0 {
+			y0 = 0
+		}
+		y1 := y + r + 1
+		if y1 > g.H {
+			y1 = g.H
+		}
+		for x := 0; x < g.W; x++ {
+			x0 := x - r
+			if x0 < 0 {
+				x0 = 0
+			}
+			x1 := x + r + 1
+			if x1 > g.W {
+				x1 = g.W
+			}
+			n := float64((x1 - x0) * (y1 - y0))
+			out.Pix[y*g.W+x] = float32(it.Sum(x0, y0, x1-x0, y1-y0) / n)
+		}
+	}
+	return out
+}
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel with the given
+// standard deviation, truncated at ±3σ (minimum radius 1).
+func GaussianKernel(sigma float64) []float32 {
+	if sigma <= 0 {
+		return []float32{1}
+	}
+	r := int(math.Ceil(3 * sigma))
+	if r < 1 {
+		r = 1
+	}
+	k := make([]float32, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+r] = float32(v)
+		sum += v
+	}
+	inv := float32(1 / sum)
+	for i := range k {
+		k[i] *= inv
+	}
+	return k
+}
+
+// GaussianBlur applies a separable Gaussian blur with standard deviation
+// sigma and replicate edge handling.
+func GaussianBlur(g *Gray, sigma float64) *Gray {
+	k := GaussianKernel(sigma)
+	return convolveSeparable(g, k)
+}
+
+// convolveSeparable applies the same odd-length 1-D kernel horizontally then
+// vertically with replicate edges.
+func convolveSeparable(g *Gray, k []float32) *Gray {
+	r := len(k) / 2
+	tmp := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		row := y * g.W
+		for x := 0; x < g.W; x++ {
+			var s float32
+			for i := -r; i <= r; i++ {
+				xi := x + i
+				if xi < 0 {
+					xi = 0
+				} else if xi >= g.W {
+					xi = g.W - 1
+				}
+				s += k[i+r] * g.Pix[row+xi]
+			}
+			tmp.Pix[row+x] = s
+		}
+	}
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var s float32
+			for i := -r; i <= r; i++ {
+				yi := y + i
+				if yi < 0 {
+					yi = 0
+				} else if yi >= g.H {
+					yi = g.H - 1
+				}
+				s += k[i+r] * tmp.Pix[yi*g.W+x]
+			}
+			out.Pix[y*g.W+x] = s
+		}
+	}
+	return out
+}
+
+// SobelMagnitude returns the gradient magnitude of g computed with 3×3 Sobel
+// operators (replicate edges).
+func SobelMagnitude(g *Gray) *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			p := func(dx, dy int) float32 { return g.AtClamped(x+dx, y+dy) }
+			gx := -p(-1, -1) - 2*p(-1, 0) - p(-1, 1) + p(1, -1) + 2*p(1, 0) + p(1, 1)
+			gy := -p(-1, -1) - 2*p(0, -1) - p(1, -1) + p(-1, 1) + 2*p(0, 1) + p(1, 1)
+			out.Pix[y*g.W+x] = float32(math.Sqrt(float64(gx*gx + gy*gy)))
+		}
+	}
+	return out
+}
+
+// Median3 applies a 3×3 median filter with replicate edges, used as a cheap
+// denoiser in the VR pre-processing block.
+func Median3(g *Gray) *Gray {
+	out := NewGray(g.W, g.H)
+	var w [9]float32
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			i := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					w[i] = g.AtClamped(x+dx, y+dy)
+					i++
+				}
+			}
+			out.Pix[y*g.W+x] = median9(&w)
+		}
+	}
+	return out
+}
+
+// median9 returns the median of nine values via partial insertion sort:
+// only the first five sorted positions are needed.
+func median9(w *[9]float32) float32 {
+	for i := 1; i < 9; i++ {
+		v := w[i]
+		j := i - 1
+		for j >= 0 && w[j] > v {
+			w[j+1] = w[j]
+			j--
+		}
+		w[j+1] = v
+	}
+	return w[4]
+}

@@ -1,0 +1,183 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoxFilterConstant(t *testing.T) {
+	g := NewGray(10, 10)
+	g.Fill(0.4)
+	out := BoxFilter(g, 3)
+	for _, v := range out.Pix {
+		if math.Abs(float64(v)-0.4) > 1e-6 {
+			t.Fatalf("box filter broke constant image: %v", v)
+		}
+	}
+}
+
+func TestBoxFilterZeroRadiusIsCopy(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(1)), 6, 6)
+	out := BoxFilter(g, 0)
+	if mad := g.MeanAbsDiff(out); mad != 0 {
+		t.Fatalf("r=0 box filter is not identity: %v", mad)
+	}
+	out.Set(0, 0, 99)
+	if g.At(0, 0) == 99 {
+		t.Fatal("r=0 box filter aliases input storage")
+	}
+}
+
+func TestBoxFilterMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomImage(rng, 12, 9)
+	r := 2
+	out := BoxFilter(g, r)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var s float64
+			var n int
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					xx, yy := x+dx, y+dy
+					if xx < 0 || yy < 0 || xx >= g.W || yy >= g.H {
+						continue
+					}
+					s += float64(g.At(xx, yy))
+					n++
+				}
+			}
+			want := s / float64(n)
+			if math.Abs(float64(out.At(x, y))-want) > 1e-5 {
+				t.Fatalf("box(%d,%d) = %v, want %v", x, y, out.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 2.5, 4} {
+		k := GaussianKernel(sigma)
+		if len(k)%2 == 0 {
+			t.Fatalf("sigma %v: even kernel length %d", sigma, len(k))
+		}
+		var sum float64
+		for _, v := range k {
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("sigma %v: kernel sum %v", sigma, sum)
+		}
+		// Symmetry.
+		for i := 0; i < len(k)/2; i++ {
+			if k[i] != k[len(k)-1-i] {
+				t.Fatalf("sigma %v: kernel not symmetric", sigma)
+			}
+		}
+	}
+}
+
+func TestGaussianKernelDegenerateSigma(t *testing.T) {
+	k := GaussianKernel(0)
+	if len(k) != 1 || k[0] != 1 {
+		t.Fatalf("sigma=0 kernel = %v, want [1]", k)
+	}
+}
+
+func TestGaussianBlurPreservesMean(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(3)), 40, 40)
+	out := GaussianBlur(g, 1.5)
+	// Replicate edges distort the mean slightly; interior mass is preserved.
+	if d := math.Abs(g.Mean() - out.Mean()); d > 0.01 {
+		t.Fatalf("gaussian blur mean drift %v", d)
+	}
+}
+
+func TestGaussianBlurReducesVariance(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(4)), 40, 40)
+	out := GaussianBlur(g, 2)
+	varOf := func(im *Gray) float64 {
+		m := im.Mean()
+		var s float64
+		for _, v := range im.Pix {
+			d := float64(v) - m
+			s += d * d
+		}
+		return s / float64(len(im.Pix))
+	}
+	if varOf(out) >= varOf(g)/2 {
+		t.Fatalf("blur did not reduce noise variance: %v -> %v", varOf(g), varOf(out))
+	}
+}
+
+func TestSobelFlatIsZeroAndEdgeIsStrong(t *testing.T) {
+	g := NewGray(16, 16)
+	g.Fill(0.5)
+	out := SobelMagnitude(g)
+	for _, v := range out.Pix {
+		if v != 0 {
+			t.Fatalf("sobel of flat image nonzero: %v", v)
+		}
+	}
+	// Vertical step edge at x=8.
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	out = SobelMagnitude(g)
+	if out.At(8, 8) < 1 {
+		t.Fatalf("edge response %v too weak", out.At(8, 8))
+	}
+	if out.At(2, 8) != 0 {
+		t.Fatalf("flat region response %v, want 0", out.At(2, 8))
+	}
+}
+
+func TestMedian3RemovesImpulse(t *testing.T) {
+	g := NewGray(9, 9)
+	g.Fill(0.5)
+	g.Set(4, 4, 1) // salt impulse
+	out := Median3(g)
+	if out.At(4, 4) != 0.5 {
+		t.Fatalf("median did not remove impulse: %v", out.At(4, 4))
+	}
+}
+
+func TestMedian3PreservesEdge(t *testing.T) {
+	g := NewGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	out := Median3(g)
+	if out.At(3, 4) != 0 || out.At(4, 4) != 1 {
+		t.Fatalf("median blurred the step edge: %v %v", out.At(3, 4), out.At(4, 4))
+	}
+}
+
+func TestMedian9Value(t *testing.T) {
+	w := [9]float32{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	if m := median9(&w); m != 5 {
+		t.Fatalf("median9 = %v, want 5", m)
+	}
+}
+
+func BenchmarkBoxFilter1MP(b *testing.B) {
+	g := randomImage(rand.New(rand.NewSource(1)), 1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoxFilter(g, 4)
+	}
+}
+
+func BenchmarkGaussianBlur1MP(b *testing.B) {
+	g := randomImage(rand.New(rand.NewSource(1)), 1024, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GaussianBlur(g, 1.5)
+	}
+}

@@ -1,0 +1,431 @@
+// Package img provides the image substrate used by every other package in
+// camsim: grayscale and RGB float32 images, Bayer-mosaic raw frames,
+// integral images, resampling, filtering, PNM I/O and simple drawing.
+//
+// Images store pixels in row-major order. Grayscale intensities are
+// conventionally in [0, 1] but nothing in the package enforces that range;
+// filters and metrics operate on arbitrary float32 data.
+package img
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gray is a single-channel float32 image in row-major order.
+type Gray struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewGray allocates a zero-filled W×H grayscale image.
+// It panics if either dimension is negative.
+func NewGray(w, h int) *Gray {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y). It panics on out-of-bounds access.
+func (g *Gray) At(x, y int) float32 { return g.Pix[y*g.W+x] }
+
+// Set writes the pixel at (x, y). It panics on out-of-bounds access.
+func (g *Gray) Set(x, y int, v float32) { g.Pix[y*g.W+x] = v }
+
+// AtClamped returns the pixel at (x, y) with coordinates clamped to the
+// image bounds, implementing "replicate" edge handling.
+func (g *Gray) AtClamped(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Clone returns a deep copy of the image.
+func (g *Gray) Clone() *Gray {
+	out := NewGray(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// Fill sets every pixel to v.
+func (g *Gray) Fill(v float32) {
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+}
+
+// Bounds reports whether (x, y) lies inside the image.
+func (g *Gray) Bounds(x, y int) bool {
+	return x >= 0 && y >= 0 && x < g.W && y < g.H
+}
+
+// SubImage copies the w×h region with top-left corner (x, y) into a new
+// image. The region is clipped to the source bounds; pixels outside the
+// source are replicated from the nearest edge so the result is always w×h.
+func (g *Gray) SubImage(x, y, w, h int) *Gray {
+	out := NewGray(w, h)
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			out.Pix[j*w+i] = g.AtClamped(x+i, y+j)
+		}
+	}
+	return out
+}
+
+// MinMax returns the minimum and maximum pixel values.
+// For an empty image it returns (0, 0).
+func (g *Gray) MinMax() (min, max float32) {
+	if len(g.Pix) == 0 {
+		return 0, 0
+	}
+	min, max = g.Pix[0], g.Pix[0]
+	for _, v := range g.Pix[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Mean returns the arithmetic mean of all pixels (0 for an empty image).
+func (g *Gray) Mean() float64 {
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range g.Pix {
+		s += float64(v)
+	}
+	return s / float64(len(g.Pix))
+}
+
+// Normalize linearly rescales the image so its values span [0, 1].
+// A constant image becomes all zeros.
+func (g *Gray) Normalize() {
+	min, max := g.MinMax()
+	span := max - min
+	if span == 0 {
+		for i := range g.Pix {
+			g.Pix[i] = 0
+		}
+		return
+	}
+	inv := 1 / span
+	for i, v := range g.Pix {
+		g.Pix[i] = (v - min) * inv
+	}
+}
+
+// Clamp01 clamps every pixel into [0, 1].
+func (g *Gray) Clamp01() {
+	for i, v := range g.Pix {
+		if v < 0 {
+			g.Pix[i] = 0
+		} else if v > 1 {
+			g.Pix[i] = 1
+		}
+	}
+}
+
+// AbsDiff returns the per-pixel absolute difference |g - o|.
+// It panics if the dimensions differ.
+func (g *Gray) AbsDiff(o *Gray) *Gray {
+	mustSameSize(g, o)
+	out := NewGray(g.W, g.H)
+	for i := range g.Pix {
+		d := g.Pix[i] - o.Pix[i]
+		if d < 0 {
+			d = -d
+		}
+		out.Pix[i] = d
+	}
+	return out
+}
+
+// MeanAbsDiff returns the mean absolute per-pixel difference between two
+// equal-size images.
+func (g *Gray) MeanAbsDiff(o *Gray) float64 {
+	mustSameSize(g, o)
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range g.Pix {
+		d := float64(g.Pix[i] - o.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(g.Pix))
+}
+
+func mustSameSize(a, b *Gray) {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("img: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+}
+
+// RGB is a three-channel interleaved float32 image (R, G, B per pixel).
+type RGB struct {
+	W, H int
+	Pix  []float32 // len == 3*W*H
+}
+
+// NewRGB allocates a zero-filled W×H RGB image.
+func NewRGB(w, h int) *RGB {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	return &RGB{W: w, H: h, Pix: make([]float32, 3*w*h)}
+}
+
+// At returns the (r, g, b) triple at (x, y).
+func (m *RGB) At(x, y int) (r, g, b float32) {
+	i := 3 * (y*m.W + x)
+	return m.Pix[i], m.Pix[i+1], m.Pix[i+2]
+}
+
+// Set writes the (r, g, b) triple at (x, y).
+func (m *RGB) Set(x, y int, r, g, b float32) {
+	i := 3 * (y*m.W + x)
+	m.Pix[i], m.Pix[i+1], m.Pix[i+2] = r, g, b
+}
+
+// Luma converts the image to grayscale using Rec. 601 luma weights.
+func (m *RGB) Luma() *Gray {
+	out := NewGray(m.W, m.H)
+	for p := 0; p < m.W*m.H; p++ {
+		i := 3 * p
+		out.Pix[p] = 0.299*m.Pix[i] + 0.587*m.Pix[i+1] + 0.114*m.Pix[i+2]
+	}
+	return out
+}
+
+// GrayToRGB expands a grayscale image into an RGB image with equal channels.
+func GrayToRGB(g *Gray) *RGB {
+	out := NewRGB(g.W, g.H)
+	for p, v := range g.Pix {
+		i := 3 * p
+		out.Pix[i], out.Pix[i+1], out.Pix[i+2] = v, v, v
+	}
+	return out
+}
+
+// BayerPattern identifies the 2×2 colour-filter-array layout of a raw frame.
+type BayerPattern int
+
+// Supported Bayer colour-filter layouts. The two letters name the first two
+// pixels of the even rows; e.g. RGGB has R at (0,0), G at (1,0), G at (0,1),
+// B at (1,1).
+const (
+	BayerRGGB BayerPattern = iota
+	BayerBGGR
+	BayerGRBG
+	BayerGBRG
+)
+
+func (p BayerPattern) String() string {
+	switch p {
+	case BayerRGGB:
+		return "RGGB"
+	case BayerBGGR:
+		return "BGGR"
+	case BayerGRBG:
+		return "GRBG"
+	case BayerGBRG:
+		return "GBRG"
+	}
+	return fmt.Sprintf("BayerPattern(%d)", int(p))
+}
+
+// Raw is a Bayer-mosaic sensor frame: one colour sample per pixel, stored as
+// unsigned integers of Bits precision (typically 10 or 12).
+type Raw struct {
+	W, H    int
+	Bits    int // sample precision in bits, 1..16
+	Pattern BayerPattern
+	Pix     []uint16
+}
+
+// NewRaw allocates a zero-filled raw frame with the given sample precision.
+func NewRaw(w, h, bits int, pattern BayerPattern) *Raw {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("img: invalid raw bit depth %d", bits))
+	}
+	return &Raw{W: w, H: h, Bits: bits, Pattern: pattern, Pix: make([]uint16, w*h)}
+}
+
+// MaxValue returns the largest representable sample (2^Bits − 1).
+func (r *Raw) MaxValue() uint16 { return uint16(1<<uint(r.Bits)) - 1 }
+
+// At returns the sample at (x, y).
+func (r *Raw) At(x, y int) uint16 { return r.Pix[y*r.W+x] }
+
+// Set writes the sample at (x, y), saturating at the frame's bit depth.
+func (r *Raw) Set(x, y int, v uint16) {
+	if max := r.MaxValue(); v > max {
+		v = max
+	}
+	r.Pix[y*r.W+x] = v
+}
+
+// ColorAt reports which colour channel (0=R, 1=G, 2=B) the CFA samples
+// at pixel (x, y).
+func (r *Raw) ColorAt(x, y int) int {
+	ex, ey := x&1, y&1
+	switch r.Pattern {
+	case BayerRGGB:
+		switch {
+		case ex == 0 && ey == 0:
+			return 0
+		case ex == 1 && ey == 1:
+			return 2
+		default:
+			return 1
+		}
+	case BayerBGGR:
+		switch {
+		case ex == 0 && ey == 0:
+			return 2
+		case ex == 1 && ey == 1:
+			return 0
+		default:
+			return 1
+		}
+	case BayerGRBG:
+		switch {
+		case ex == 1 && ey == 0:
+			return 0
+		case ex == 0 && ey == 1:
+			return 2
+		default:
+			return 1
+		}
+	case BayerGBRG:
+		switch {
+		case ex == 0 && ey == 1:
+			return 0
+		case ex == 1 && ey == 0:
+			return 2
+		default:
+			return 1
+		}
+	}
+	panic("img: unknown Bayer pattern")
+}
+
+// SizeBytes returns the number of bytes the frame occupies when packed at
+// its native bit depth (e.g. 12-bit samples pack 2 pixels into 3 bytes),
+// rounded up to a whole byte. This is the number used for communication-cost
+// accounting throughout camsim.
+func (r *Raw) SizeBytes() int64 {
+	bits := int64(r.W) * int64(r.H) * int64(r.Bits)
+	return (bits + 7) / 8
+}
+
+// Mosaic samples an RGB image through the CFA to produce a raw frame,
+// quantizing [0,1] channel values to the target bit depth. Values outside
+// [0, 1] are clamped.
+func Mosaic(m *RGB, bits int, pattern BayerPattern) *Raw {
+	out := NewRaw(m.W, m.H, bits, pattern)
+	maxV := float32(out.MaxValue())
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			r, g, b := m.At(x, y)
+			var v float32
+			switch out.ColorAt(x, y) {
+			case 0:
+				v = r
+			case 1:
+				v = g
+			default:
+				v = b
+			}
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			out.Pix[y*m.W+x] = uint16(v*maxV + 0.5)
+		}
+	}
+	return out
+}
+
+// Demosaic reconstructs an RGB image from a Bayer raw frame using bilinear
+// interpolation of the missing colour samples, returning channels in [0, 1].
+func Demosaic(r *Raw) *RGB {
+	out := NewRGB(r.W, r.H)
+	inv := 1 / float32(r.MaxValue())
+	at := func(x, y int) float32 {
+		if x < 0 {
+			x = 0
+		} else if x >= r.W {
+			x = r.W - 1
+		}
+		if y < 0 {
+			y = 0
+		} else if y >= r.H {
+			y = r.H - 1
+		}
+		return float32(r.Pix[y*r.W+x]) * inv
+	}
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			var rgb [3]float32
+			c := r.ColorAt(x, y)
+			rgb[c] = at(x, y)
+			switch c {
+			case 1: // green pixel: interpolate R and B from the axis neighbours
+				// Horizontal neighbours carry one of R/B, vertical the other.
+				hc := r.ColorAt(x+1, y)
+				vc := 2 - hc // the remaining non-green channel
+				if hc == 1 || vc == 1 {
+					// Degenerate at edges where ColorAt clamps; fall back to
+					// averaging all four neighbours for both channels.
+					avg := (at(x-1, y) + at(x+1, y) + at(x, y-1) + at(x, y+1)) / 4
+					rgb[0], rgb[2] = avg, avg
+				} else {
+					rgb[hc] = (at(x-1, y) + at(x+1, y)) / 2
+					rgb[vc] = (at(x, y-1) + at(x, y+1)) / 2
+				}
+			default: // red or blue pixel
+				other := 2 - c
+				rgb[1] = (at(x-1, y) + at(x+1, y) + at(x, y-1) + at(x, y+1)) / 4
+				rgb[other] = (at(x-1, y-1) + at(x+1, y-1) + at(x-1, y+1) + at(x+1, y+1)) / 4
+			}
+			out.Set(x, y, rgb[0], rgb[1], rgb[2])
+		}
+	}
+	return out
+}
+
+// GammaEncode applies the power-law transfer v^(1/gamma) to every pixel of a
+// copy of g (values clamped to non-negative first).
+func GammaEncode(g *Gray, gamma float64) *Gray {
+	out := NewGray(g.W, g.H)
+	inv := 1 / gamma
+	for i, v := range g.Pix {
+		if v < 0 {
+			v = 0
+		}
+		out.Pix[i] = float32(math.Pow(float64(v), inv))
+	}
+	return out
+}

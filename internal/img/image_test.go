@@ -1,0 +1,327 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGrayDimensions(t *testing.T) {
+	g := NewGray(7, 3)
+	if g.W != 7 || g.H != 3 || len(g.Pix) != 21 {
+		t.Fatalf("got %dx%d len %d", g.W, g.H, len(g.Pix))
+	}
+}
+
+func TestNewGrayPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimensions")
+		}
+	}()
+	NewGray(-1, 4)
+}
+
+func TestGraySetAt(t *testing.T) {
+	g := NewGray(4, 4)
+	g.Set(2, 3, 0.5)
+	if got := g.At(2, 3); got != 0.5 {
+		t.Fatalf("At(2,3) = %v, want 0.5", got)
+	}
+	if got := g.At(3, 2); got != 0 {
+		t.Fatalf("At(3,2) = %v, want 0", got)
+	}
+}
+
+func TestAtClampedEdges(t *testing.T) {
+	g := NewGray(3, 2)
+	for i := range g.Pix {
+		g.Pix[i] = float32(i)
+	}
+	cases := []struct {
+		x, y int
+		want float32
+	}{
+		{-5, 0, 0}, {0, -3, 0}, {10, 0, 2}, {0, 10, 3}, {10, 10, 5}, {1, 1, 4},
+	}
+	for _, c := range cases {
+		if got := g.AtClamped(c.x, c.y); got != c.want {
+			t.Errorf("AtClamped(%d,%d) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Set(0, 0, 1)
+	c := g.Clone()
+	c.Set(0, 0, 9)
+	if g.At(0, 0) != 1 {
+		t.Fatal("Clone shares pixel storage with original")
+	}
+}
+
+func TestSubImageClipsAndReplicates(t *testing.T) {
+	g := NewGray(3, 3)
+	for i := range g.Pix {
+		g.Pix[i] = float32(i)
+	}
+	s := g.SubImage(2, 2, 3, 3)
+	if s.W != 3 || s.H != 3 {
+		t.Fatalf("SubImage size %dx%d", s.W, s.H)
+	}
+	if s.At(0, 0) != g.At(2, 2) {
+		t.Errorf("corner = %v, want %v", s.At(0, 0), g.At(2, 2))
+	}
+	// Everything past the edge replicates the bottom-right source pixel.
+	if s.At(2, 2) != g.At(2, 2) {
+		t.Errorf("replicated pixel = %v, want %v", s.At(2, 2), g.At(2, 2))
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	g := NewGray(2, 2)
+	copy(g.Pix, []float32{1, -2, 3, 0})
+	min, max := g.MinMax()
+	if min != -2 || max != 3 {
+		t.Fatalf("MinMax = %v,%v", min, max)
+	}
+	if mean := g.Mean(); math.Abs(mean-0.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 0.5", mean)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	g := NewGray(1, 3)
+	copy(g.Pix, []float32{2, 4, 6})
+	g.Normalize()
+	want := []float32{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(float64(g.Pix[i]-want[i])) > 1e-6 {
+			t.Fatalf("Normalize: got %v, want %v", g.Pix, want)
+		}
+	}
+}
+
+func TestNormalizeConstantImage(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Fill(7)
+	g.Normalize()
+	for _, v := range g.Pix {
+		if v != 0 {
+			t.Fatalf("constant image should normalize to zeros, got %v", v)
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	g := NewGray(1, 3)
+	copy(g.Pix, []float32{-1, 0.5, 2})
+	g.Clamp01()
+	want := []float32{0, 0.5, 1}
+	for i := range want {
+		if g.Pix[i] != want[i] {
+			t.Fatalf("Clamp01: got %v, want %v", g.Pix, want)
+		}
+	}
+}
+
+func TestAbsDiffAndMeanAbsDiff(t *testing.T) {
+	a := NewGray(1, 2)
+	b := NewGray(1, 2)
+	copy(a.Pix, []float32{1, 3})
+	copy(b.Pix, []float32{2, 1})
+	d := a.AbsDiff(b)
+	if d.Pix[0] != 1 || d.Pix[1] != 2 {
+		t.Fatalf("AbsDiff = %v", d.Pix)
+	}
+	if mad := a.MeanAbsDiff(b); math.Abs(mad-1.5) > 1e-9 {
+		t.Fatalf("MeanAbsDiff = %v, want 1.5", mad)
+	}
+}
+
+func TestAbsDiffPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected size-mismatch panic")
+		}
+	}()
+	NewGray(2, 2).AbsDiff(NewGray(3, 2))
+}
+
+func TestRGBLumaWeights(t *testing.T) {
+	m := NewRGB(1, 1)
+	m.Set(0, 0, 1, 0, 0)
+	if got := m.Luma().At(0, 0); math.Abs(float64(got)-0.299) > 1e-6 {
+		t.Fatalf("red luma = %v, want 0.299", got)
+	}
+	m.Set(0, 0, 1, 1, 1)
+	if got := m.Luma().At(0, 0); math.Abs(float64(got)-1) > 1e-6 {
+		t.Fatalf("white luma = %v, want 1", got)
+	}
+}
+
+func TestGrayToRGBRoundTrip(t *testing.T) {
+	g := NewGray(3, 2)
+	for i := range g.Pix {
+		g.Pix[i] = float32(i) / 10
+	}
+	back := GrayToRGB(g).Luma()
+	if mad := g.MeanAbsDiff(back); mad > 1e-6 {
+		t.Fatalf("gray->rgb->luma drift %v", mad)
+	}
+}
+
+func TestBayerColorAtRGGB(t *testing.T) {
+	r := NewRaw(4, 4, 12, BayerRGGB)
+	want := map[[2]int]int{{0, 0}: 0, {1, 0}: 1, {0, 1}: 1, {1, 1}: 2}
+	for pos, c := range want {
+		if got := r.ColorAt(pos[0], pos[1]); got != c {
+			t.Errorf("ColorAt(%d,%d) = %d, want %d", pos[0], pos[1], got, c)
+		}
+	}
+}
+
+func TestBayerPatternsCoverAllChannels(t *testing.T) {
+	for _, p := range []BayerPattern{BayerRGGB, BayerBGGR, BayerGRBG, BayerGBRG} {
+		r := NewRaw(2, 2, 8, p)
+		seen := map[int]int{}
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				seen[r.ColorAt(x, y)]++
+			}
+		}
+		if seen[0] != 1 || seen[1] != 2 || seen[2] != 1 {
+			t.Errorf("%v: channel counts %v, want 1 R, 2 G, 1 B", p, seen)
+		}
+	}
+}
+
+func TestRawSetSaturates(t *testing.T) {
+	r := NewRaw(1, 1, 10, BayerRGGB)
+	r.Set(0, 0, 65535)
+	if got := r.At(0, 0); got != 1023 {
+		t.Fatalf("10-bit saturation: got %d, want 1023", got)
+	}
+}
+
+func TestRawSizeBytesPacked(t *testing.T) {
+	cases := []struct {
+		w, h, bits int
+		want       int64
+	}{
+		{3840, 2160, 12, 3840 * 2160 * 12 / 8},
+		{2, 1, 12, 3},
+		{1, 1, 12, 2}, // 12 bits round up to 2 bytes
+		{4, 4, 8, 16},
+	}
+	for _, c := range cases {
+		r := NewRaw(c.w, c.h, c.bits, BayerRGGB)
+		if got := r.SizeBytes(); got != c.want {
+			t.Errorf("SizeBytes(%dx%d@%d) = %d, want %d", c.w, c.h, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestMosaicDemosaicRoundTrip(t *testing.T) {
+	// A smooth image should survive mosaic→demosaic with small error.
+	rng := rand.New(rand.NewSource(1))
+	m := NewRGB(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			base := float32(x+y) / 64
+			m.Set(x, y, base, base*0.8, base*0.6+0.1)
+		}
+	}
+	_ = rng
+	raw := Mosaic(m, 12, BayerRGGB)
+	back := Demosaic(raw)
+	var maxErr float64
+	for y := 2; y < 30; y++ { // skip the border where interpolation degrades
+		for x := 2; x < 30; x++ {
+			r0, g0, b0 := m.At(x, y)
+			r1, g1, b1 := back.At(x, y)
+			for _, d := range []float32{r0 - r1, g0 - g1, b0 - b1} {
+				if e := math.Abs(float64(d)); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+	}
+	if maxErr > 0.02 {
+		t.Fatalf("smooth-image demosaic max error %v, want <= 0.02", maxErr)
+	}
+}
+
+func TestMosaicQuantizesToBitDepth(t *testing.T) {
+	m := NewRGB(2, 2)
+	m.Set(0, 0, 1, 1, 1)
+	raw := Mosaic(m, 10, BayerRGGB)
+	if got := raw.At(0, 0); got != 1023 {
+		t.Fatalf("full-scale red sample = %d, want 1023", got)
+	}
+}
+
+func TestDemosaicPreservesGrayWorld(t *testing.T) {
+	// Uniform gray input must demosaic back to the same gray everywhere.
+	m := NewRGB(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			m.Set(x, y, 0.5, 0.5, 0.5)
+		}
+	}
+	back := Demosaic(Mosaic(m, 12, BayerGRBG))
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			r, g, b := back.At(x, y)
+			for _, v := range []float32{r, g, b} {
+				if math.Abs(float64(v)-0.5) > 0.002 {
+					t.Fatalf("pixel (%d,%d) = %v,%v,%v; want 0.5", x, y, r, g, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGammaEncode(t *testing.T) {
+	g := NewGray(1, 2)
+	copy(g.Pix, []float32{0.25, -1})
+	out := GammaEncode(g, 2)
+	if math.Abs(float64(out.Pix[0])-0.5) > 1e-6 {
+		t.Fatalf("0.25^(1/2) = %v, want 0.5", out.Pix[0])
+	}
+	if out.Pix[1] != 0 {
+		t.Fatalf("negative input should clamp to 0, got %v", out.Pix[1])
+	}
+}
+
+func TestGammaEncodeIdentity(t *testing.T) {
+	// gamma=1 must be the identity for non-negative pixels (property test).
+	f := func(vals []float32) bool {
+		n := len(vals)
+		if n == 0 {
+			return true
+		}
+		g := NewGray(n, 1)
+		for i, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 0.5
+			}
+			g.Pix[i] = v
+		}
+		out := GammaEncode(g, 1)
+		for i := range g.Pix {
+			if math.Abs(float64(out.Pix[i]-g.Pix[i])) > 1e-5*math.Max(1, float64(g.Pix[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package img
+
+// Integral is a summed-area table over a grayscale image. Sum[y][x] holds
+// the sum of all pixels strictly above and to the left of (x, y), i.e. the
+// table has (W+1)×(H+1) entries and Sum(0, ·) = Sum(·, 0) = 0. Sums are kept
+// in float64 to stay exact for megapixel 8-bit data.
+type Integral struct {
+	W, H int
+	sum  []float64 // (W+1)*(H+1), row-major
+}
+
+// NewIntegral builds the summed-area table of g in a single pass.
+func NewIntegral(g *Gray) *Integral {
+	w, h := g.W, g.H
+	it := &Integral{W: w, H: h, sum: make([]float64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 0; y < h; y++ {
+		var rowSum float64
+		src := y * w
+		dst := (y + 1) * stride
+		prev := y * stride
+		for x := 0; x < w; x++ {
+			rowSum += float64(g.Pix[src+x])
+			it.sum[dst+x+1] = it.sum[prev+x+1] + rowSum
+		}
+	}
+	return it
+}
+
+// NewSquaredIntegral builds the summed-area table of the per-pixel squares
+// of g, used for fast windowed variance.
+func NewSquaredIntegral(g *Gray) *Integral {
+	w, h := g.W, g.H
+	it := &Integral{W: w, H: h, sum: make([]float64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 0; y < h; y++ {
+		var rowSum float64
+		src := y * w
+		dst := (y + 1) * stride
+		prev := y * stride
+		for x := 0; x < w; x++ {
+			v := float64(g.Pix[src+x])
+			rowSum += v * v
+			it.sum[dst+x+1] = it.sum[prev+x+1] + rowSum
+		}
+	}
+	return it
+}
+
+// Sum returns the sum of the w×h rectangle with top-left corner (x, y).
+// The rectangle must lie entirely inside the image.
+func (it *Integral) Sum(x, y, w, h int) float64 {
+	stride := it.W + 1
+	a := it.sum[y*stride+x]
+	b := it.sum[y*stride+x+w]
+	c := it.sum[(y+h)*stride+x]
+	d := it.sum[(y+h)*stride+x+w]
+	return d - b - c + a
+}
+
+// Mean returns the mean of the w×h rectangle with top-left corner (x, y).
+func (it *Integral) Mean(x, y, w, h int) float64 {
+	n := w * h
+	if n == 0 {
+		return 0
+	}
+	return it.Sum(x, y, w, h) / float64(n)
+}
+
+// WindowStats returns the mean and variance of the w×h rectangle at (x, y)
+// given the plain and squared integral images of the same source.
+func WindowStats(plain, squared *Integral, x, y, w, h int) (mean, variance float64) {
+	n := float64(w * h)
+	if n == 0 {
+		return 0, 0
+	}
+	s := plain.Sum(x, y, w, h)
+	s2 := squared.Sum(x, y, w, h)
+	mean = s / n
+	variance = s2/n - mean*mean
+	if variance < 0 { // numeric noise
+		variance = 0
+	}
+	return mean, variance
+}

@@ -1,0 +1,137 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSum computes a rectangle sum directly for cross-checking.
+func naiveSum(g *Gray, x, y, w, h int) float64 {
+	var s float64
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			s += float64(g.At(xx, yy))
+		}
+	}
+	return s
+}
+
+func randomImage(rng *rand.Rand, w, h int) *Gray {
+	g := NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float32()
+	}
+	return g
+}
+
+func TestIntegralMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomImage(rng, 17, 11)
+	it := NewIntegral(g)
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Intn(g.W)
+		y := rng.Intn(g.H)
+		w := 1 + rng.Intn(g.W-x)
+		h := 1 + rng.Intn(g.H-y)
+		got := it.Sum(x, y, w, h)
+		want := naiveSum(g, x, y, w, h)
+		if math.Abs(got-want) > 1e-4 {
+			t.Fatalf("Sum(%d,%d,%d,%d) = %v, want %v", x, y, w, h, got, want)
+		}
+	}
+}
+
+func TestIntegralFullImageEqualsTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomImage(rng, 31, 9)
+	it := NewIntegral(g)
+	want := g.Mean() * float64(g.W*g.H)
+	if got := it.Sum(0, 0, g.W, g.H); math.Abs(got-want) > 1e-4 {
+		t.Fatalf("full sum %v, want %v", got, want)
+	}
+}
+
+func TestIntegralZeroAreaRect(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(3)), 5, 5)
+	it := NewIntegral(g)
+	if s := it.Sum(2, 2, 0, 3); s != 0 {
+		t.Fatalf("zero-width sum = %v", s)
+	}
+	if s := it.Sum(2, 2, 3, 0); s != 0 {
+		t.Fatalf("zero-height sum = %v", s)
+	}
+	if m := it.Mean(1, 1, 0, 0); m != 0 {
+		t.Fatalf("zero-area mean = %v", m)
+	}
+}
+
+// TestIntegralAdditivity: the sum over a rectangle equals the sum of its
+// left and right halves — the defining property of a summed-area table.
+func TestIntegralAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomImage(rng, 24, 16)
+	it := NewIntegral(g)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := r.Intn(g.W - 1)
+		y := r.Intn(g.H)
+		w := 2 + r.Intn(g.W-x-1)
+		if x+w > g.W {
+			w = g.W - x
+		}
+		h := 1 + r.Intn(g.H-y)
+		split := 1 + r.Intn(w-1)
+		whole := it.Sum(x, y, w, h)
+		parts := it.Sum(x, y, split, h) + it.Sum(x+split, y, w-split, h)
+		return math.Abs(whole-parts) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquaredIntegralVariance(t *testing.T) {
+	g := NewGray(4, 1)
+	copy(g.Pix, []float32{1, 2, 3, 4})
+	plain := NewIntegral(g)
+	sq := NewSquaredIntegral(g)
+	mean, variance := WindowStats(plain, sq, 0, 0, 4, 1)
+	if math.Abs(mean-2.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 2.5", mean)
+	}
+	if math.Abs(variance-1.25) > 1e-9 {
+		t.Fatalf("variance = %v, want 1.25", variance)
+	}
+}
+
+func TestWindowStatsConstantImageHasZeroVariance(t *testing.T) {
+	g := NewGray(8, 8)
+	g.Fill(0.75)
+	plain := NewIntegral(g)
+	sq := NewSquaredIntegral(g)
+	_, variance := WindowStats(plain, sq, 1, 2, 5, 4)
+	if variance != 0 {
+		t.Fatalf("constant image variance = %v, want exactly 0 (clamped)", variance)
+	}
+}
+
+func TestWindowStatsZeroArea(t *testing.T) {
+	g := NewGray(4, 4)
+	plain := NewIntegral(g)
+	sq := NewSquaredIntegral(g)
+	mean, variance := WindowStats(plain, sq, 0, 0, 0, 0)
+	if mean != 0 || variance != 0 {
+		t.Fatalf("zero-area stats = %v, %v", mean, variance)
+	}
+}
+
+func BenchmarkIntegralBuild1MP(b *testing.B) {
+	g := randomImage(rand.New(rand.NewSource(1)), 1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIntegral(g)
+	}
+}

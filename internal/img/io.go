@@ -1,0 +1,200 @@
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePGM encodes g as a binary (P5) PGM file. Pixels are clamped to [0,1]
+// and quantized to 8 bits.
+func WritePGM(w io.Writer, g *Gray) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	buf := make([]byte, g.W)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.Pix[y*g.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			buf[x] = byte(v*255 + 0.5)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes g to path as a binary PGM file.
+func SavePGM(path string, g *Gray) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePGM(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPGM decodes a binary (P5) PGM stream into a grayscale image with
+// values scaled to [0, 1]. Both 8-bit and 16-bit maxval are supported.
+func ReadPGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("img: not a binary PGM (magic %q)", magic)
+	}
+	w, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxv, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 65535 {
+		return nil, fmt.Errorf("img: invalid PGM header %dx%d maxval %d", w, h, maxv)
+	}
+	g := NewGray(w, h)
+	inv := 1 / float32(maxv)
+	if maxv < 256 {
+		buf := make([]byte, w)
+		for y := 0; y < h; y++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("img: short PGM data: %w", err)
+			}
+			for x, b := range buf {
+				g.Pix[y*w+x] = float32(b) * inv
+			}
+		}
+	} else {
+		buf := make([]byte, 2*w)
+		for y := 0; y < h; y++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("img: short PGM data: %w", err)
+			}
+			for x := 0; x < w; x++ {
+				v := uint16(buf[2*x])<<8 | uint16(buf[2*x+1])
+				g.Pix[y*w+x] = float32(v) * inv
+			}
+		}
+	}
+	return g, nil
+}
+
+// WritePPM encodes m as a binary (P6) PPM file with 8-bit channels.
+func WritePPM(w io.Writer, m *RGB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", m.W, m.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 3*m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < 3*m.W; x++ {
+			v := m.Pix[y*3*m.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			buf[x] = byte(v*255 + 0.5)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPPM decodes a binary (P6) PPM stream with 8-bit channels into an RGB
+// image scaled to [0, 1].
+func ReadPPM(r io.Reader) (*RGB, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("img: not a binary PPM (magic %q)", magic)
+	}
+	w, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxv, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || maxv != 255 {
+		return nil, fmt.Errorf("img: unsupported PPM header %dx%d maxval %d", w, h, maxv)
+	}
+	m := NewRGB(w, h)
+	buf := make([]byte, 3*w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("img: short PPM data: %w", err)
+		}
+		for x := 0; x < 3*w; x++ {
+			m.Pix[y*3*w+x] = float32(buf[x]) / 255
+		}
+	}
+	return m, nil
+}
+
+// pnmToken reads the next whitespace-delimited token, skipping '#' comments.
+func pnmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pnmInt(br *bufio.Reader) (int, error) {
+	tok, err := pnmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(tok, "%d", &n); err != nil {
+		return 0, fmt.Errorf("img: bad PNM integer %q", tok)
+	}
+	return n, nil
+}

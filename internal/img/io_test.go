@@ -1,0 +1,131 @@
+package img
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(1)), 13, 7)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != g.W || back.H != g.H {
+		t.Fatalf("round trip size %dx%d", back.W, back.H)
+	}
+	// 8-bit quantization bounds the error by 1/510 + rounding.
+	if mad := g.MeanAbsDiff(back); mad > 1.0/255 {
+		t.Fatalf("round trip error %v", mad)
+	}
+}
+
+func TestPGMClampsOutOfRange(t *testing.T) {
+	g := NewGray(2, 1)
+	copy(g.Pix, []float32{-0.5, 1.5})
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Pix[0] != 0 || back.Pix[1] != 1 {
+		t.Fatalf("clamping failed: %v", back.Pix)
+	}
+}
+
+func TestReadPGMWithComments(t *testing.T) {
+	data := "P5\n# a comment line\n2 1\n# another\n255\n\x10\x20"
+	g, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != 2 || g.H != 1 {
+		t.Fatalf("size %dx%d", g.W, g.H)
+	}
+	if math.Abs(float64(g.Pix[0])-16.0/255) > 1e-6 {
+		t.Fatalf("pixel 0 = %v", g.Pix[0])
+	}
+}
+
+func TestReadPGM16Bit(t *testing.T) {
+	data := "P5\n1 1\n65535\n\x80\x00"
+	g, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(g.Pix[0])-0x8000/65535.0) > 1e-6 {
+		t.Fatalf("16-bit pixel = %v", g.Pix[0])
+	}
+}
+
+func TestReadPGMRejectsBadMagic(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P2\n1 1\n255\n0")); err == nil {
+		t.Fatal("accepted ASCII PGM")
+	}
+}
+
+func TestReadPGMRejectsTruncated(t *testing.T) {
+	if _, err := ReadPGM(strings.NewReader("P5\n4 4\n255\nab")); err == nil {
+		t.Fatal("accepted truncated pixel data")
+	}
+}
+
+func TestReadPGMRejectsBadHeader(t *testing.T) {
+	for _, hdr := range []string{"P5\n0 4\n255\n", "P5\n4 -1\n255\n", "P5\n4 4\n0\n", "P5\n4 4\n70000\n"} {
+		if _, err := ReadPGM(strings.NewReader(hdr)); err == nil {
+			t.Fatalf("accepted invalid header %q", hdr)
+		}
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewRGB(5, 4)
+	for i := range m.Pix {
+		m.Pix[i] = rng.Float32()
+	}
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != m.W || back.H != m.H {
+		t.Fatalf("round trip size %dx%d", back.W, back.H)
+	}
+	var maxErr float64
+	for i := range m.Pix {
+		if d := math.Abs(float64(m.Pix[i] - back.Pix[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1.0/255 {
+		t.Fatalf("round trip error %v", maxErr)
+	}
+}
+
+func TestReadPPMRejectsPGM(t *testing.T) {
+	if _, err := ReadPPM(strings.NewReader("P5\n1 1\n255\nx")); err == nil {
+		t.Fatal("ReadPPM accepted a PGM stream")
+	}
+}
+
+func TestSavePGMToTempDir(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(2)), 4, 4)
+	path := t.TempDir() + "/out.pgm"
+	if err := SavePGM(path, g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package img
+
+// ResizeBilinear resamples g to w×h using bilinear interpolation with
+// half-pixel-centre alignment. Upscaling and downscaling are both supported,
+// though heavy downscaling should use Downsample first to avoid aliasing.
+func ResizeBilinear(g *Gray, w, h int) *Gray {
+	out := NewGray(w, h)
+	if w == 0 || h == 0 || g.W == 0 || g.H == 0 {
+		return out
+	}
+	sx := float64(g.W) / float64(w)
+	sy := float64(g.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(fy)
+		if fy < 0 {
+			fy, y0 = 0, 0
+		}
+		if y0 >= g.H-1 {
+			y0 = g.H - 2
+			if y0 < 0 {
+				y0 = 0
+			}
+		}
+		wy := float32(fy - float64(y0))
+		if g.H == 1 {
+			wy = 0
+		}
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(fx)
+			if fx < 0 {
+				fx, x0 = 0, 0
+			}
+			if x0 >= g.W-1 {
+				x0 = g.W - 2
+				if x0 < 0 {
+					x0 = 0
+				}
+			}
+			wx := float32(fx - float64(x0))
+			if g.W == 1 {
+				wx = 0
+			}
+			x1, y1 := x0+1, y0+1
+			if x1 >= g.W {
+				x1 = g.W - 1
+			}
+			if y1 >= g.H {
+				y1 = g.H - 1
+			}
+			p00 := g.Pix[y0*g.W+x0]
+			p10 := g.Pix[y0*g.W+x1]
+			p01 := g.Pix[y1*g.W+x0]
+			p11 := g.Pix[y1*g.W+x1]
+			top := p00 + (p10-p00)*wx
+			bot := p01 + (p11-p01)*wx
+			out.Pix[y*w+x] = top + (bot-top)*wy
+		}
+	}
+	return out
+}
+
+// Downsample halves the image n times by 2×2 box averaging (each call to a
+// level rounds odd dimensions down; a 1-pixel dimension stays 1).
+func Downsample(g *Gray, levels int) *Gray {
+	cur := g
+	for l := 0; l < levels; l++ {
+		w, h := cur.W/2, cur.H/2
+		if w < 1 {
+			w = 1
+		}
+		if h < 1 {
+			h = 1
+		}
+		next := NewGray(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				x0, y0 := 2*x, 2*y
+				s := cur.AtClamped(x0, y0) + cur.AtClamped(x0+1, y0) +
+					cur.AtClamped(x0, y0+1) + cur.AtClamped(x0+1, y0+1)
+				next.Pix[y*w+x] = s / 4
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Pyramid returns levels+1 images: the original followed by `levels`
+// successive 2× box-filtered downsamplings.
+func Pyramid(g *Gray, levels int) []*Gray {
+	out := make([]*Gray, 0, levels+1)
+	out = append(out, g)
+	cur := g
+	for l := 0; l < levels; l++ {
+		cur = Downsample(cur, 1)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Translate shifts the image by (dx, dy) pixels (positive moves content
+// right/down) with replicate edge handling. Fractional shifts interpolate
+// bilinearly.
+func Translate(g *Gray, dx, dy float64) *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			out.Pix[y*g.W+x] = SampleBilinear(g, float64(x)-dx, float64(y)-dy)
+		}
+	}
+	return out
+}
+
+// SampleBilinear samples g at the continuous coordinate (fx, fy) using
+// bilinear interpolation with replicate edge handling.
+func SampleBilinear(g *Gray, fx, fy float64) float32 {
+	x0 := int(fastFloor(fx))
+	y0 := int(fastFloor(fy))
+	wx := float32(fx - float64(x0))
+	wy := float32(fy - float64(y0))
+	p00 := g.AtClamped(x0, y0)
+	p10 := g.AtClamped(x0+1, y0)
+	p01 := g.AtClamped(x0, y0+1)
+	p11 := g.AtClamped(x0+1, y0+1)
+	top := p00 + (p10-p00)*wx
+	bot := p01 + (p11-p01)*wx
+	return top + (bot-top)*wy
+}
+
+func fastFloor(v float64) float64 {
+	f := float64(int64(v))
+	if v < f {
+		f--
+	}
+	return f
+}

@@ -1,0 +1,159 @@
+package img
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestResizeBilinearIdentity(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(1)), 9, 7)
+	out := ResizeBilinear(g, 9, 7)
+	if mad := g.MeanAbsDiff(out); mad > 1e-6 {
+		t.Fatalf("identity resize drift %v", mad)
+	}
+}
+
+func TestResizeBilinearConstant(t *testing.T) {
+	g := NewGray(5, 5)
+	g.Fill(0.3)
+	for _, size := range [][2]int{{10, 10}, {3, 7}, {1, 1}, {13, 2}} {
+		out := ResizeBilinear(g, size[0], size[1])
+		for _, v := range out.Pix {
+			if math.Abs(float64(v)-0.3) > 1e-6 {
+				t.Fatalf("resize to %v broke constant image: %v", size, v)
+			}
+		}
+	}
+}
+
+func TestResizeBilinearPreservesMeanApprox(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(5)), 64, 64)
+	sm := GaussianBlur(g, 2) // smooth first so sampling error is small
+	out := ResizeBilinear(sm, 32, 32)
+	if d := math.Abs(sm.Mean() - out.Mean()); d > 0.02 {
+		t.Fatalf("mean drift %v after downscale", d)
+	}
+}
+
+func TestResizeBilinearGradient(t *testing.T) {
+	// A linear horizontal ramp stays linear under bilinear resampling.
+	g := NewGray(16, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 16; x++ {
+			g.Set(x, y, float32(x))
+		}
+	}
+	out := ResizeBilinear(g, 31, 4)
+	for x := 1; x < 30; x++ {
+		d1 := out.At(x, 1) - out.At(x-1, 1)
+		d2 := out.At(x+1, 1) - out.At(x, 1)
+		if x > 1 && x < 29 && math.Abs(float64(d1-d2)) > 1e-3 {
+			t.Fatalf("ramp not linear at x=%d: steps %v vs %v", x, d1, d2)
+		}
+	}
+}
+
+func TestResizeToZeroAndOne(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(2)), 8, 8)
+	if out := ResizeBilinear(g, 0, 5); out.W != 0 || out.H != 5 {
+		t.Fatal("zero-width resize wrong shape")
+	}
+	out := ResizeBilinear(g, 1, 1)
+	if out.W != 1 || out.H != 1 {
+		t.Fatal("1x1 resize wrong shape")
+	}
+}
+
+func TestDownsampleHalves(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(3)), 16, 12)
+	d := Downsample(g, 1)
+	if d.W != 8 || d.H != 6 {
+		t.Fatalf("downsample size %dx%d", d.W, d.H)
+	}
+	// 2x2 box average preserves the global mean exactly for even dims.
+	if diff := math.Abs(g.Mean() - d.Mean()); diff > 1e-5 {
+		t.Fatalf("mean drift %v", diff)
+	}
+}
+
+func TestDownsampleNeverBelowOne(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(4)), 5, 3)
+	d := Downsample(g, 10)
+	if d.W != 1 || d.H != 1 {
+		t.Fatalf("deep downsample size %dx%d, want 1x1", d.W, d.H)
+	}
+}
+
+func TestPyramidLevels(t *testing.T) {
+	g := randomImage(rand.New(rand.NewSource(6)), 32, 32)
+	p := Pyramid(g, 3)
+	if len(p) != 4 {
+		t.Fatalf("pyramid has %d levels, want 4", len(p))
+	}
+	wantW := []int{32, 16, 8, 4}
+	for i, im := range p {
+		if im.W != wantW[i] {
+			t.Fatalf("level %d width %d, want %d", i, im.W, wantW[i])
+		}
+	}
+	if p[0] != g {
+		t.Fatal("level 0 must be the original image")
+	}
+}
+
+func TestTranslateInteger(t *testing.T) {
+	g := NewGray(8, 8)
+	g.Set(3, 3, 1)
+	out := Translate(g, 2, 1)
+	if out.At(5, 4) != 1 {
+		t.Fatalf("pixel did not move to (5,4): %v", out.At(5, 4))
+	}
+	if out.At(3, 3) != 0 {
+		t.Fatalf("source pixel should be vacated, got %v", out.At(3, 3))
+	}
+}
+
+func TestTranslateFractionalInterpolates(t *testing.T) {
+	g := NewGray(8, 1)
+	g.Set(3, 0, 1)
+	out := Translate(g, 0.5, 0)
+	if math.Abs(float64(out.At(3, 0))-0.5) > 1e-6 || math.Abs(float64(out.At(4, 0))-0.5) > 1e-6 {
+		t.Fatalf("half-pixel shift: got %v and %v, want 0.5 each", out.At(3, 0), out.At(4, 0))
+	}
+}
+
+func TestTranslateRoundTrip(t *testing.T) {
+	g := GaussianBlur(randomImage(rand.New(rand.NewSource(8)), 32, 32), 1.5)
+	out := Translate(Translate(g, 3, -2), -3, 2)
+	// Interior pixels should return to their original values.
+	var maxErr float64
+	for y := 6; y < 26; y++ {
+		for x := 6; x < 26; x++ {
+			d := math.Abs(float64(g.At(x, y) - out.At(x, y)))
+			if d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	if maxErr > 1e-5 {
+		t.Fatalf("integer translate round trip error %v", maxErr)
+	}
+}
+
+func TestSampleBilinearCorners(t *testing.T) {
+	g := NewGray(2, 2)
+	copy(g.Pix, []float32{0, 1, 2, 3})
+	if v := SampleBilinear(g, 0, 0); v != 0 {
+		t.Fatalf("corner sample %v", v)
+	}
+	if v := SampleBilinear(g, 0.5, 0.5); math.Abs(float64(v)-1.5) > 1e-6 {
+		t.Fatalf("centre sample %v, want 1.5", v)
+	}
+	if v := SampleBilinear(g, -10, -10); v != 0 {
+		t.Fatalf("clamped sample %v, want 0", v)
+	}
+	if v := SampleBilinear(g, 10, 10); v != 3 {
+		t.Fatalf("clamped sample %v, want 3", v)
+	}
+}

@@ -1,0 +1,104 @@
+// Package motion implements the optional motion-detection block (B1) of
+// the paper's face-authentication pipeline (Fig. 2): a cheap per-pixel
+// change detector that gates the far more expensive face-detection and
+// NN-authentication blocks, reducing bandwidth and power on the mostly
+// static security-camera workload.
+package motion
+
+import (
+	"fmt"
+
+	"camsim/internal/img"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// Threshold is the per-pixel absolute difference that counts as change.
+	Threshold float32
+	// MinFraction is the fraction of changed pixels required to flag
+	// motion for the whole frame.
+	MinFraction float64
+	// Alpha is the exponential background-update rate in [0, 1];
+	// 0 freezes the background to the first frame (plain frame differencing
+	// against a static reference), higher values adapt to slow lighting
+	// drift. Typical: 0.05.
+	Alpha float32
+}
+
+// DefaultConfig returns thresholds tuned for the synthetic security trace:
+// tolerant of sensor noise and slow illumination drift, sensitive to
+// person-sized intrusions.
+func DefaultConfig() Config {
+	return Config{Threshold: 0.10, MinFraction: 0.004, Alpha: 0.05}
+}
+
+// Detector maintains an exponential running background model.
+type Detector struct {
+	cfg        Config
+	background *img.Gray
+	frames     int
+}
+
+// New creates a detector. The first frame passed to Step initializes the
+// background and always reports no motion.
+func New(cfg Config) *Detector {
+	if cfg.Threshold <= 0 || cfg.MinFraction < 0 || cfg.Alpha < 0 || cfg.Alpha > 1 {
+		panic(fmt.Sprintf("motion: invalid config %+v", cfg))
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Result reports one frame's motion decision.
+type Result struct {
+	Motion        bool
+	ChangedPixels int
+	Fraction      float64
+}
+
+// Step processes the next frame in the stream: it compares against the
+// background model, then folds the frame into the model.
+func (d *Detector) Step(frame *img.Gray) Result {
+	if d.background == nil {
+		d.background = frame.Clone()
+		d.frames = 1
+		return Result{}
+	}
+	if frame.W != d.background.W || frame.H != d.background.H {
+		panic(fmt.Sprintf("motion: frame size %dx%d, model %dx%d",
+			frame.W, frame.H, d.background.W, d.background.H))
+	}
+	d.frames++
+	changed := 0
+	for i, v := range frame.Pix {
+		diff := v - d.background.Pix[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > d.cfg.Threshold {
+			changed++
+		}
+	}
+	frac := float64(changed) / float64(len(frame.Pix))
+	// Background update after the comparison.
+	if d.cfg.Alpha > 0 {
+		a := d.cfg.Alpha
+		for i := range d.background.Pix {
+			d.background.Pix[i] += a * (frame.Pix[i] - d.background.Pix[i])
+		}
+	}
+	return Result{Motion: frac >= d.cfg.MinFraction, ChangedPixels: changed, Fraction: frac}
+}
+
+// Frames returns how many frames the detector has seen.
+func (d *Detector) Frames() int { return d.frames }
+
+// Reset clears the background model.
+func (d *Detector) Reset() {
+	d.background = nil
+	d.frames = 0
+}
+
+// PixelOps returns the per-frame arithmetic work (compare + conditional
+// update) in pixel operations, used by the energy accounting: roughly two
+// passes over the frame.
+func PixelOps(w, h int) int { return 2 * w * h }

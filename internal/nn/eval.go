@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"camsim/internal/synth"
+)
+
+// ToTrainSamples converts labelled chips to (input, target) pairs with
+// targets 0.9/0.1 (the saturating-sigmoid-friendly encoding FANN
+// documentation recommends over hard 0/1 targets).
+func ToTrainSamples(samples []synth.Sample) []TrainSample {
+	out := make([]TrainSample, len(samples))
+	for i, s := range samples {
+		t := 0.1
+		if s.Label {
+			t = 0.9
+		}
+		out[i] = TrainSample{Input: FlattenChip(s.Chip), Target: []float64{t}}
+	}
+	return out
+}
+
+// Confusion is a binary-classification confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Error returns the overall classification error rate.
+func (c Confusion) Error() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.FP+c.FN) / float64(n)
+}
+
+// MissRate returns FN/(TP+FN), the fraction of genuine target appearances
+// rejected — the security-critical number in the FA study.
+func (c Confusion) MissRate() float64 {
+	d := c.TP + c.FN
+	if d == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(d)
+}
+
+// FalseAcceptRate returns FP/(FP+TN), impostors accepted as the target.
+func (c Confusion) FalseAcceptRate() float64 {
+	d := c.FP + c.TN
+	if d == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(d)
+}
+
+// Evaluate classifies every labelled chip with a caller-supplied decision
+// function, accumulating a confusion matrix. Pass n.Predict on the float
+// network, or a quantized predictor from internal/fixed.
+func Evaluate(samples []synth.Sample, predict func([]float64) bool) Confusion {
+	var c Confusion
+	for _, s := range samples {
+		got := predict(FlattenChip(s.Chip))
+		switch {
+		case got && s.Label:
+			c.TP++
+		case got && !s.Label:
+			c.FP++
+		case !got && s.Label:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// magic identifies the camsim network serialization format.
+const magic = "CSNN"
+
+// Save serializes the network in a compact deterministic binary format.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(n.Sizes))); err != nil {
+		return err
+	}
+	for _, s := range n.Sizes {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s)); err != nil {
+			return err
+		}
+	}
+	for _, layer := range n.Weights {
+		if err := binary.Write(bw, binary.LittleEndian, layer); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a network produced by Save.
+func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("nn: bad magic %q", hdr)
+	}
+	var nl uint32
+	if err := binary.Read(br, binary.LittleEndian, &nl); err != nil {
+		return nil, err
+	}
+	if nl < 2 || nl > 64 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", nl)
+	}
+	sizes := make([]int, nl)
+	for i := range sizes {
+		var s uint32
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return nil, err
+		}
+		if s == 0 || s > 1<<20 {
+			return nil, fmt.Errorf("nn: implausible layer size %d", s)
+		}
+		sizes[i] = int(s)
+	}
+	n := &Network{Sizes: sizes}
+	n.Weights = make([][]float64, nl-1)
+	for l := 0; l < int(nl)-1; l++ {
+		w := make([]float64, (sizes[l]+1)*sizes[l+1])
+		if err := binary.Read(br, binary.LittleEndian, w); err != nil {
+			return nil, err
+		}
+		for _, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("nn: non-finite weight in stream")
+			}
+		}
+		n.Weights[l] = w
+	}
+	return n, nil
+}
+
+// EvaluateThreshold classifies chips with an explicit decision threshold
+// over a scoring function (the first output unit's activation), enabling
+// miss-rate / false-accept tradeoff sweeps. score must return a value in
+// [0, 1]; samples scoring above thr are accepted as the target.
+func EvaluateThreshold(samples []synth.Sample, score func([]float64) float64, thr float64) Confusion {
+	var c Confusion
+	for _, s := range samples {
+		got := score(FlattenChip(s.Chip)) > thr
+		switch {
+		case got && s.Label:
+			c.TP++
+		case got && !s.Label:
+			c.FP++
+		case !got && s.Label:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}

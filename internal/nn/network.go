@@ -1,0 +1,149 @@
+// Package nn implements the multilayer-perceptron substrate the paper
+// trains with the FANN library: fully-connected sigmoid networks, batch
+// RPROP and incremental backprop training, and the face-verification
+// evaluation protocol (90/10 split, single-target classification error).
+//
+// Training uses float64 throughout; quantized inference for the SNNAP-style
+// accelerator lives in internal/fixed.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"camsim/internal/img"
+)
+
+// Network is a fully-connected feed-forward network with sigmoid units on
+// every non-input layer. Weights[l] holds (Sizes[l]+1)×Sizes[l+1] values
+// laid out output-major: weight(l, j, i) = Weights[l][j*(Sizes[l]+1)+i],
+// with index Sizes[l] being unit j's bias.
+type Network struct {
+	Sizes   []int
+	Weights [][]float64
+}
+
+// New creates a network with the given layer sizes (at least two layers)
+// and weights initialized uniformly in [-r, r] with r = 1/sqrt(fanIn),
+// drawn from rng.
+func New(rng *rand.Rand, sizes ...int) *Network {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output layers")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer size %d", s))
+		}
+	}
+	n := &Network{Sizes: append([]int(nil), sizes...)}
+	n.Weights = make([][]float64, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, (in+1)*out)
+		r := 1 / math.Sqrt(float64(in))
+		for i := range w {
+			w[i] = (2*rng.Float64() - 1) * r
+		}
+		n.Weights[l] = w
+	}
+	return n
+}
+
+// Topology returns a compact "400-8-1"-style description.
+func (n *Network) Topology() string {
+	s := ""
+	for i, v := range n.Sizes {
+		if i > 0 {
+			s += "-"
+		}
+		s += fmt.Sprint(v)
+	}
+	return s
+}
+
+// NumWeights returns the total number of weights including biases.
+func (n *Network) NumWeights() int {
+	total := 0
+	for _, w := range n.Weights {
+		total += len(w)
+	}
+	return total
+}
+
+// NumMACs returns the multiply-accumulate operations per forward pass
+// (bias additions counted as one MAC each), the quantity the accelerator
+// energy model charges for.
+func (n *Network) NumMACs() int { return n.NumWeights() }
+
+// Sigmoid is the logistic activation used by every non-input unit.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs inference and returns the output activations. The input
+// length must equal the input layer size.
+func (n *Network) Forward(input []float64) []float64 {
+	acts := n.forwardActivations(input)
+	out := acts[len(acts)-1]
+	return append([]float64(nil), out...)
+}
+
+// forwardActivations returns the activation vector of every layer,
+// including the input layer (index 0).
+func (n *Network) forwardActivations(input []float64) [][]float64 {
+	if len(input) != n.Sizes[0] {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(input), n.Sizes[0]))
+	}
+	acts := make([][]float64, len(n.Sizes))
+	acts[0] = input
+	for l := 0; l < len(n.Weights); l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		w := n.Weights[l]
+		prev := acts[l]
+		cur := make([]float64, out)
+		for j := 0; j < out; j++ {
+			base := j * (in + 1)
+			sum := w[base+in] // bias
+			for i := 0; i < in; i++ {
+				sum += w[base+i] * prev[i]
+			}
+			cur[j] = Sigmoid(sum)
+		}
+		acts[l+1] = cur
+	}
+	return acts
+}
+
+// Predict returns true when the first output unit exceeds 0.5, the
+// binary-verification decision rule used throughout the FA case study.
+func (n *Network) Predict(input []float64) bool {
+	return n.Forward(input)[0] > 0.5
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{Sizes: append([]int(nil), n.Sizes...)}
+	c.Weights = make([][]float64, len(n.Weights))
+	for l, w := range n.Weights {
+		c.Weights[l] = append([]float64(nil), w...)
+	}
+	return c
+}
+
+// FlattenChip converts a grayscale chip into an input vector in [0, 1],
+// row-major, for use as NN input. The chip is contrast-normalized first
+// (zero mean, then shifted to 0.5 and clamped) so global illumination gain
+// does not dominate the features.
+func FlattenChip(g *img.Gray) []float64 {
+	out := make([]float64, len(g.Pix))
+	mean := g.Mean()
+	for i, v := range g.Pix {
+		x := float64(v) - mean + 0.5
+		if x < 0 {
+			x = 0
+		} else if x > 1 {
+			x = 1
+		}
+		out[i] = x
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camsim/internal/img"
+	"camsim/internal/synth"
+)
+
+func TestNewTopologyAndWeightCount(t *testing.T) {
+	n := New(rand.New(rand.NewSource(1)), 400, 8, 1)
+	if n.Topology() != "400-8-1" {
+		t.Fatalf("Topology = %q", n.Topology())
+	}
+	want := (400+1)*8 + (8+1)*1
+	if n.NumWeights() != want {
+		t.Fatalf("NumWeights = %d, want %d", n.NumWeights(), want)
+	}
+	if n.NumMACs() != want {
+		t.Fatalf("NumMACs = %d, want %d", n.NumMACs(), want)
+	}
+}
+
+func TestNewPanicsOnBadTopology(t *testing.T) {
+	for _, sizes := range [][]int{{5}, {4, 0, 1}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for sizes %v", sizes)
+				}
+			}()
+			New(rand.New(rand.NewSource(1)), sizes...)
+		}()
+	}
+}
+
+func TestForwardOutputRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := New(rng, 10, 5, 2)
+	in := make([]float64, 10)
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	out := n.Forward(in)
+	if len(out) != 2 {
+		t.Fatalf("output size %d", len(out))
+	}
+	for _, v := range out {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("sigmoid output out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestForwardPanicsOnWrongInputSize(t *testing.T) {
+	n := New(rand.New(rand.NewSource(1)), 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Forward(make([]float64, 3))
+}
+
+func TestForwardKnownWeights(t *testing.T) {
+	// 1-1 network: out = sigmoid(w*x + b).
+	n := &Network{Sizes: []int{1, 1}, Weights: [][]float64{{2, -1}}}
+	got := n.Forward([]float64{1.5})[0]
+	want := Sigmoid(2*1.5 - 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Forward = %v, want %v", got, want)
+	}
+}
+
+func TestSigmoidProperties(t *testing.T) {
+	if s := Sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("Sigmoid(0) = %v", s)
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := Sigmoid(x)
+		return s >= 0 && s <= 1 && math.Abs(Sigmoid(-x)-(1-s)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	n := New(rand.New(rand.NewSource(3)), 3, 2)
+	c := n.Clone()
+	c.Weights[0][0] += 100
+	if n.Weights[0][0] == c.Weights[0][0] {
+		t.Fatal("Clone shares weight storage")
+	}
+}
+
+// numericalGradCheck verifies backprop against finite differences.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := New(rng, 3, 4, 2)
+	s := TrainSample{
+		Input:  []float64{0.2, -0.5, 0.9},
+		Target: []float64{0.8, 0.3},
+	}
+	grads := n.newGradientBuffers()
+	n.accumulateGradients(s, grads)
+
+	loss := func() float64 {
+		out := n.Forward(s.Input)
+		var e float64
+		for j, o := range out {
+			d := o - s.Target[j]
+			e += d * d
+		}
+		return e / 2
+	}
+	const eps = 1e-6
+	for l := range n.Weights {
+		for i := 0; i < len(n.Weights[l]); i += 3 { // sample every third weight
+			orig := n.Weights[l][i]
+			n.Weights[l][i] = orig + eps
+			up := loss()
+			n.Weights[l][i] = orig - eps
+			down := loss()
+			n.Weights[l][i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-grads[l][i]) > 1e-6 {
+				t.Fatalf("layer %d weight %d: backprop %v vs numeric %v", l, i, grads[l][i], num)
+			}
+		}
+	}
+}
+
+func xorSamples() []TrainSample {
+	return []TrainSample{
+		{Input: []float64{0, 0}, Target: []float64{0.1}},
+		{Input: []float64{0, 1}, Target: []float64{0.9}},
+		{Input: []float64{1, 0}, Target: []float64{0.9}},
+		{Input: []float64{1, 1}, Target: []float64{0.1}},
+	}
+}
+
+func TestRPROPLearnsXOR(t *testing.T) {
+	n := New(rand.New(rand.NewSource(5)), 2, 4, 1)
+	mse := n.TrainRPROP(xorSamples(), DefaultRPROP(300))
+	if mse > 0.01 {
+		t.Fatalf("XOR MSE after RPROP = %v", mse)
+	}
+	for _, s := range xorSamples() {
+		got := n.Forward(s.Input)[0] > 0.5
+		want := s.Target[0] > 0.5
+		if got != want {
+			t.Fatalf("XOR(%v) = %v, want %v", s.Input, got, want)
+		}
+	}
+}
+
+func TestSGDLearnsXOR(t *testing.T) {
+	n := New(rand.New(rand.NewSource(6)), 2, 4, 1)
+	mse := n.TrainSGD(xorSamples(), SGDConfig{Epochs: 4000, LearningRate: 0.5, Momentum: 0.9})
+	if mse > 0.02 {
+		t.Fatalf("XOR MSE after SGD = %v", mse)
+	}
+}
+
+func TestRPROPDeterministic(t *testing.T) {
+	a := New(rand.New(rand.NewSource(7)), 2, 3, 1)
+	b := a.Clone()
+	a.TrainRPROP(xorSamples(), DefaultRPROP(50))
+	b.TrainRPROP(xorSamples(), DefaultRPROP(50))
+	for l := range a.Weights {
+		for i := range a.Weights[l] {
+			if a.Weights[l][i] != b.Weights[l][i] {
+				t.Fatal("RPROP training not deterministic")
+			}
+		}
+	}
+}
+
+func TestRPROPRejectsBadConfig(t *testing.T) {
+	n := New(rand.New(rand.NewSource(8)), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on eta+ <= 1")
+		}
+	}()
+	n.TrainRPROP(xorSamples(), RPROPConfig{Epochs: 1, EtaPlus: 0.9, EtaMinus: 0.5})
+}
+
+func TestTrainEmptySamplesNoop(t *testing.T) {
+	n := New(rand.New(rand.NewSource(9)), 2, 1)
+	if mse := n.TrainRPROP(nil, DefaultRPROP(10)); mse != 0 {
+		t.Fatalf("empty RPROP mse = %v", mse)
+	}
+	if mse := n.TrainSGD(nil, SGDConfig{Epochs: 10, LearningRate: 0.1}); mse != 0 {
+		t.Fatalf("empty SGD mse = %v", mse)
+	}
+}
+
+func TestFlattenChipNormalization(t *testing.T) {
+	g := img.NewGray(4, 4)
+	g.Fill(0.9) // constant bright chip -> all 0.5 after normalization
+	v := FlattenChip(g)
+	for _, x := range v {
+		if math.Abs(x-0.5) > 1e-6 {
+			t.Fatalf("flattened constant chip value %v, want 0.5", x)
+		}
+	}
+}
+
+func TestFlattenChipGainInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := img.NewGray(8, 8)
+	for i := range g.Pix {
+		g.Pix[i] = 0.3 + 0.2*rng.Float32()
+	}
+	shifted := g.Clone()
+	for i := range shifted.Pix {
+		shifted.Pix[i] += 0.15 // global illumination offset
+	}
+	a := FlattenChip(g)
+	b := FlattenChip(shifted)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-5 {
+			t.Fatalf("offset not removed at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestVerificationTrainingReachesPaperAccuracy(t *testing.T) {
+	// The paper's 400-8-1 network reaches ~5.9% error on LFW. On our
+	// synthetic stand-in with hard (unconstrained) captures we require
+	// error well below chance and miss rate below 15%.
+	rng := rand.New(rand.NewSource(11))
+	set := synth.BuildVerificationSet(rng, synth.VerificationConfig{
+		Size: 20, Positives: 150, Negatives: 150, Impostors: 20,
+		TrainFrac: 0.9, Hard: true, TargetSeed: 7,
+	})
+	n := New(rand.New(rand.NewSource(12)), 400, 8, 1)
+	n.TrainRPROP(ToTrainSamples(set.Train), DefaultRPROP(150))
+	c := Evaluate(set.Test, n.Predict)
+	if c.Error() > 0.15 {
+		t.Fatalf("verification test error %v too high (confusion %+v)", c.Error(), c)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if e := c.Error(); math.Abs(e-0.07) > 1e-12 {
+		t.Fatalf("Error = %v", e)
+	}
+	if m := c.MissRate(); math.Abs(m-5.0/13) > 1e-12 {
+		t.Fatalf("MissRate = %v", m)
+	}
+	if f := c.FalseAcceptRate(); math.Abs(f-2.0/87) > 1e-12 {
+		t.Fatalf("FalseAcceptRate = %v", f)
+	}
+	var zero Confusion
+	if zero.Error() != 0 || zero.MissRate() != 0 || zero.FalseAcceptRate() != 0 {
+		t.Fatal("zero confusion should yield zero rates")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n := New(rand.New(rand.NewSource(13)), 20, 6, 2)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Topology() != n.Topology() {
+		t.Fatalf("topology %q != %q", m.Topology(), n.Topology())
+	}
+	for l := range n.Weights {
+		for i := range n.Weights[l] {
+			if n.Weights[l][i] != m.Weights[l][i] {
+				t.Fatal("weights differ after round trip")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOPE0123456789"))); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	if _, err := Load(bytes.NewReader([]byte("CSNN"))); err == nil {
+		t.Fatal("accepted truncated stream")
+	}
+}
+
+func BenchmarkForward400_8_1(b *testing.B) {
+	n := New(rand.New(rand.NewSource(1)), 400, 8, 1)
+	in := make([]float64, 400)
+	for i := range in {
+		in[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Forward(in)
+	}
+}
+
+func BenchmarkTrainRPROPEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	set := synth.BuildVerificationSet(rng, synth.VerificationConfig{
+		Size: 20, Positives: 50, Negatives: 50, Impostors: 10, TargetSeed: 1,
+	})
+	samples := ToTrainSamples(set.Train)
+	n := New(rand.New(rand.NewSource(3)), 400, 8, 1)
+	cfg := DefaultRPROP(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.TrainRPROP(samples, cfg)
+	}
+}
+
+func TestEvaluateThresholdMonotone(t *testing.T) {
+	// Raising the acceptance threshold can only trade false accepts for
+	// misses: FP non-increasing, FN non-decreasing.
+	rng := rand.New(rand.NewSource(31))
+	set := synth.BuildVerificationSet(rng, synth.VerificationConfig{
+		Size: 20, Positives: 80, Negatives: 80, Impostors: 10, TargetSeed: 7,
+	})
+	n := New(rand.New(rand.NewSource(32)), 400, 8, 1)
+	n.TrainRPROP(ToTrainSamples(set.Train), DefaultRPROP(60))
+	score := func(in []float64) float64 { return n.Forward(in)[0] }
+	prevFP, prevFN := 1<<30, -1
+	for _, thr := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		c := EvaluateThreshold(set.Test, score, thr)
+		if c.FP > prevFP {
+			t.Fatalf("FP increased at thr %v", thr)
+		}
+		if c.FN < prevFN {
+			t.Fatalf("FN decreased at thr %v", thr)
+		}
+		prevFP, prevFN = c.FP, c.FN
+	}
+	// Threshold 0.5 must agree with Predict.
+	c05 := EvaluateThreshold(set.Test, score, 0.5)
+	cP := Evaluate(set.Test, n.Predict)
+	if c05 != cP {
+		t.Fatalf("threshold 0.5 (%+v) disagrees with Predict (%+v)", c05, cP)
+	}
+}

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainSample is one (input, target) pair; targets are per-output-unit
+// values in [0, 1].
+type TrainSample struct {
+	Input  []float64
+	Target []float64
+}
+
+// RPROPConfig holds the resilient-backpropagation hyperparameters
+// (Riedmiller & Braun defaults, the same algorithm FANN ships as its
+// default trainer).
+type RPROPConfig struct {
+	Epochs    int
+	EtaPlus   float64 // step increase factor (default 1.2)
+	EtaMinus  float64 // step decrease factor (default 0.5)
+	DeltaInit float64 // initial per-weight step (default 0.1)
+	DeltaMax  float64 // step ceiling (default 50)
+	DeltaMin  float64 // step floor (default 1e-6)
+	// MaxWeight clamps weights after every epoch (0 disables). Saturated
+	// sigmoid units have vanishing gradients, so unconstrained RPROP keeps
+	// pushing their weights by DeltaMax forever; capping them changes the
+	// network's behaviour negligibly while keeping the weight distribution
+	// representable in the accelerator's fixed-point formats.
+	MaxWeight float64
+}
+
+// DefaultRPROP returns the standard RPROP hyperparameters for the given
+// epoch budget, with the quantization-friendly ±8 weight cap.
+func DefaultRPROP(epochs int) RPROPConfig {
+	return RPROPConfig{
+		Epochs: epochs, EtaPlus: 1.2, EtaMinus: 0.5,
+		DeltaInit: 0.1, DeltaMax: 50, DeltaMin: 1e-6,
+		MaxWeight: 8,
+	}
+}
+
+// TrainRPROP trains the network with batch RPROP on the full sample set and
+// returns the mean squared error after the final epoch. Training is
+// deterministic given the initial weights and sample order.
+func (n *Network) TrainRPROP(samples []TrainSample, cfg RPROPConfig) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if cfg.EtaPlus <= 1 || cfg.EtaMinus <= 0 || cfg.EtaMinus >= 1 {
+		panic(fmt.Sprintf("nn: invalid RPROP factors eta+=%v eta-=%v", cfg.EtaPlus, cfg.EtaMinus))
+	}
+	grads := n.newGradientBuffers()
+	prevGrads := n.newGradientBuffers()
+	deltas := n.newGradientBuffers()
+	for l := range deltas {
+		for i := range deltas[l] {
+			deltas[l][i] = cfg.DeltaInit
+		}
+	}
+	var mse float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for l := range grads {
+			for i := range grads[l] {
+				grads[l][i] = 0
+			}
+		}
+		mse = 0
+		for _, s := range samples {
+			mse += n.accumulateGradients(s, grads)
+		}
+		mse /= float64(len(samples))
+		for l := range grads {
+			for i := range grads[l] {
+				g, pg := grads[l][i], prevGrads[l][i]
+				switch {
+				case g*pg > 0:
+					deltas[l][i] = math.Min(deltas[l][i]*cfg.EtaPlus, cfg.DeltaMax)
+					n.Weights[l][i] -= sign(g) * deltas[l][i]
+					prevGrads[l][i] = g
+				case g*pg < 0:
+					deltas[l][i] = math.Max(deltas[l][i]*cfg.EtaMinus, cfg.DeltaMin)
+					// iRPROP-: skip the update and forget the gradient so the
+					// next epoch takes the (possibly shrunk) step cleanly.
+					prevGrads[l][i] = 0
+				default:
+					n.Weights[l][i] -= sign(g) * deltas[l][i]
+					prevGrads[l][i] = g
+				}
+			}
+		}
+		if cfg.MaxWeight > 0 {
+			for l := range n.Weights {
+				for i, w := range n.Weights[l] {
+					if w > cfg.MaxWeight {
+						n.Weights[l][i] = cfg.MaxWeight
+					} else if w < -cfg.MaxWeight {
+						n.Weights[l][i] = -cfg.MaxWeight
+					}
+				}
+			}
+		}
+	}
+	return mse
+}
+
+// SGDConfig holds plain stochastic-gradient hyperparameters for the
+// incremental trainer.
+type SGDConfig struct {
+	Epochs       int
+	LearningRate float64
+	Momentum     float64
+}
+
+// TrainSGD trains with per-sample stochastic gradient descent in the given
+// sample order and returns the final epoch's mean squared error.
+func (n *Network) TrainSGD(samples []TrainSample, cfg SGDConfig) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	vel := n.newGradientBuffers()
+	grads := n.newGradientBuffers()
+	var mse float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		mse = 0
+		for _, s := range samples {
+			for l := range grads {
+				for i := range grads[l] {
+					grads[l][i] = 0
+				}
+			}
+			mse += n.accumulateGradients(s, grads)
+			for l := range grads {
+				for i := range grads[l] {
+					vel[l][i] = cfg.Momentum*vel[l][i] - cfg.LearningRate*grads[l][i]
+					n.Weights[l][i] += vel[l][i]
+				}
+			}
+		}
+		mse /= float64(len(samples))
+	}
+	return mse
+}
+
+// accumulateGradients backpropagates one sample, adding dE/dw (for squared
+// error E = Σ(o−t)²/2) into grads, and returns the sample's squared error.
+func (n *Network) accumulateGradients(s TrainSample, grads [][]float64) float64 {
+	acts := n.forwardActivations(s.Input)
+	L := len(n.Weights)
+	out := acts[L]
+	if len(s.Target) != len(out) {
+		panic(fmt.Sprintf("nn: target size %d, want %d", len(s.Target), len(out)))
+	}
+	// Output-layer delta: (o − t)·σ'(o).
+	delta := make([]float64, len(out))
+	var se float64
+	for j, o := range out {
+		e := o - s.Target[j]
+		se += e * e
+		delta[j] = e * o * (1 - o)
+	}
+	// Backward pass.
+	for l := L - 1; l >= 0; l-- {
+		in := n.Sizes[l]
+		outN := n.Sizes[l+1]
+		prev := acts[l]
+		w := n.Weights[l]
+		g := grads[l]
+		var nextDelta []float64
+		if l > 0 {
+			nextDelta = make([]float64, in)
+		}
+		for j := 0; j < outN; j++ {
+			base := j * (in + 1)
+			dj := delta[j]
+			for i := 0; i < in; i++ {
+				g[base+i] += dj * prev[i]
+				if l > 0 {
+					nextDelta[i] += dj * w[base+i]
+				}
+			}
+			g[base+in] += dj // bias
+		}
+		if l > 0 {
+			for i := 0; i < in; i++ {
+				a := prev[i]
+				nextDelta[i] *= a * (1 - a)
+			}
+			delta = nextDelta
+		}
+	}
+	return se / 2
+}
+
+func (n *Network) newGradientBuffers() [][]float64 {
+	out := make([][]float64, len(n.Weights))
+	for l, w := range n.Weights {
+		out[l] = make([]float64, len(w))
+	}
+	return out
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,153 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkFPS(t *testing.T) {
+	// 25 GbE = 3.125 GB/s; a 197.8 MB frame-set uploads at ~15.8 FPS.
+	fps := Ethernet25G.FPS(197_784_810)
+	if math.Abs(fps-15.8) > 0.05 {
+		t.Fatalf("sensor upload FPS = %v, want ~15.8", fps)
+	}
+	if Ethernet25G.FPS(0) != 0 {
+		t.Fatal("zero-byte payload should return 0, not Inf")
+	}
+}
+
+func TestLink400GScaling(t *testing.T) {
+	b := int64(100e6)
+	if r := Ethernet400G.FPS(b) / Ethernet25G.FPS(b); math.Abs(r-16) > 1e-9 {
+		t.Fatalf("400G/25G ratio %v, want 16", r)
+	}
+}
+
+func TestPaperThroughputAnchors(t *testing.T) {
+	tp := PaperThroughput()
+	cases := []struct {
+		d   Device
+		fps float64
+	}{
+		{CPU, 0.09}, {GPU, 5.27}, {FPGA, 31.6},
+	}
+	for _, c := range cases {
+		if got := tp.BlockFPS(3, c.d); got != c.fps {
+			t.Fatalf("B3 on %v = %v, want %v", c.d, got, c.fps)
+		}
+	}
+	// B1/B2/B4 run on the ARM cores regardless of the B3 device, and never
+	// bottleneck below 30 FPS.
+	for _, d := range []Device{CPU, GPU, FPGA} {
+		for _, b := range []int{1, 2, 4} {
+			if fps := tp.BlockFPS(b, d); fps < 30 {
+				t.Fatalf("block %d on %v = %v FPS — should not bottleneck", b, d, fps)
+			}
+		}
+	}
+	// Fig. 9 proportions: B2 takes 4x the time of B1 (20% vs 5%).
+	if r := tp.BlockFPS(1, CPU) / tp.BlockFPS(2, CPU); math.Abs(r-4) > 0.01 {
+		t.Fatalf("B1/B2 ratio %v, want 4", r)
+	}
+}
+
+func TestBlockFPSPanics(t *testing.T) {
+	tp := PaperThroughput()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp.BlockFPS(5, CPU)
+}
+
+func TestDeviceString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" || FPGA.String() != "FPGA" {
+		t.Fatal("device names wrong")
+	}
+	if Device(9).String() == "" {
+		t.Fatal("unknown device should still stringify")
+	}
+}
+
+func TestZynqTableI(t *testing.T) {
+	z := Zynq7020()
+	// The paper scales to 12 parallel compute units on the ZC702.
+	if max := z.MaxComputeUnits(); max != 12 {
+		t.Fatalf("Zynq max CUs = %d, want 12 (220 DSPs / 18 per CU)", max)
+	}
+	u := z.Utilization(12)
+	if math.Abs(u.LogicPct-45.91) > 0.5 {
+		t.Fatalf("Zynq logic %% = %v, want ~45.91", u.LogicPct)
+	}
+	if math.Abs(u.RAMPct-6.70) > 0.3 {
+		t.Fatalf("Zynq RAM %% = %v, want ~6.70", u.RAMPct)
+	}
+	// Paper reports 94.09% DSP; our 18-DSP/CU model gives 98.2% — the
+	// known deviation documented in EXPERIMENTS.md. Assert the model's own
+	// arithmetic.
+	if math.Abs(u.DSPPct-100*216.0/220) > 1e-9 {
+		t.Fatalf("Zynq DSP %% = %v", u.DSPPct)
+	}
+}
+
+func TestVirtexTableI(t *testing.T) {
+	v := VirtexUltraScalePlus()
+	// The paper projects 682 compute units on a top-of-the-line part.
+	if max := v.MaxComputeUnits(); max != 682 {
+		t.Fatalf("Virtex max CUs = %d, want 682", max)
+	}
+	u := v.Utilization(682)
+	if math.Abs(u.LogicPct-67.10) > 0.7 {
+		t.Fatalf("Virtex logic %% = %v, want ~67.10", u.LogicPct)
+	}
+	if math.Abs(u.RAMPct-17.60) > 0.5 {
+		t.Fatalf("Virtex RAM %% = %v, want ~17.60", u.RAMPct)
+	}
+	if math.Abs(u.DSPPct-99.90) > 0.15 {
+		t.Fatalf("Virtex DSP %% = %v, want ~99.9", u.DSPPct)
+	}
+}
+
+func TestUtilizationPanicsOutOfRange(t *testing.T) {
+	z := Zynq7020()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	z.Utilization(13)
+}
+
+func TestDepthFPSCalibration(t *testing.T) {
+	// 12 CUs at 125 MHz on the evaluation workload reproduce the measured
+	// 31.6 FPS within 2%.
+	z := Zynq7020()
+	fps := z.DepthFPS(12, EvalVerticesPerFrame, CalibratedCyclesPerVertex)
+	if math.Abs(fps-31.6)/31.6 > 0.02 {
+		t.Fatalf("calibrated FPGA depth FPS = %v, want ~31.6", fps)
+	}
+}
+
+func TestDepthFPSScalesWithCUs(t *testing.T) {
+	z := Zynq7020()
+	f6 := z.DepthFPS(6, EvalVerticesPerFrame, CalibratedCyclesPerVertex)
+	f12 := z.DepthFPS(12, EvalVerticesPerFrame, CalibratedCyclesPerVertex)
+	if math.Abs(f12/f6-2) > 1e-9 {
+		t.Fatalf("throughput not linear in CUs: %v vs %v", f6, f12)
+	}
+	if z.DepthFPS(0, EvalVerticesPerFrame, 1) != 0 {
+		t.Fatal("zero CUs should give zero FPS")
+	}
+}
+
+func TestVirtexSupports16CameraRealTime(t *testing.T) {
+	// The projection that motivates Table I: 682 CUs handle the 16-camera
+	// workload (8× the 2-camera evaluation) at ≥ 30 FPS.
+	v := VirtexUltraScalePlus()
+	vertices16 := EvalVerticesPerFrame * 8 // 16 pairwise pipelines vs 2
+	fps := v.DepthFPS(682, vertices16, CalibratedCyclesPerVertex)
+	if fps < 30 {
+		t.Fatalf("Virtex 16-camera depth FPS = %v, want >= 30", fps)
+	}
+}

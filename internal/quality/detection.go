@@ -1,0 +1,209 @@
+package quality
+
+import "sort"
+
+// Box is an axis-aligned detection rectangle with an optional confidence
+// score used for greedy matching order.
+type Box struct {
+	X, Y, W, H int
+	Score      float64
+}
+
+// IoU returns the intersection-over-union of two boxes (0 when disjoint
+// or either box is empty).
+func IoU(a, b Box) float64 {
+	ix0 := maxInt(a.X, b.X)
+	iy0 := maxInt(a.Y, b.Y)
+	ix1 := minInt(a.X+a.W, b.X+b.W)
+	iy1 := minInt(a.Y+a.H, b.Y+b.H)
+	iw := ix1 - ix0
+	ih := iy1 - iy0
+	if iw <= 0 || ih <= 0 {
+		return 0
+	}
+	inter := float64(iw * ih)
+	union := float64(a.W*a.H+b.W*b.H) - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// DetectionStats aggregates matching outcomes over one or more images.
+type DetectionStats struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Add accumulates another stats value into s.
+func (s *DetectionStats) Add(o DetectionStats) {
+	s.TruePositives += o.TruePositives
+	s.FalsePositives += o.FalsePositives
+	s.FalseNegatives += o.FalseNegatives
+}
+
+// Precision returns TP/(TP+FP), or 1 when there are no detections at all
+// (vacuous precision, the convention used for relative-accuracy plots).
+func (s DetectionStats) Precision() float64 {
+	d := s.TruePositives + s.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there is no ground truth.
+func (s DetectionStats) Recall() float64 {
+	d := s.TruePositives + s.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both are 0).
+func (s DetectionStats) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MatchDetections greedily matches predicted boxes to ground-truth boxes at
+// the given IoU threshold. Predictions are considered in decreasing score
+// order; each ground-truth box can be matched at most once. Unmatched
+// predictions are false positives, unmatched truths false negatives.
+func MatchDetections(pred, truth []Box, iouThreshold float64) DetectionStats {
+	order := make([]int, len(pred))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pred[order[a]].Score > pred[order[b]].Score })
+
+	used := make([]bool, len(truth))
+	var s DetectionStats
+	for _, pi := range order {
+		best := -1
+		bestIoU := iouThreshold
+		for ti := range truth {
+			if used[ti] {
+				continue
+			}
+			if v := IoU(pred[pi], truth[ti]); v >= bestIoU {
+				bestIoU = v
+				best = ti
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			s.TruePositives++
+		} else {
+			s.FalsePositives++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			s.FalseNegatives++
+		}
+	}
+	return s
+}
+
+// NonMaxSuppress keeps the highest-scoring boxes, removing any box whose IoU
+// with an already-kept box is at least overlap. Input order is not modified.
+func NonMaxSuppress(boxes []Box, overlap float64) []Box {
+	order := make([]int, len(boxes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return boxes[order[a]].Score > boxes[order[b]].Score })
+	var kept []Box
+	for _, i := range order {
+		b := boxes[i]
+		ok := true
+		for _, k := range kept {
+			if IoU(b, k) >= overlap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, b)
+		}
+	}
+	return kept
+}
+
+// MergeOverlapping clusters boxes with pairwise IoU ≥ overlap and returns
+// one averaged box per cluster, scored by the cluster size. Viola-Jones
+// style detectors use this to merge the multiple hits a true face produces.
+func MergeOverlapping(boxes []Box, overlap float64, minNeighbors int) []Box {
+	n := len(boxes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if IoU(boxes[i], boxes[j]) >= overlap {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	clusters := map[int][]Box{}
+	for i, b := range boxes {
+		r := find(i)
+		clusters[r] = append(clusters[r], b)
+	}
+	roots := make([]int, 0, len(clusters))
+	for r := range clusters {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots) // deterministic output order
+	var out []Box
+	for _, r := range roots {
+		c := clusters[r]
+		if len(c) < minNeighbors {
+			continue
+		}
+		var sx, sy, sw, sh, ss float64
+		for _, b := range c {
+			sx += float64(b.X)
+			sy += float64(b.Y)
+			sw += float64(b.W)
+			sh += float64(b.H)
+			ss += b.Score
+		}
+		k := float64(len(c))
+		out = append(out, Box{
+			X: int(sx/k + 0.5), Y: int(sy/k + 0.5),
+			W: int(sw/k + 0.5), H: int(sh/k + 0.5),
+			Score: float64(len(c)) + ss/k/1e6, // neighbours dominate, mean score tiebreaks
+		})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIoUIdentical(t *testing.T) {
+	b := Box{X: 1, Y: 2, W: 10, H: 10}
+	if v := IoU(b, b); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("IoU(b,b) = %v", v)
+	}
+}
+
+func TestIoUDisjointAndEmpty(t *testing.T) {
+	a := Box{X: 0, Y: 0, W: 4, H: 4}
+	b := Box{X: 10, Y: 10, W: 4, H: 4}
+	if v := IoU(a, b); v != 0 {
+		t.Fatalf("disjoint IoU = %v", v)
+	}
+	if v := IoU(a, Box{X: 0, Y: 0, W: 0, H: 5}); v != 0 {
+		t.Fatalf("empty-box IoU = %v", v)
+	}
+}
+
+func TestIoUHalfOverlap(t *testing.T) {
+	a := Box{X: 0, Y: 0, W: 4, H: 4}
+	b := Box{X: 2, Y: 0, W: 4, H: 4}
+	// intersection 8, union 24 -> 1/3
+	if v := IoU(a, b); math.Abs(v-1.0/3) > 1e-12 {
+		t.Fatalf("IoU = %v, want 1/3", v)
+	}
+}
+
+func TestIoUSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := Box{X: int(ax), Y: int(ay), W: int(aw), H: int(ah)}
+		b := Box{X: int(bx), Y: int(by), W: int(bw), H: int(bh)}
+		u, v := IoU(a, b), IoU(b, a)
+		return math.Abs(u-v) < 1e-12 && u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchDetectionsPerfect(t *testing.T) {
+	truth := []Box{{0, 0, 10, 10, 0}, {50, 50, 10, 10, 0}}
+	pred := []Box{{1, 1, 10, 10, 0.9}, {49, 50, 10, 10, 0.8}}
+	s := MatchDetections(pred, truth, 0.5)
+	if s.TruePositives != 2 || s.FalsePositives != 0 || s.FalseNegatives != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.F1() != 1 {
+		t.Fatalf("F1 = %v", s.F1())
+	}
+}
+
+func TestMatchDetectionsNoDoubleMatch(t *testing.T) {
+	truth := []Box{{0, 0, 10, 10, 0}}
+	pred := []Box{{0, 0, 10, 10, 0.9}, {1, 1, 10, 10, 0.5}}
+	s := MatchDetections(pred, truth, 0.5)
+	if s.TruePositives != 1 || s.FalsePositives != 1 {
+		t.Fatalf("double match: %+v", s)
+	}
+}
+
+func TestMatchDetectionsScoreOrdering(t *testing.T) {
+	// The higher-score prediction gets the ground truth.
+	truth := []Box{{0, 0, 10, 10, 0}}
+	pred := []Box{{2, 2, 10, 10, 0.2}, {0, 0, 10, 10, 0.9}}
+	s := MatchDetections(pred, truth, 0.5)
+	if s.TruePositives != 1 || s.FalsePositives != 1 || s.FalseNegatives != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMatchDetectionsMisses(t *testing.T) {
+	truth := []Box{{0, 0, 10, 10, 0}, {100, 100, 10, 10, 0}}
+	pred := []Box{{0, 0, 10, 10, 1}}
+	s := MatchDetections(pred, truth, 0.5)
+	if s.FalseNegatives != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r := s.Recall(); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("recall = %v", r)
+	}
+}
+
+func TestStatsVacuousConventions(t *testing.T) {
+	var s DetectionStats
+	if s.Precision() != 1 || s.Recall() != 1 {
+		t.Fatal("empty stats should have vacuous precision/recall of 1")
+	}
+	s = DetectionStats{FalsePositives: 3}
+	if s.Precision() != 0 {
+		t.Fatalf("precision = %v", s.Precision())
+	}
+	s = DetectionStats{FalseNegatives: 2}
+	if s.F1() != 0 {
+		t.Fatalf("F1 with zero precision+recall = %v", s.F1())
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := DetectionStats{1, 2, 3}
+	a.Add(DetectionStats{10, 20, 30})
+	if a != (DetectionStats{11, 22, 33}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestNonMaxSuppressKeepsBest(t *testing.T) {
+	boxes := []Box{
+		{0, 0, 10, 10, 0.5},
+		{1, 1, 10, 10, 0.9}, // overlaps first, higher score
+		{50, 50, 10, 10, 0.3},
+	}
+	kept := NonMaxSuppress(boxes, 0.3)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d boxes, want 2", len(kept))
+	}
+	if kept[0].Score != 0.9 {
+		t.Fatalf("best box not kept first: %+v", kept[0])
+	}
+}
+
+func TestNonMaxSuppressEmpty(t *testing.T) {
+	if kept := NonMaxSuppress(nil, 0.5); len(kept) != 0 {
+		t.Fatal("NMS of empty input should be empty")
+	}
+}
+
+func TestMergeOverlappingClusters(t *testing.T) {
+	boxes := []Box{
+		{10, 10, 20, 20, 1},
+		{12, 11, 20, 20, 1},
+		{11, 12, 20, 20, 1},
+		{100, 100, 20, 20, 1}, // lone box
+	}
+	merged := MergeOverlapping(boxes, 0.5, 2)
+	if len(merged) != 1 {
+		t.Fatalf("merged %d clusters, want 1 (lone box dropped by minNeighbors)", len(merged))
+	}
+	m := merged[0]
+	if m.X < 10 || m.X > 12 || m.Y < 10 || m.Y > 12 {
+		t.Fatalf("merged box position %+v", m)
+	}
+	if m.Score < 3 {
+		t.Fatalf("cluster-size score %v, want >= 3", m.Score)
+	}
+}
+
+func TestMergeOverlappingMinNeighborsOne(t *testing.T) {
+	boxes := []Box{{0, 0, 10, 10, 1}, {100, 0, 10, 10, 1}}
+	merged := MergeOverlapping(boxes, 0.5, 1)
+	if len(merged) != 2 {
+		t.Fatalf("merged %d, want 2", len(merged))
+	}
+}
+
+func TestMergeOverlappingDeterministic(t *testing.T) {
+	boxes := []Box{
+		{0, 0, 10, 10, 1}, {1, 0, 10, 10, 1},
+		{40, 0, 10, 10, 1}, {41, 0, 10, 10, 1},
+	}
+	a := MergeOverlapping(boxes, 0.5, 1)
+	b := MergeOverlapping(boxes, 0.5, 1)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic merge count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic merge order")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package quality implements the image-quality and detection-accuracy
+// metrics used in the paper's evaluation: SSIM and MS-SSIM (Wang et al.,
+// Asilomar 2003) for depth-map quality (Fig. 7), PSNR, and precision /
+// recall / F1 with IoU box matching for face detection (Fig. 4c).
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"camsim/internal/img"
+)
+
+// SSIM constants for data in [0, 1], following Wang et al.: C1=(K1·L)²,
+// C2=(K2·L)² with K1=0.01, K2=0.03, L=1.
+const (
+	ssimC1 = 0.01 * 0.01
+	ssimC2 = 0.03 * 0.03
+)
+
+// SSIM computes the mean structural-similarity index between two
+// equal-size images using an 8×8 sliding window (stride 1) and uniform
+// weighting. Inputs are expected in [0, 1]; the result is in [-1, 1]
+// with 1 meaning identical.
+func SSIM(a, b *img.Gray) float64 {
+	mean, _ := ssimComponents(a, b)
+	return mean
+}
+
+// SSIMAndContrast returns mean SSIM and the mean contrast-structure term
+// cs(x,y) = (2σxy + C2)/(σx²+σy²+C2), which MS-SSIM needs per scale.
+func SSIMAndContrast(a, b *img.Gray) (ssim, cs float64) {
+	return ssimComponents(a, b)
+}
+
+func ssimComponents(a, b *img.Gray) (ssim, cs float64) {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("quality: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	const win = 8
+	if a.W < win || a.H < win {
+		// Fall back to a single global window for tiny images.
+		return ssimWindowGlobal(a, b)
+	}
+	ia := img.NewIntegral(a)
+	ib := img.NewIntegral(b)
+	iaa := img.NewSquaredIntegral(a)
+	ibb := img.NewSquaredIntegral(b)
+	iab := integralProduct(a, b)
+
+	n := float64(win * win)
+	var sumS, sumCS float64
+	var count int
+	for y := 0; y+win <= a.H; y++ {
+		for x := 0; x+win <= a.W; x++ {
+			sa := ia.Sum(x, y, win, win)
+			sb := ib.Sum(x, y, win, win)
+			saa := iaa.Sum(x, y, win, win)
+			sbb := ibb.Sum(x, y, win, win)
+			sab := iab.Sum(x, y, win, win)
+			mua := sa / n
+			mub := sb / n
+			va := saa/n - mua*mua
+			vb := sbb/n - mub*mub
+			if va < 0 {
+				va = 0
+			}
+			if vb < 0 {
+				vb = 0
+			}
+			cov := sab/n - mua*mub
+			l := (2*mua*mub + ssimC1) / (mua*mua + mub*mub + ssimC1)
+			c := (2*cov + ssimC2) / (va + vb + ssimC2)
+			sumS += l * c
+			sumCS += c
+			count++
+		}
+	}
+	return sumS / float64(count), sumCS / float64(count)
+}
+
+// ssimWindowGlobal evaluates SSIM over the whole (small) image as one window.
+func ssimWindowGlobal(a, b *img.Gray) (ssim, cs float64) {
+	n := float64(len(a.Pix))
+	if n == 0 {
+		return 1, 1
+	}
+	var sa, sb, saa, sbb, sab float64
+	for i := range a.Pix {
+		x := float64(a.Pix[i])
+		y := float64(b.Pix[i])
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	mua, mub := sa/n, sb/n
+	va := saa/n - mua*mua
+	vb := sbb/n - mub*mub
+	if va < 0 {
+		va = 0
+	}
+	if vb < 0 {
+		vb = 0
+	}
+	cov := sab/n - mua*mub
+	l := (2*mua*mub + ssimC1) / (mua*mua + mub*mub + ssimC1)
+	c := (2*cov + ssimC2) / (va + vb + ssimC2)
+	return l * c, c
+}
+
+// integralProduct builds the summed-area table of the per-pixel product a·b.
+func integralProduct(a, b *img.Gray) *img.Integral {
+	prod := img.NewGray(a.W, a.H)
+	for i := range a.Pix {
+		prod.Pix[i] = a.Pix[i] * b.Pix[i]
+	}
+	return img.NewIntegral(prod)
+}
+
+// msSSIMWeights are the five per-scale exponents from Wang et al. (2003).
+var msSSIMWeights = []float64{0.0448, 0.2856, 0.3001, 0.2363, 0.1333}
+
+// MSSSIM computes multi-scale SSIM over up to five dyadic scales. The
+// contrast-structure term is taken at every scale and the luminance term
+// only at the coarsest, each raised to the standard exponents. Fewer scales
+// are used (with renormalized weights) if the image is too small to halve
+// five times while keeping an 8-pixel window.
+func MSSSIM(a, b *img.Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("quality: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	scales := len(msSSIMWeights)
+	// Determine how many scales the image supports (window of 8 minimum).
+	maxScales := 1
+	w, h := a.W, a.H
+	for maxScales < scales && w/2 >= 8 && h/2 >= 8 {
+		w, h = w/2, h/2
+		maxScales++
+	}
+	weights := msSSIMWeights[:maxScales]
+	var wsum float64
+	for _, v := range weights {
+		wsum += v
+	}
+
+	ca, cb := a, b
+	result := 1.0
+	for s := 0; s < maxScales; s++ {
+		ssim, cs := ssimComponents(ca, cb)
+		wnorm := weights[s] / wsum
+		if s == maxScales-1 {
+			// Luminance·contrast at the coarsest scale.
+			result *= signedPow(ssim, wnorm)
+		} else {
+			result *= signedPow(cs, wnorm)
+			ca = img.Downsample(ca, 1)
+			cb = img.Downsample(cb, 1)
+		}
+	}
+	return result
+}
+
+// signedPow computes sign(v)·|v|^p, keeping MS-SSIM defined when a scale's
+// contrast term is slightly negative on adversarial inputs.
+func signedPow(v, p float64) float64 {
+	if v >= 0 {
+		return math.Pow(v, p)
+	}
+	return -math.Pow(-v, p)
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two equal-size
+// images with peak value 1.0. Identical images return +Inf.
+func PSNR(a, b *img.Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("quality: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i] - b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(mse)
+}

@@ -1,0 +1,149 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"camsim/internal/img"
+)
+
+func randomImage(seed int64, w, h int) *img.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := img.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float32()
+	}
+	return g
+}
+
+func TestSSIMIdenticalIsOne(t *testing.T) {
+	g := randomImage(1, 32, 32)
+	if s := SSIM(g, g.Clone()); math.Abs(s-1) > 1e-5 {
+		t.Fatalf("SSIM(x,x) = %v, want 1", s)
+	}
+}
+
+func TestSSIMDecreasesWithNoise(t *testing.T) {
+	base := img.GaussianBlur(randomImage(2, 64, 64), 2)
+	rng := rand.New(rand.NewSource(3))
+	addNoise := func(g *img.Gray, sigma float32) *img.Gray {
+		out := g.Clone()
+		for i := range out.Pix {
+			out.Pix[i] += sigma * float32(rng.NormFloat64())
+		}
+		return out
+	}
+	sSmall := SSIM(base, addNoise(base, 0.02))
+	sLarge := SSIM(base, addNoise(base, 0.2))
+	if !(sSmall > sLarge) {
+		t.Fatalf("SSIM not monotone in noise: small %v, large %v", sSmall, sLarge)
+	}
+	if sSmall < 0.5 {
+		t.Fatalf("tiny noise dropped SSIM too far: %v", sSmall)
+	}
+}
+
+func TestSSIMSymmetric(t *testing.T) {
+	a := randomImage(4, 40, 40)
+	b := randomImage(5, 40, 40)
+	if d := math.Abs(SSIM(a, b) - SSIM(b, a)); d > 1e-12 {
+		t.Fatalf("SSIM asymmetry %v", d)
+	}
+}
+
+func TestSSIMTinyImageFallback(t *testing.T) {
+	a := randomImage(6, 5, 5)
+	if s := SSIM(a, a.Clone()); math.Abs(s-1) > 1e-5 {
+		t.Fatalf("tiny-image SSIM(x,x) = %v", s)
+	}
+	b := randomImage(7, 5, 5)
+	if s := SSIM(a, b); s >= 1 {
+		t.Fatalf("tiny-image SSIM of different images = %v, want < 1", s)
+	}
+}
+
+func TestSSIMPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SSIM(img.NewGray(8, 8), img.NewGray(9, 8))
+}
+
+func TestMSSSIMIdenticalIsOne(t *testing.T) {
+	g := randomImage(8, 128, 128)
+	if s := MSSSIM(g, g.Clone()); math.Abs(s-1) > 1e-5 {
+		t.Fatalf("MSSSIM(x,x) = %v, want 1", s)
+	}
+}
+
+func TestMSSSIMOrdersDegradations(t *testing.T) {
+	base := img.GaussianBlur(randomImage(9, 128, 128), 3)
+	blur1 := img.GaussianBlur(base, 1)
+	blur2 := img.GaussianBlur(base, 4)
+	s1 := MSSSIM(base, blur1)
+	s2 := MSSSIM(base, blur2)
+	if !(s1 > s2) {
+		t.Fatalf("MS-SSIM not monotone in blur: %v vs %v", s1, s2)
+	}
+}
+
+func TestMSSSIMSmallImageUsesFewerScales(t *testing.T) {
+	// 16x16 supports exactly 2 scales; must not panic and must be ~1 for
+	// identical inputs.
+	g := randomImage(10, 16, 16)
+	if s := MSSSIM(g, g.Clone()); math.Abs(s-1) > 1e-5 {
+		t.Fatalf("small MSSSIM(x,x) = %v", s)
+	}
+}
+
+func TestMSSSIMWithinBounds(t *testing.T) {
+	a := randomImage(11, 64, 64)
+	b := randomImage(12, 64, 64)
+	s := MSSSIM(a, b)
+	if s > 1 || s < -1 || math.IsNaN(s) {
+		t.Fatalf("MSSSIM out of range: %v", s)
+	}
+}
+
+func TestPSNRInfiniteForIdentical(t *testing.T) {
+	g := randomImage(13, 16, 16)
+	if !math.IsInf(PSNR(g, g.Clone()), 1) {
+		t.Fatal("PSNR of identical images should be +Inf")
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := img.NewGray(10, 10)
+	b := img.NewGray(10, 10)
+	b.Fill(0.1) // MSE = 0.01 -> PSNR = 20 dB
+	if p := PSNR(a, b); math.Abs(p-20) > 1e-5 {
+		t.Fatalf("PSNR = %v, want 20", p)
+	}
+}
+
+func TestSignedPowNegativeBase(t *testing.T) {
+	if v := signedPow(-0.25, 0.5); math.Abs(v+0.5) > 1e-12 {
+		t.Fatalf("signedPow(-0.25, 0.5) = %v, want -0.5", v)
+	}
+}
+
+func BenchmarkSSIM256(b *testing.B) {
+	x := randomImage(1, 256, 256)
+	y := randomImage(2, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SSIM(x, y)
+	}
+}
+
+func BenchmarkMSSSIM256(b *testing.B) {
+	x := randomImage(1, 256, 256)
+	y := randomImage(2, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MSSSIM(x, y)
+	}
+}

@@ -1,0 +1,264 @@
+// Package rig generates the synthetic multi-camera workload that replaces
+// the paper's 16×4K VR camera rig: a layered world scene with known depth
+// per layer, rendered from a row of cameras whose views (a) pan across the
+// world to tile a panorama and (b) alternate between two lateral positions
+// one stereo baseline apart, so adjacent cameras form rectified stereo
+// pairs with exact ground-truth disparity — the planar equivalent of a
+// Google Jump-style ring of paired cameras.
+package rig
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"camsim/internal/img"
+	"camsim/internal/synth"
+)
+
+// Layer is one depth plane of the world: either the background plane or a
+// textured elliptical object.
+type Layer struct {
+	Depth      float64 // world depth; parallax shift = FocalPx·camX/Depth
+	CX, CY     float64 // object centre in world coordinates (pixels)
+	RX, RY     float64 // object radii
+	Tone       float32 // base intensity
+	TexAmp     float32 // texture modulation amplitude
+	TexFreq    float64 // texture frequency
+	TexSeed    uint32
+	Background bool // background layers ignore CX/CY/RX/RY and fill everything
+}
+
+// Scene is a stack of layers ordered far to near.
+type Scene struct {
+	Layers  []Layer // sorted by decreasing depth (far first)
+	FocalPx float64 // focal length in pixels: disparity = FocalPx·baseline/depth
+	WorldH  float64 // world height in pixels
+}
+
+// SceneConfig parameterizes NewScene.
+type SceneConfig struct {
+	Objects  int     // number of foreground objects
+	WorldW   float64 // world extent in pixels that objects are spread over
+	WorldH   float64
+	MinDepth float64 // nearest object depth
+	MaxDepth float64 // background depth
+	FocalPx  float64
+}
+
+// DefaultSceneConfig covers a panorama of total width worldW. With
+// FocalPx 64 and depths in [8, 64], a baseline b yields disparities in
+// [b, 8b] pixels.
+func DefaultSceneConfig(worldW, worldH float64, objects int) SceneConfig {
+	return SceneConfig{
+		Objects:  objects,
+		WorldW:   worldW,
+		WorldH:   worldH,
+		MinDepth: 8,
+		MaxDepth: 64,
+		FocalPx:  64,
+	}
+}
+
+// NewScene builds a random layered scene.
+func NewScene(rng *rand.Rand, cfg SceneConfig) *Scene {
+	if cfg.MinDepth <= 0 || cfg.MaxDepth <= cfg.MinDepth {
+		panic(fmt.Sprintf("rig: invalid depth range [%v, %v]", cfg.MinDepth, cfg.MaxDepth))
+	}
+	s := &Scene{FocalPx: cfg.FocalPx, WorldH: cfg.WorldH}
+	s.Layers = append(s.Layers, Layer{
+		Depth: cfg.MaxDepth, Tone: 0.45, TexAmp: 0.25,
+		TexFreq: 3, TexSeed: rng.Uint32(), Background: true,
+	})
+	for i := 0; i < cfg.Objects; i++ {
+		depth := cfg.MinDepth + rng.Float64()*(cfg.MaxDepth*0.7-cfg.MinDepth)
+		s.Layers = append(s.Layers, Layer{
+			Depth:   depth,
+			CX:      rng.Float64() * cfg.WorldW,
+			CY:      cfg.WorldH * (0.15 + 0.7*rng.Float64()),
+			RX:      cfg.WorldH * (0.06 + 0.18*rng.Float64()),
+			RY:      cfg.WorldH * (0.06 + 0.18*rng.Float64()),
+			Tone:    0.2 + 0.6*rng.Float32(),
+			TexAmp:  0.15 + 0.2*rng.Float32(),
+			TexFreq: 4 + 8*rng.Float64(),
+			TexSeed: rng.Uint32(),
+		})
+	}
+	// Far to near so the painter's algorithm is a simple forward pass.
+	sort.SliceStable(s.Layers, func(a, b int) bool { return s.Layers[a].Depth > s.Layers[b].Depth })
+	return s
+}
+
+// layerShade returns the layer's texture intensity at world position (wx, wy).
+func layerShade(l *Layer, wx, wy float64) float32 {
+	t := synth.FractalNoise(wx/97.3, wy/97.3, l.TexFreq, 3, l.TexSeed)
+	return l.Tone + l.TexAmp*(t-0.5)*2
+}
+
+// topLayerAt returns the index of the topmost (nearest) layer covering view
+// pixel (x, y) for a camera with pan offset panX and lateral position camX.
+// Layers are far-to-near, so the last hit wins.
+func (s *Scene) topLayerAt(panX, camX float64, x, y int) int {
+	top := 0 // background always covers
+	for li := 1; li < len(s.Layers); li++ {
+		l := &s.Layers[li]
+		shift := panX + camX*s.FocalPx/l.Depth
+		dx := (float64(x) + shift - l.CX) / l.RX
+		dy := (float64(y) - l.CY) / l.RY
+		if dx*dx+dy*dy <= 1 {
+			top = li
+		}
+	}
+	return top
+}
+
+// Render draws the w×h view with pan offset panX (pure rotation analogue:
+// shifts every layer equally) and lateral camera position camX (parallax:
+// near layers shift more).
+func (s *Scene) Render(panX, camX float64, w, h int) *img.Gray {
+	out := img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			li := s.topLayerAt(panX, camX, x, y)
+			l := &s.Layers[li]
+			shift := panX + camX*s.FocalPx/l.Depth
+			out.Pix[y*w+x] = clamp01(layerShade(l, float64(x)+shift, float64(y)))
+		}
+	}
+	return out
+}
+
+// GTDisparity returns the exact stereo disparity map d = baseline·FocalPx/depth
+// evaluated in the view at (panX, camX) — the parallax between this camera
+// and one displaced by +baseline with the same pan.
+func (s *Scene) GTDisparity(panX, camX, baseline float64, w, h int) *img.Gray {
+	out := img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			l := &s.Layers[s.topLayerAt(panX, camX, x, y)]
+			out.Pix[y*w+x] = float32(baseline * s.FocalPx / l.Depth)
+		}
+	}
+	return out
+}
+
+// MaxDisparity returns the largest possible disparity for a baseline.
+func (s *Scene) MaxDisparity(baseline float64) float64 {
+	minDepth := math.Inf(1)
+	for _, l := range s.Layers {
+		if l.Depth < minDepth {
+			minDepth = l.Depth
+		}
+	}
+	return baseline * s.FocalPx / minDepth
+}
+
+// Rig is a row of cameras over a shared scene. Camera i pans to
+// panX = i·PanSpacing and sits at lateral position (i mod 2)·Baseline, so
+// cameras (0,1), (2,3), … are stereo pairs sharing most of their view,
+// while successive pans tile the panorama.
+type Rig struct {
+	Scene      *Scene
+	Cameras    int
+	PanSpacing float64 // pan offset between adjacent cameras
+	Baseline   float64 // stereo baseline within a pair
+	ViewW      int
+	ViewH      int
+}
+
+// NewRig builds a rig of n cameras (n even, ≥ 2) with view size
+// viewW×viewH, adjacent-view overlap fraction (0, 1), and stereo baseline
+// in world units.
+func NewRig(rng *rand.Rand, n, viewW, viewH int, overlap, baseline float64) *Rig {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("rig: camera count %d must be even and >= 2", n))
+	}
+	if overlap <= 0 || overlap >= 1 {
+		panic(fmt.Sprintf("rig: overlap %v out of (0,1)", overlap))
+	}
+	if baseline <= 0 {
+		panic("rig: baseline must be positive")
+	}
+	spacing := float64(viewW) * (1 - overlap)
+	worldW := float64(n)*spacing + float64(viewW)*2
+	cfg := DefaultSceneConfig(worldW, float64(viewH), 3*n)
+	return &Rig{
+		Scene:      NewScene(rng, cfg),
+		Cameras:    n,
+		PanSpacing: spacing,
+		Baseline:   baseline,
+		ViewW:      viewW,
+		ViewH:      viewH,
+	}
+}
+
+// PanX returns camera i's pan offset; CamX its lateral position.
+func (r *Rig) PanX(i int) float64 { return float64(i) * r.PanSpacing }
+
+// CamX returns camera i's lateral (baseline) position.
+func (r *Rig) CamX(i int) float64 { return float64(i%2) * r.Baseline }
+
+// View renders camera i's frame.
+func (r *Rig) View(i int) *img.Gray {
+	r.checkCam(i)
+	return r.Scene.Render(r.PanX(i), r.CamX(i), r.ViewW, r.ViewH)
+}
+
+// Pair returns the stereo pair formed by cameras i and i+1 for even i,
+// rectified to a common pan (the right view is rendered at the left
+// camera's pan, as the alignment block would produce), plus the exact
+// ground-truth disparity of the left view.
+func (r *Rig) Pair(i int) (left, right, gt *img.Gray) {
+	r.checkCam(i)
+	r.checkCam(i + 1)
+	if i%2 != 0 {
+		panic(fmt.Sprintf("rig: stereo pairs start at even cameras, got %d", i))
+	}
+	left = r.View(i)
+	right = r.Scene.Render(r.PanX(i), r.Baseline, r.ViewW, r.ViewH)
+	gt = r.Scene.GTDisparity(r.PanX(i), 0, r.Baseline, r.ViewW, r.ViewH)
+	return left, right, gt
+}
+
+// RawPair returns the unrectified adjacent views (i, i+1) — what the
+// alignment block (B2) receives, differing by PanSpacing plus parallax.
+func (r *Rig) RawPair(i int) (*img.Gray, *img.Gray) {
+	r.checkCam(i)
+	r.checkCam(i + 1)
+	return r.View(i), r.View(i + 1)
+}
+
+// MaxDisparity returns the rig's largest pairwise disparity, rounded up
+// with one pixel of headroom.
+func (r *Rig) MaxDisparity() int {
+	return int(math.Ceil(r.Scene.MaxDisparity(r.Baseline))) + 1
+}
+
+// PanoramaWidth returns the width of the full stitched panorama.
+func (r *Rig) PanoramaWidth() int {
+	return int(float64(r.Cameras-1)*r.PanSpacing) + r.ViewW
+}
+
+// ReferencePanorama renders the ground-truth panorama: the scene viewed
+// from the pair-left lateral position with the full panoramic width (what
+// an ideal parallax-compensated stitch reconstructs).
+func (r *Rig) ReferencePanorama() *img.Gray {
+	return r.Scene.Render(0, 0, r.PanoramaWidth(), r.ViewH)
+}
+
+func (r *Rig) checkCam(i int) {
+	if i < 0 || i >= r.Cameras {
+		panic(fmt.Sprintf("rig: camera %d out of range [0,%d)", i, r.Cameras))
+	}
+}
+
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+package rig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"camsim/internal/img"
+)
+
+func newTestRig(seed int64) *Rig {
+	return NewRig(rand.New(rand.NewSource(seed)), 4, 128, 64, 0.75, 3)
+}
+
+func TestNewRigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fn := range []func(){
+		func() { NewRig(rng, 3, 64, 64, 0.5, 3) },  // odd camera count
+		func() { NewRig(rng, 4, 64, 64, 0, 3) },    // bad overlap
+		func() { NewRig(rng, 4, 64, 64, 1.5, 3) },  // bad overlap
+		func() { NewRig(rng, 4, 64, 64, 0.5, -1) }, // bad baseline
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSceneDeterministicRender(t *testing.T) {
+	r := newTestRig(2)
+	a := r.View(1)
+	b := r.View(1)
+	if a.MeanAbsDiff(b) != 0 {
+		t.Fatal("View not deterministic")
+	}
+}
+
+func TestViewsHaveTexture(t *testing.T) {
+	r := newTestRig(3)
+	for i := 0; i < r.Cameras; i++ {
+		v := r.View(i)
+		min, max := v.MinMax()
+		if max-min < 0.1 {
+			t.Fatalf("camera %d view nearly flat: [%v, %v]", i, min, max)
+		}
+	}
+}
+
+func TestAdjacentViewsOverlap(t *testing.T) {
+	// With 75% overlap, shifting view i by PanSpacing should roughly match
+	// view i+2 (same lateral position, pure pan).
+	r := newTestRig(4)
+	v0 := r.View(0)
+	v2 := r.View(2)
+	shift := int(2 * r.PanSpacing)
+	var diff float64
+	var n int
+	for y := 0; y < r.ViewH; y++ {
+		for x := 0; x < r.ViewW-shift; x++ {
+			d := math.Abs(float64(v0.At(x+shift, y) - v2.At(x, y)))
+			diff += d
+			n++
+		}
+	}
+	if avg := diff / float64(n); avg > 0.02 {
+		t.Fatalf("pan-shifted views differ by %v on average — overlap geometry broken", avg)
+	}
+}
+
+func TestPairEpipolarGeometry(t *testing.T) {
+	// For every pixel, left(x) should match right(x − d) with d from the
+	// ground-truth disparity, up to occlusion boundaries.
+	r := newTestRig(5)
+	left, right, gt := r.Pair(0)
+	var diff float64
+	var n int
+	for y := 2; y < r.ViewH-2; y++ {
+		for x := 30; x < r.ViewW-2; x++ {
+			d := float64(gt.At(x, y))
+			xr := float64(x) - d
+			if xr < 0 {
+				continue
+			}
+			diff += math.Abs(float64(left.At(x, y)) - float64(img.SampleBilinear(right, xr, float64(y))))
+			n++
+		}
+	}
+	if avg := diff / float64(n); avg > 0.05 {
+		t.Fatalf("epipolar reprojection error %v — disparity ground truth inconsistent", avg)
+	}
+}
+
+func TestPairRequiresEvenIndex(t *testing.T) {
+	r := newTestRig(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Pair(1)
+}
+
+func TestGTDisparityWithinBounds(t *testing.T) {
+	r := newTestRig(7)
+	_, _, gt := r.Pair(2)
+	maxD := float32(r.MaxDisparity())
+	min, max := gt.MinMax()
+	if min <= 0 {
+		t.Fatalf("disparity min %v must be positive (background has finite depth)", min)
+	}
+	if max > maxD {
+		t.Fatalf("disparity max %v exceeds MaxDisparity %v", max, maxD)
+	}
+	// Background disparity = baseline·focal/maxDepth = 3·64/64 = 3.
+	if math.Abs(float64(min)-3) > 0.5 {
+		t.Fatalf("background disparity %v, want ~3", min)
+	}
+}
+
+func TestGTDisparityHasDepthVariation(t *testing.T) {
+	r := newTestRig(8)
+	_, _, gt := r.Pair(0)
+	min, max := gt.MinMax()
+	if max-min < 1 {
+		t.Fatalf("scene has no depth variation in pair 0: [%v, %v] — objects missing?", min, max)
+	}
+}
+
+func TestRawPairDiffersByPan(t *testing.T) {
+	r := newTestRig(9)
+	a, b := r.RawPair(0)
+	if a.MeanAbsDiff(b) < 0.001 {
+		t.Fatal("raw adjacent views are identical — pan missing")
+	}
+}
+
+func TestPanoramaWidthAndReference(t *testing.T) {
+	r := newTestRig(10)
+	want := int(3*r.PanSpacing) + 128
+	if r.PanoramaWidth() != want {
+		t.Fatalf("PanoramaWidth = %d, want %d", r.PanoramaWidth(), want)
+	}
+	p := r.ReferencePanorama()
+	if p.W != want || p.H != 64 {
+		t.Fatalf("reference panorama %dx%d", p.W, p.H)
+	}
+	// The reference panorama's left edge equals camera 0's view where no
+	// parallax objects differ (both rendered at camX=0, panX=0).
+	v0 := r.View(0)
+	var diff float64
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 128; x++ {
+			diff += math.Abs(float64(p.At(x, y) - v0.At(x, y)))
+		}
+	}
+	if avg := diff / (64 * 128); avg > 1e-6 {
+		t.Fatalf("panorama left edge differs from camera 0 view by %v", avg)
+	}
+}
+
+func TestCameraIndexBounds(t *testing.T) {
+	r := newTestRig(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.View(4)
+}
+
+func TestMaxDisparityHeadroom(t *testing.T) {
+	r := newTestRig(12)
+	// Max disparity is baseline·focal/minSampledDepth + 1 headroom: above
+	// the background's 3 px, at most the theoretical 3·64/8 + 1 = 25.
+	got := r.MaxDisparity()
+	if got <= 3 || got > 25 {
+		t.Fatalf("MaxDisparity = %d, want in (3, 25]", got)
+	}
+	// And it must indeed bound the ground truth of every pair.
+	for i := 0; i < r.Cameras; i += 2 {
+		_, _, gt := r.Pair(i)
+		if _, max := gt.MinMax(); max > float32(got) {
+			t.Fatalf("pair %d disparity %v exceeds MaxDisparity %d", i, max, got)
+		}
+	}
+}
+
+func TestSceneInvalidDepthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScene(rand.New(rand.NewSource(1)), SceneConfig{MinDepth: 5, MaxDepth: 5})
+}
+
+func BenchmarkRenderView(b *testing.B) {
+	r := newTestRig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.View(1)
+	}
+}

@@ -1,0 +1,221 @@
+// Package snnap simulates the paper's SNNAP-style neural-network
+// accelerator (§III-A, Fig. 3): a single processing unit containing a
+// configurable chain of fixed-point processing elements (PEs) with local
+// weight SRAMs, a shared LUT sigmoid unit, operand FIFOs, and a vertically
+// micro-coded sequencer.
+//
+// The simulator is schedule-exact: it derives per-layer wave schedules,
+// counts every MAC, SRAM read, FIFO transfer, sigmoid lookup and sequencer
+// cycle, and charges the event energies from internal/energy. Numerical
+// behaviour (what the accelerator computes) lives in internal/fixed; this
+// package answers how long it takes and what it costs.
+package snnap
+
+import (
+	"fmt"
+
+	"camsim/internal/energy"
+	"camsim/internal/fixed"
+)
+
+// Schedule selects how input activations are issued to the PE chain.
+type Schedule int
+
+const (
+	// ScheduleBroadcast drives each input to every PE in the same cycle
+	// over the shared bus (the design evaluated in the paper).
+	ScheduleBroadcast Schedule = iota
+	// ScheduleStaggered skews inputs through the PE chain systolically,
+	// adding a P-cycle fill/drain per wave but relaxing bus fan-out.
+	// Kept as an ablation of the paper's design choice.
+	ScheduleStaggered
+)
+
+func (s Schedule) String() string {
+	if s == ScheduleStaggered {
+		return "staggered"
+	}
+	return "broadcast"
+}
+
+// Config describes one accelerator design point.
+type Config struct {
+	PEs      int     // number of processing elements (the geometry knob)
+	Bits     int     // datapath width: 4, 8 or 16
+	FreqHz   float64 // clock (paper fixes 30 MHz)
+	Schedule Schedule
+	// FillCycles is the per-wave pipeline fill overhead (weight address
+	// setup, first-operand latency). Defaults to 4 when zero.
+	FillCycles int
+}
+
+// DefaultConfig returns the paper's selected design point: 8 PEs, 8-bit
+// datapath, 30 MHz, broadcast schedule.
+func DefaultConfig() Config {
+	return Config{PEs: 8, Bits: 8, FreqHz: 30e6, FillCycles: 4}
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%dPE/%db@%.0fMHz/%s", c.PEs, c.Bits, c.FreqHz/1e6, c.Schedule)
+}
+
+// EnergyBreakdown itemizes where an inference's energy went.
+type EnergyBreakdown struct {
+	MAC, WeightRead, FIFO, Sigmoid, Sequencer, Clock, Leakage energy.Energy
+}
+
+// Total sums the breakdown.
+func (b EnergyBreakdown) Total() energy.Energy {
+	return b.MAC + b.WeightRead + b.FIFO + b.Sigmoid + b.Sequencer + b.Clock + b.Leakage
+}
+
+// Report is the outcome of simulating one inference.
+type Report struct {
+	Config Config
+
+	Cycles      int64
+	LatencySec  float64
+	MACs        int64
+	WeightReads int64
+	FIFOOps     int64
+	SigmoidOps  int64
+	Waves       int64 // total schedule waves across layers
+
+	// Utilization is the fraction of PE-cycles that performed a MAC.
+	Utilization float64
+
+	Energy    energy.Energy
+	Breakdown EnergyBreakdown
+	// ActivePower is the power drawn while the inference runs.
+	ActivePower energy.Power
+}
+
+// Simulate runs the schedule for one forward pass of a network with the
+// given layer sizes on design point cfg.
+func Simulate(sizes []int, cfg Config) (Report, error) {
+	if len(sizes) < 2 {
+		return Report{}, fmt.Errorf("snnap: need at least 2 layers, got %d", len(sizes))
+	}
+	if cfg.PEs < 1 {
+		return Report{}, fmt.Errorf("snnap: need at least 1 PE, got %d", cfg.PEs)
+	}
+	if cfg.FreqHz <= 0 {
+		return Report{}, fmt.Errorf("snnap: invalid frequency %v", cfg.FreqHz)
+	}
+	ev, err := energy.ASICEventsFor(cfg.Bits)
+	if err != nil {
+		return Report{}, err
+	}
+	fill := cfg.FillCycles
+	if fill <= 0 {
+		fill = 4
+	}
+
+	var r Report
+	r.Config = cfg
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		if in <= 0 || out <= 0 {
+			return Report{}, fmt.Errorf("snnap: invalid layer size %d", min(in, out))
+		}
+		waves := int64((out + cfg.PEs - 1) / cfg.PEs)
+		perWave := int64(in + 1 + fill) // inputs + bias cycle + fill
+		if cfg.Schedule == ScheduleStaggered {
+			perWave += int64(cfg.PEs) // systolic skew fill/drain
+		}
+		layerCycles := waves*perWave + int64(out) // + activation drain through sigmoid
+		r.Cycles += layerCycles
+		r.Waves += waves
+		r.MACs += int64(out) * int64(in+1)
+		r.WeightReads += int64(out) * int64(in+1)
+		// FIFO traffic: input vector re-read once per wave, outputs pushed
+		// through the accumulator and sigmoid FIFOs.
+		r.FIFOOps += waves*int64(in) + 2*int64(out)
+		r.SigmoidOps += int64(out)
+	}
+	r.LatencySec = float64(r.Cycles) / cfg.FreqHz
+	r.Utilization = float64(r.MACs) / (float64(r.Cycles) * float64(cfg.PEs))
+
+	b := EnergyBreakdown{
+		MAC:        energy.Energy(r.MACs) * ev.MAC,
+		WeightRead: energy.Energy(r.WeightReads) * ev.WeightRead,
+		FIFO:       energy.Energy(r.FIFOOps) * ev.FIFO,
+		Sigmoid:    energy.Energy(r.SigmoidOps) * ev.Sigmoid,
+		Sequencer:  energy.Energy(r.Cycles) * ev.SeqCycle,
+		Clock:      energy.Energy(r.Cycles) * energy.Energy(cfg.PEs) * ev.ClockPE,
+		Leakage:    (ev.LeakBase + energy.Power(cfg.PEs)*ev.LeakPerPE).Over(r.LatencySec),
+	}
+	r.Breakdown = b
+	r.Energy = b.Total()
+	r.ActivePower = r.Energy.Average(r.LatencySec)
+	return r, nil
+}
+
+// MustSimulate is Simulate for known-good arguments.
+func MustSimulate(sizes []int, cfg Config) Report {
+	r, err := Simulate(sizes, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Run simulates the inference of a quantized network AND computes its
+// numerical result through the fixed-point datapath, so performance,
+// energy and accuracy come from one coherent model.
+func Run(q *fixed.Net, input []float64, cfg Config) ([]float64, Report, error) {
+	if q.Bits != cfg.Bits {
+		return nil, Report{}, fmt.Errorf("snnap: network quantized to %d bits but config is %d", q.Bits, cfg.Bits)
+	}
+	rep, err := Simulate(q.Sizes, cfg)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return q.Forward(input), rep, nil
+}
+
+// SweepPEs simulates the topology across PE counts, returning one report
+// per count — the paper's accelerator-geometry exploration (energy-optimal
+// at 8 PEs for the 400-8-1 network).
+func SweepPEs(sizes []int, peCounts []int, base Config) ([]Report, error) {
+	out := make([]Report, 0, len(peCounts))
+	for _, p := range peCounts {
+		cfg := base
+		cfg.PEs = p
+		r, err := Simulate(sizes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SweepBits simulates the topology across datapath widths at fixed
+// geometry — the paper's numerical-precision exploration.
+func SweepBits(sizes []int, widths []int, base Config) ([]Report, error) {
+	out := make([]Report, 0, len(widths))
+	for _, b := range widths {
+		cfg := base
+		cfg.Bits = b
+		r, err := Simulate(sizes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TopologyEnergy is a convenience for the E1 sweep: energy per inference
+// for an input-hidden-output topology at the default design point.
+func TopologyEnergy(inputs, hidden, outputs int) energy.Energy {
+	return MustSimulate([]int{inputs, hidden, outputs}, DefaultConfig()).Energy
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,205 @@
+// Package stereo implements the classical local block-matching baseline
+// for depth from rectified stereo pairs: a SAD cost volume, winner-take-all
+// disparity selection with subpixel refinement, left-right consistency
+// checking, and a confidence map. BSSA (internal/bilateral) consumes its
+// output as the noisy data term and is compared against it in E14.
+package stereo
+
+import (
+	"fmt"
+	"math"
+
+	"camsim/internal/img"
+)
+
+// Config parameterizes the matcher.
+type Config struct {
+	// MaxDisparity bounds the search: candidate disparities are 0..Max-1,
+	// with the right image shifted leftward (standard rectified geometry:
+	// left pixel (x) matches right pixel (x − d)).
+	MaxDisparity int
+	// WindowRadius is the SAD aggregation window radius (window edge 2r+1).
+	WindowRadius int
+	// LRCheck enables left-right consistency invalidation; invalid pixels
+	// get confidence 0 and disparity filled from the nearest valid left
+	// neighbour.
+	LRCheck bool
+	// LRTolerance is the maximum |dL − dR| treated as consistent.
+	LRTolerance float32
+}
+
+// Result bundles the matcher outputs.
+type Result struct {
+	// Disparity in pixels (float for subpixel refinement).
+	Disparity *img.Gray
+	// Confidence in [0, 1]: peak-ratio confidence of the WTA minimum,
+	// zeroed where the LR check fails.
+	Confidence *img.Gray
+	// CostVolumeOps counts accumulated per-pixel-per-disparity operations
+	// (the computational cost driver).
+	CostVolumeOps int64
+}
+
+// BlockMatch computes disparity from a rectified pair (left reference).
+func BlockMatch(left, right *img.Gray, cfg Config) Result {
+	if left.W != right.W || left.H != right.H {
+		panic(fmt.Sprintf("stereo: size mismatch %dx%d vs %dx%d", left.W, left.H, right.W, right.H))
+	}
+	if cfg.MaxDisparity < 1 {
+		panic("stereo: MaxDisparity must be >= 1")
+	}
+	if cfg.WindowRadius < 0 {
+		cfg.WindowRadius = 0
+	}
+	if cfg.LRTolerance <= 0 {
+		cfg.LRTolerance = 1.5
+	}
+	dl, conf, cost := matchDirection(left, right, cfg, false)
+	res := Result{Disparity: dl, Confidence: conf, CostVolumeOps: cost}
+	if cfg.LRCheck {
+		dr, _, cost2 := matchDirection(right, left, cfg, true)
+		res.CostVolumeOps += cost2
+		invalidateLR(res, dr, cfg.LRTolerance)
+	}
+	return res
+}
+
+// matchDirection computes WTA disparity for the reference image against
+// the other image. reversed=false searches right image at x−d (left
+// reference); reversed=true searches at x+d (right reference).
+func matchDirection(ref, other *img.Gray, cfg Config, reversed bool) (*img.Gray, *img.Gray, int64) {
+	w, h := ref.W, ref.H
+	nd := cfg.MaxDisparity
+	r := cfg.WindowRadius
+
+	bestCost := make([]float32, w*h)
+	secondCost := make([]float32, w*h)
+	bestD := make([]float32, w*h)
+	costAtD := make([][]float32, nd) // aggregated cost planes (kept for subpixel)
+	for i := range bestCost {
+		bestCost[i] = math.MaxFloat32
+		secondCost[i] = math.MaxFloat32
+	}
+
+	var ops int64
+	diff := img.NewGray(w, h)
+	for d := 0; d < nd; d++ {
+		// Per-pixel absolute difference at disparity d.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				xo := x - d
+				if reversed {
+					xo = x + d
+				}
+				v := ref.Pix[y*w+x] - other.AtClamped(xo, y)
+				if v < 0 {
+					v = -v
+				}
+				// Penalize out-of-frame matches so WTA prefers in-range
+				// disparities near the border.
+				if xo < 0 || xo >= w {
+					v += 0.5
+				}
+				diff.Pix[y*w+x] = v
+			}
+		}
+		agg := img.BoxFilter(diff, r)
+		costAtD[d] = append([]float32(nil), agg.Pix...)
+		ops += int64(w * h)
+		for i, c := range agg.Pix {
+			switch {
+			case c < bestCost[i]:
+				secondCost[i] = bestCost[i]
+				bestCost[i] = c
+				bestD[i] = float32(d)
+			case c < secondCost[i]:
+				secondCost[i] = c
+			}
+		}
+	}
+
+	disp := img.NewGray(w, h)
+	conf := img.NewGray(w, h)
+	for i := range bestCost {
+		d := int(bestD[i])
+		// Parabolic subpixel refinement from the cost planes around d.
+		dd := float32(d)
+		if d > 0 && d < nd-1 {
+			c0 := costAtD[d-1][i]
+			c1 := costAtD[d][i]
+			c2 := costAtD[d+1][i]
+			den := c0 - 2*c1 + c2
+			if den > 1e-9 {
+				off := 0.5 * (c0 - c2) / den
+				if off > -1 && off < 1 {
+					dd += off
+				}
+			}
+		}
+		disp.Pix[i] = dd
+		// Peak-ratio confidence: distinct minima are trustworthy.
+		if secondCost[i] > 1e-9 && secondCost[i] != math.MaxFloat32 {
+			ratio := 1 - bestCost[i]/secondCost[i]
+			if ratio < 0 {
+				ratio = 0
+			}
+			conf.Pix[i] = ratio
+		}
+	}
+	return disp, conf, ops
+}
+
+// invalidateLR zeroes the confidence of pixels failing the left-right
+// consistency check and inpaints their disparity from the nearest valid
+// pixel to the left (the classic occlusion fill).
+func invalidateLR(res Result, dr *img.Gray, tol float32) {
+	w, h := res.Disparity.W, res.Disparity.H
+	for y := 0; y < h; y++ {
+		lastValid := float32(0)
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			dl := res.Disparity.Pix[i]
+			xr := x - int(dl+0.5)
+			consistent := false
+			if xr >= 0 && xr < w {
+				if d := dl - dr.Pix[y*w+xr]; d < tol && d > -tol {
+					consistent = true
+				}
+			}
+			if consistent {
+				lastValid = dl
+			} else {
+				res.Disparity.Pix[i] = lastValid
+				res.Confidence.Pix[i] = 0
+			}
+		}
+	}
+}
+
+// BadPixelRate returns the fraction of pixels whose disparity deviates
+// from ground truth by more than tol pixels — the standard stereo accuracy
+// metric (Scharstein & Szeliski 2002).
+func BadPixelRate(disp, truth *img.Gray, tol float32) float64 {
+	if disp.W != truth.W || disp.H != truth.H {
+		panic("stereo: size mismatch in BadPixelRate")
+	}
+	if len(disp.Pix) == 0 {
+		return 0
+	}
+	bad := 0
+	for i := range disp.Pix {
+		d := disp.Pix[i] - truth.Pix[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(disp.Pix))
+}
+
+// MeanAbsError returns the mean absolute disparity error vs ground truth.
+func MeanAbsError(disp, truth *img.Gray) float64 {
+	return disp.MeanAbsDiff(truth)
+}

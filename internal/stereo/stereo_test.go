@@ -1,0 +1,184 @@
+package stereo
+
+import (
+	"math/rand"
+	"testing"
+
+	"camsim/internal/img"
+	"camsim/internal/rig"
+	"camsim/internal/synth"
+)
+
+// texturedImage builds a random but smooth test image with enough texture
+// for matching.
+func texturedImage(seed uint32, w, h int) *img.Gray {
+	g := img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Pix[y*w+x] = synth.FractalNoise(float64(x)/16, float64(y)/16, 4, 3, seed)
+		}
+	}
+	return g
+}
+
+func TestBlockMatchConstantShift(t *testing.T) {
+	left := texturedImage(1, 96, 48)
+	const d = 5
+	right := img.Translate(left, -d, 0) // right view: content shifted left by d
+	res := BlockMatch(left, right, Config{MaxDisparity: 12, WindowRadius: 3})
+	// Interior pixels should recover the shift.
+	var errSum float64
+	var n int
+	for y := 8; y < 40; y++ {
+		for x := 16; x < 80; x++ {
+			e := float64(res.Disparity.At(x, y)) - d
+			if e < 0 {
+				e = -e
+			}
+			errSum += e
+			n++
+		}
+	}
+	if avg := errSum / float64(n); avg > 0.5 {
+		t.Fatalf("mean disparity error %v for constant shift %d", avg, d)
+	}
+}
+
+func TestBlockMatchZeroShift(t *testing.T) {
+	left := texturedImage(2, 64, 32)
+	res := BlockMatch(left, left.Clone(), Config{MaxDisparity: 8, WindowRadius: 2})
+	for y := 4; y < 28; y++ {
+		for x := 8; x < 56; x++ {
+			if d := res.Disparity.At(x, y); d > 0.5 {
+				t.Fatalf("identical pair: disparity %v at (%d,%d)", d, x, y)
+			}
+		}
+	}
+}
+
+func TestBlockMatchSubpixel(t *testing.T) {
+	left := img.GaussianBlur(texturedImage(3, 96, 48), 1)
+	right := img.Translate(left, -4.5, 0)
+	res := BlockMatch(left, right, Config{MaxDisparity: 10, WindowRadius: 3})
+	var sum float64
+	var n int
+	for y := 8; y < 40; y++ {
+		for x := 16; x < 80; x++ {
+			sum += float64(res.Disparity.At(x, y))
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 4.2 || avg > 4.8 {
+		t.Fatalf("subpixel mean %v, want ~4.5", avg)
+	}
+}
+
+func TestConfidenceHigherOnTexture(t *testing.T) {
+	// A textured region should yield higher matching confidence than a
+	// flat region.
+	w, h := 96, 48
+	left := img.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x < w/2 {
+				left.Pix[y*w+x] = synth.FractalNoise(float64(x)/8, float64(y)/8, 6, 3, 9)
+			} else {
+				left.Pix[y*w+x] = 0.5
+			}
+		}
+	}
+	right := img.Translate(left, -3, 0)
+	res := BlockMatch(left, right, Config{MaxDisparity: 8, WindowRadius: 2})
+	var texConf, flatConf float64
+	var n1, n2 int
+	for y := 8; y < 40; y++ {
+		for x := 10; x < 38; x++ {
+			texConf += float64(res.Confidence.At(x, y))
+			n1++
+		}
+		for x := 58; x < 86; x++ {
+			flatConf += float64(res.Confidence.At(x, y))
+			n2++
+		}
+	}
+	if texConf/float64(n1) <= flatConf/float64(n2) {
+		t.Fatalf("texture confidence %v not above flat confidence %v",
+			texConf/float64(n1), flatConf/float64(n2))
+	}
+}
+
+func TestLRCheckZeroesOcclusions(t *testing.T) {
+	left := texturedImage(4, 96, 48)
+	right := img.Translate(left, -6, 0)
+	noCheck := BlockMatch(left, right, Config{MaxDisparity: 12, WindowRadius: 3})
+	withCheck := BlockMatch(left, right, Config{MaxDisparity: 12, WindowRadius: 3, LRCheck: true})
+	var zeroedNo, zeroedWith int
+	for i := range withCheck.Confidence.Pix {
+		if noCheck.Confidence.Pix[i] == 0 {
+			zeroedNo++
+		}
+		if withCheck.Confidence.Pix[i] == 0 {
+			zeroedWith++
+		}
+	}
+	if zeroedWith <= zeroedNo {
+		t.Fatalf("LR check zeroed %d pixels, plain %d — expected more", zeroedWith, zeroedNo)
+	}
+	if withCheck.CostVolumeOps <= noCheck.CostVolumeOps {
+		t.Fatal("LR check must cost extra cost-volume work")
+	}
+}
+
+func TestBlockMatchOnRigPair(t *testing.T) {
+	r := rig.NewRig(rand.New(rand.NewSource(5)), 4, 128, 64, 0.75, 3)
+	left, right, gt := r.Pair(0)
+	res := BlockMatch(left, right, Config{MaxDisparity: r.MaxDisparity(), WindowRadius: 3})
+	bad := BadPixelRate(res.Disparity, gt, 3)
+	if bad > 0.35 {
+		t.Fatalf("bad-pixel rate %v vs ground truth too high", bad)
+	}
+}
+
+func TestBlockMatchPanics(t *testing.T) {
+	a := img.NewGray(8, 8)
+	for _, fn := range []func(){
+		func() { BlockMatch(a, img.NewGray(9, 8), Config{MaxDisparity: 4}) },
+		func() { BlockMatch(a, a.Clone(), Config{MaxDisparity: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBadPixelRateBasics(t *testing.T) {
+	a := img.NewGray(4, 1)
+	b := img.NewGray(4, 1)
+	copy(a.Pix, []float32{0, 1, 2, 3})
+	copy(b.Pix, []float32{0, 1, 5, 3})
+	if r := BadPixelRate(a, b, 1); r != 0.25 {
+		t.Fatalf("BadPixelRate = %v, want 0.25", r)
+	}
+	if r := BadPixelRate(a, b, 10); r != 0 {
+		t.Fatalf("loose tolerance rate = %v", r)
+	}
+	if MeanAbsError(a, b) != 0.75 {
+		t.Fatalf("MeanAbsError = %v", MeanAbsError(a, b))
+	}
+}
+
+func BenchmarkBlockMatchQVGA(b *testing.B) {
+	left := texturedImage(6, 320, 240)
+	right := img.Translate(left, -7, 0)
+	cfg := Config{MaxDisparity: 16, WindowRadius: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BlockMatch(left, right, cfg)
+	}
+}

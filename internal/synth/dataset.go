@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"math/rand"
+
+	"camsim/internal/img"
+	"camsim/internal/quality"
+)
+
+// Sample is one labelled chip for classifier training or testing.
+type Sample struct {
+	Chip  *img.Gray
+	Label bool // face-authentication: true iff this is the target person
+}
+
+// VerificationSet is a face-verification dataset in the style of the
+// paper's LFW protocol: positives are views of a single target identity,
+// negatives are views of other people. Hard controls capture variability.
+type VerificationSet struct {
+	Train, Test []Sample
+}
+
+// VerificationConfig parameterizes BuildVerificationSet.
+type VerificationConfig struct {
+	Size       int     // chip edge length (the NN input window, e.g. 20)
+	Positives  int     // total positive samples
+	Negatives  int     // total negative samples
+	Impostors  int     // number of distinct non-target identities
+	TrainFrac  float64 // fraction of samples used for training (paper: 0.9)
+	Hard       bool    // LFW-style unconstrained captures vs easy security captures
+	TargetSeed int64   // identity seed of the target person
+}
+
+// BuildVerificationSet renders a deterministic verification dataset.
+func BuildVerificationSet(rng *rand.Rand, cfg VerificationConfig) VerificationSet {
+	if cfg.TrainFrac <= 0 || cfg.TrainFrac >= 1 {
+		cfg.TrainFrac = 0.9
+	}
+	target := IdentityFromSeed(cfg.TargetSeed)
+	impostors := make([]Identity, cfg.Impostors)
+	for i := range impostors {
+		impostors[i] = NewIdentity(rng)
+	}
+	samples := make([]Sample, 0, cfg.Positives+cfg.Negatives)
+	for i := 0; i < cfg.Positives; i++ {
+		o := JitterRenderOpts(rng, cfg.Size, cfg.Hard)
+		samples = append(samples, Sample{Chip: target.Render(o), Label: true})
+	}
+	for i := 0; i < cfg.Negatives; i++ {
+		id := impostors[rng.Intn(len(impostors))]
+		o := JitterRenderOpts(rng, cfg.Size, cfg.Hard)
+		samples = append(samples, Sample{Chip: id.Render(o), Label: false})
+	}
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	cut := int(float64(len(samples)) * cfg.TrainFrac)
+	return VerificationSet{Train: samples[:cut], Test: samples[cut:]}
+}
+
+// DetectionScene is one synthetic image with ground-truth face boxes,
+// used to train and evaluate the Viola-Jones detector.
+type DetectionScene struct {
+	Image *img.Gray
+	Faces []quality.Box
+}
+
+// SceneConfig parameterizes BuildDetectionScene.
+type SceneConfig struct {
+	W, H      int
+	MaxFaces  int     // 0..MaxFaces faces per scene
+	MinSize   int     // smallest face box edge
+	MaxSize   int     // largest face box edge
+	Clutter   int     // number of distractor shapes in the background
+	NoiseSig  float64 // sensor noise σ
+	ForceFace bool    // always place at least one face
+}
+
+// BuildDetectionScene renders a cluttered scene containing zero or more
+// faces of varying sizes at non-overlapping positions.
+func BuildDetectionScene(rng *rand.Rand, cfg SceneConfig) DetectionScene {
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = 24
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize
+	}
+	g := img.NewGray(cfg.W, cfg.H)
+	seed := rng.Uint32()
+	sw := float64(cfg.W)
+	for y := 0; y < cfg.H; y++ {
+		for x := 0; x < cfg.W; x++ {
+			g.Pix[y*cfg.W+x] = 0.2 + 0.45*FractalNoise(float64(x)/sw, float64(y)/sw, 2.5, 4, seed)
+		}
+	}
+	// Background clutter.
+	for k := 0; k < cfg.Clutter; k++ {
+		switch rng.Intn(3) {
+		case 0:
+			img.FillRect(g, rng.Intn(cfg.W), rng.Intn(cfg.H),
+				4+rng.Intn(cfg.W/4), 4+rng.Intn(cfg.H/4), float32(rng.Float64()))
+		case 1:
+			img.BlendEllipse(g, rng.Float64()*float64(cfg.W), rng.Float64()*float64(cfg.H),
+				3+rng.Float64()*float64(cfg.W)/6, 3+rng.Float64()*float64(cfg.H)/6,
+				float32(rng.Float64()), 0.8)
+		default:
+			img.DrawLine(g, rng.Intn(cfg.W), rng.Intn(cfg.H), rng.Intn(cfg.W), rng.Intn(cfg.H),
+				float32(rng.Float64()))
+		}
+	}
+	// Faces.
+	n := rng.Intn(cfg.MaxFaces + 1)
+	if cfg.ForceFace && n == 0 {
+		n = 1
+	}
+	var boxes []quality.Box
+	for k := 0; k < n; k++ {
+		size := cfg.MinSize
+		if cfg.MaxSize > cfg.MinSize {
+			size += rng.Intn(cfg.MaxSize - cfg.MinSize)
+		}
+		if size > cfg.W || size > cfg.H {
+			continue
+		}
+		// Try a few times to find a non-overlapping spot.
+		for attempt := 0; attempt < 10; attempt++ {
+			x := rng.Intn(cfg.W - size + 1)
+			y := rng.Intn(cfg.H - size + 1)
+			box := quality.Box{X: x, Y: y, W: size, H: size}
+			overlaps := false
+			for _, b := range boxes {
+				if quality.IoU(box, b) > 0.05 {
+					overlaps = true
+					break
+				}
+			}
+			if overlaps {
+				continue
+			}
+			id := NewIdentity(rng)
+			o := JitterRenderOpts(rng, size, false)
+			o.Background = -2 // sentinel: blend onto the scene instead
+			chip := id.Render(RenderOpts{
+				Size: size, OffsetX: o.OffsetX, OffsetY: o.OffsetY, Scale: o.Scale,
+				Tilt: o.Tilt, Gain: o.Gain, Bias: o.Bias, Background: 0.5, Seed: o.Seed,
+			})
+			// Paste the head region (central ellipse) onto the scene so the
+			// chip's flat background doesn't create an artificial box edge.
+			pasteFaceChip(g, chip, x, y)
+			boxes = append(boxes, box)
+			break
+		}
+	}
+	if cfg.NoiseSig > 0 {
+		for i := range g.Pix {
+			g.Pix[i] += float32(cfg.NoiseSig * rng.NormFloat64())
+		}
+	}
+	g.Clamp01()
+	return DetectionScene{Image: g, Faces: boxes}
+}
+
+// pasteFaceChip blends the elliptical head region of chip into g at (x, y).
+func pasteFaceChip(g, chip *img.Gray, x, y int) {
+	s := float64(chip.W)
+	cx, cy := s*0.5, s*0.52
+	rx, ry := s*0.44*0.95, s*0.46
+	for j := 0; j < chip.H; j++ {
+		for i := 0; i < chip.W; i++ {
+			dx := (float64(i) - cx) / rx
+			dy := (float64(j) - cy) / ry
+			d := dx*dx + dy*dy
+			if d > 1.3 {
+				continue
+			}
+			alpha := float32(1.0)
+			if d > 1 {
+				alpha = float32((1.3 - d) / 0.3)
+			}
+			gx, gy := x+i, y+j
+			if !g.Bounds(gx, gy) {
+				continue
+			}
+			p := g.At(gx, gy)
+			g.Set(gx, gy, p*(1-alpha)+chip.At(i, j)*alpha)
+		}
+	}
+}
+
+// FaceChips renders n independent views of identity seeds drawn from rng,
+// cropped tight for cascade training (positives).
+func FaceChips(rng *rand.Rand, n, size int) []*img.Gray {
+	out := make([]*img.Gray, n)
+	for i := range out {
+		id := NewIdentity(rng)
+		o := JitterRenderOpts(rng, size, false)
+		out[i] = id.Render(o)
+	}
+	return out
+}
+
+// NonFaceChips renders n distractor patches (negatives).
+func NonFaceChips(rng *rand.Rand, n, size int) []*img.Gray {
+	out := make([]*img.Gray, n)
+	for i := range out {
+		out[i] = NonFaceChip(rng, size)
+	}
+	return out
+}

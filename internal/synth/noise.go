@@ -1,0 +1,55 @@
+// Package synth generates the synthetic visual workloads that stand in for
+// the paper's proprietary data: parametric face identities (replacing LFW),
+// cluttered scenes, and security-camera video traces with person-arrival
+// events (replacing the authors' collected video). Every generator is
+// deterministic given its seed or *rand.Rand.
+package synth
+
+import "math"
+
+// hash2 is a small integer hash mixing (x, y, seed) into [0, 1).
+// It provides reproducible lattice noise without storing any tables.
+func hash2(x, y int32, seed uint32) float32 {
+	h := uint32(x)*0x8da6b343 + uint32(y)*0xd8163841 + seed*0xcb1ab31f
+	h ^= h >> 13
+	h *= 0x85ebca6b
+	h ^= h >> 16
+	return float32(h&0xffffff) / float32(0x1000000)
+}
+
+// valueNoise returns smoothly interpolated lattice noise at (x, y) in [0, 1).
+func valueNoise(x, y float64, seed uint32) float32 {
+	x0 := int32(math.Floor(x))
+	y0 := int32(math.Floor(y))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	// Smoothstep fade.
+	u := float32(fx * fx * (3 - 2*fx))
+	v := float32(fy * fy * (3 - 2*fy))
+	a := hash2(x0, y0, seed)
+	b := hash2(x0+1, y0, seed)
+	c := hash2(x0, y0+1, seed)
+	d := hash2(x0+1, y0+1, seed)
+	top := a + (b-a)*u
+	bot := c + (d-c)*u
+	return top + (bot-top)*v
+}
+
+// FractalNoise evaluates `octaves` octaves of value noise at (x, y) with
+// base frequency freq (cycles per unit coordinate) and per-octave gain 0.5.
+// The result is approximately in [0, 1].
+func FractalNoise(x, y float64, freq float64, octaves int, seed uint32) float32 {
+	var sum, amp, norm float32
+	amp = 1
+	f := freq
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise(x*f, y*f, seed+uint32(o)*0x9e3779b9)
+		norm += amp
+		amp *= 0.5
+		f *= 2
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / norm
+}

@@ -1,0 +1,333 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camsim/internal/quality"
+)
+
+func TestFractalNoiseRangeAndDeterminism(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		x := float64(i) * 0.173
+		y := float64(i) * 0.311
+		v := FractalNoise(x, y, 3, 4, 12345)
+		if v < 0 || v > 1 {
+			t.Fatalf("noise out of range at (%v,%v): %v", x, y, v)
+		}
+		if v2 := FractalNoise(x, y, 3, 4, 12345); v2 != v {
+			t.Fatal("noise not deterministic")
+		}
+	}
+}
+
+func TestFractalNoiseSeedChangesField(t *testing.T) {
+	var diff int
+	for i := 0; i < 100; i++ {
+		x, y := float64(i)*0.37, float64(i)*0.59
+		if FractalNoise(x, y, 3, 3, 1) != FractalNoise(x, y, 3, 3, 2) {
+			diff++
+		}
+	}
+	if diff < 90 {
+		t.Fatalf("seeds 1 and 2 agree on %d/100 points", 100-diff)
+	}
+}
+
+func TestFractalNoiseSmooth(t *testing.T) {
+	// Neighbouring samples should be highly correlated (not white noise).
+	var sumD float64
+	n := 200
+	for i := 0; i < n; i++ {
+		x, y := float64(i)*0.31, float64(i)*0.17
+		a := FractalNoise(x, y, 2, 3, 9)
+		b := FractalNoise(x+0.01, y, 2, 3, 9)
+		sumD += math.Abs(float64(a - b))
+	}
+	if avg := sumD / float64(n); avg > 0.05 {
+		t.Fatalf("noise too rough: mean step %v", avg)
+	}
+}
+
+func TestIdentityDeterministicFromSeed(t *testing.T) {
+	a := IdentityFromSeed(42)
+	b := IdentityFromSeed(42)
+	if a != b {
+		t.Fatal("IdentityFromSeed not deterministic")
+	}
+	c := IdentityFromSeed(43)
+	if a == c {
+		t.Fatal("different seeds gave identical identities")
+	}
+}
+
+func TestIdentityParamsInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		id := IdentityFromSeed(seed)
+		return id.HeadAspect >= 0.72 && id.HeadAspect <= 0.92 &&
+			id.EyeSpacing >= 0.30 && id.EyeSpacing <= 0.44 &&
+			id.SkinTone >= 0.55 && id.SkinTone <= 0.8 &&
+			id.MouthHeight >= 0.74 && id.MouthHeight <= 0.84
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	id := IdentityFromSeed(1)
+	o := DefaultRenderOpts(32)
+	o.Seed = 77
+	a := id.Render(o)
+	b := id.Render(o)
+	if a.MeanAbsDiff(b) != 0 {
+		t.Fatal("Render not deterministic for identical options")
+	}
+}
+
+func TestRenderSizeAndRange(t *testing.T) {
+	id := IdentityFromSeed(2)
+	g := id.Render(DefaultRenderOpts(48))
+	if g.W != 48 || g.H != 48 {
+		t.Fatalf("render size %dx%d", g.W, g.H)
+	}
+	min, max := g.MinMax()
+	if min < 0 || max > 1 {
+		t.Fatalf("render range [%v, %v]", min, max)
+	}
+	if max-min < 0.2 {
+		t.Fatal("render has almost no contrast; face features missing?")
+	}
+}
+
+func TestRenderZeroSizeDefaults(t *testing.T) {
+	g := IdentityFromSeed(3).Render(RenderOpts{})
+	if g.W != 32 {
+		t.Fatalf("zero-size render width %d, want default 32", g.W)
+	}
+}
+
+func TestRenderFaceHasFacialStructure(t *testing.T) {
+	// Eyes should be darker than the cheek region directly below them —
+	// the key Haar-like contrast Viola-Jones exploits.
+	id := IdentityFromSeed(4)
+	o := DefaultRenderOpts(64)
+	o.Background = 0.5
+	g := id.Render(o)
+	eyeY := int(64 * (0.52 + (id.EyeHeight-0.52)*0.88))
+	eyeDX := int(id.EyeSpacing * 64 * 0.44 * id.HeadAspect * 2 * 0.5)
+	cheekY := eyeY + 10
+	var eyeSum, cheekSum float32
+	for _, side := range []int{-1, 1} {
+		x := 32 + side*eyeDX
+		eyeSum += g.AtClamped(x, eyeY)
+		cheekSum += g.AtClamped(x, cheekY)
+	}
+	if eyeSum >= cheekSum {
+		t.Fatalf("eye region (%v) not darker than cheeks (%v)", eyeSum/2, cheekSum/2)
+	}
+}
+
+func TestSamePersonMoreSimilarThanStrangers(t *testing.T) {
+	// Two renders of the same identity should differ less than renders of
+	// different identities, averaged over several trials.
+	rng := rand.New(rand.NewSource(11))
+	var same, diff float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		id1 := NewIdentity(rng)
+		id2 := NewIdentity(rng)
+		oA := JitterRenderOpts(rng, 32, false)
+		oB := JitterRenderOpts(rng, 32, false)
+		oA.Background = 0.5
+		oB.Background = 0.5
+		same += id1.Render(oA).MeanAbsDiff(id1.Render(oB))
+		diff += id1.Render(oA).MeanAbsDiff(id2.Render(oB))
+	}
+	if same >= diff {
+		t.Fatalf("same-person distance %v >= cross-person %v", same/trials, diff/trials)
+	}
+}
+
+func TestNonFaceChipProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 16; i++ {
+		c := NonFaceChip(rng, 24)
+		if c.W != 24 || c.H != 24 {
+			t.Fatalf("chip size %dx%d", c.W, c.H)
+		}
+		min, max := c.MinMax()
+		if min < 0 || max > 1 {
+			t.Fatalf("chip range [%v, %v]", min, max)
+		}
+	}
+}
+
+func TestBuildVerificationSetBalanceAndSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	set := BuildVerificationSet(rng, VerificationConfig{
+		Size: 20, Positives: 50, Negatives: 50, Impostors: 10, TrainFrac: 0.9, TargetSeed: 1,
+	})
+	if len(set.Train) != 90 || len(set.Test) != 10 {
+		t.Fatalf("split %d/%d, want 90/10", len(set.Train), len(set.Test))
+	}
+	var pos int
+	for _, s := range set.Train {
+		if s.Chip.W != 20 {
+			t.Fatalf("chip size %d", s.Chip.W)
+		}
+		if s.Label {
+			pos++
+		}
+	}
+	for _, s := range set.Test {
+		if s.Label {
+			pos++
+		}
+	}
+	if pos != 50 {
+		t.Fatalf("positives %d, want 50", pos)
+	}
+}
+
+func TestBuildVerificationSetDefaultTrainFrac(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	set := BuildVerificationSet(rng, VerificationConfig{
+		Size: 10, Positives: 10, Negatives: 10, Impostors: 3, TargetSeed: 2,
+	})
+	if len(set.Train) != 18 {
+		t.Fatalf("default split train=%d, want 18", len(set.Train))
+	}
+}
+
+func TestBuildDetectionSceneBoxesInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 10; i++ {
+		sc := BuildDetectionScene(rng, SceneConfig{
+			W: 160, H: 120, MaxFaces: 3, MinSize: 24, MaxSize: 48, Clutter: 5, ForceFace: true,
+		})
+		if len(sc.Faces) == 0 {
+			t.Fatal("ForceFace produced a scene with no faces")
+		}
+		for _, b := range sc.Faces {
+			if b.X < 0 || b.Y < 0 || b.X+b.W > 160 || b.Y+b.H > 120 {
+				t.Fatalf("face box out of bounds: %+v", b)
+			}
+		}
+	}
+}
+
+func TestBuildDetectionSceneFacesDontOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sc := BuildDetectionScene(rng, SceneConfig{
+		W: 320, H: 240, MaxFaces: 6, MinSize: 24, MaxSize: 40, ForceFace: true,
+	})
+	for i := range sc.Faces {
+		for j := i + 1; j < len(sc.Faces); j++ {
+			if iou := quality.IoU(sc.Faces[i], sc.Faces[j]); iou > 0.05 {
+				t.Fatalf("faces %d and %d overlap with IoU %v", i, j, iou)
+			}
+		}
+	}
+}
+
+func TestFaceAndNonFaceChipsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	if got := len(FaceChips(rng, 7, 20)); got != 7 {
+		t.Fatalf("FaceChips len %d", got)
+	}
+	if got := len(NonFaceChips(rng, 9, 20)); got != 9 {
+		t.Fatalf("NonFaceChips len %d", got)
+	}
+}
+
+func TestTraceDeterministicFrames(t *testing.T) {
+	cfg := DefaultTraceConfig(50)
+	a := NewTrace(99, cfg)
+	b := NewTrace(99, cfg)
+	fa, ta := a.Frame(17)
+	fb, tb := b.Frame(17)
+	if fa.MeanAbsDiff(fb) != 0 {
+		t.Fatal("trace frames not deterministic")
+	}
+	if ta.TargetPresent != tb.TargetPresent || len(ta.Faces) != len(tb.Faces) {
+		t.Fatal("trace truth not deterministic")
+	}
+}
+
+func TestTraceStatsConsistentWithFrames(t *testing.T) {
+	cfg := DefaultTraceConfig(200)
+	cfg.VisitRate = 6
+	tr := NewTrace(3, cfg)
+	st := tr.Stats()
+	if st.Frames != 200 {
+		t.Fatalf("Frames = %d", st.Frames)
+	}
+	if st.MotionFrames == 0 || st.TargetFrames == 0 {
+		t.Fatalf("trace has no events: %+v (increase VisitRate or seed variety)", st)
+	}
+	if st.TargetFrames > st.FaceFrames || st.FaceFrames > st.MotionFrames {
+		t.Fatalf("stats not nested: %+v", st)
+	}
+	// Cross-check a handful of frames against the schedule.
+	var motion int
+	for f := 0; f < 200; f++ {
+		_, truth := tr.Frame(f)
+		if truth.Motion {
+			motion++
+		}
+	}
+	if motion != st.MotionFrames {
+		t.Fatalf("rendered motion frames %d != scheduled %d", motion, st.MotionFrames)
+	}
+}
+
+func TestTraceMostFramesEmpty(t *testing.T) {
+	// The security workload is dominated by empty frames — this property is
+	// what makes progressive filtering (motion detection) pay off.
+	cfg := DefaultTraceConfig(500)
+	tr := NewTrace(4, cfg)
+	st := tr.Stats()
+	if frac := float64(st.MotionFrames) / float64(st.Frames); frac > 0.5 {
+		t.Fatalf("motion fraction %v too high for a security trace", frac)
+	}
+}
+
+func TestTraceFaceBoxesMatchTruth(t *testing.T) {
+	cfg := DefaultTraceConfig(300)
+	cfg.VisitRate = 8
+	tr := NewTrace(5, cfg)
+	checked := 0
+	for f := 0; f < 300 && checked < 5; f++ {
+		frame, truth := tr.Frame(f)
+		if !truth.TargetPresent {
+			continue
+		}
+		checked++
+		if len(truth.Faces) == 0 {
+			t.Fatal("TargetPresent but no face boxes")
+		}
+		// The face region should differ from the static background.
+		b := truth.Faces[0]
+		bg := tr.background
+		var d float64
+		var n int
+		for y := b.Y; y < b.Y+b.H; y++ {
+			for x := b.X; x < b.X+b.W; x++ {
+				if !frame.Bounds(x, y) {
+					continue
+				}
+				d += math.Abs(float64(frame.At(x, y) - bg.At(x, y)))
+				n++
+			}
+		}
+		if n == 0 || d/float64(n) < 0.02 {
+			t.Fatalf("frame %d: face region barely differs from background (%v)", f, d/float64(n))
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no target frames found in trace")
+	}
+}

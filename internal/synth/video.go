@@ -1,0 +1,230 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"camsim/internal/img"
+	"camsim/internal/quality"
+)
+
+// VisitKind labels who appears in a security-camera visit event.
+type VisitKind int
+
+// Visit kinds: the enrolled target user, an unknown person, or a non-person
+// motion disturbance (vegetation, lighting, animals).
+const (
+	VisitTarget VisitKind = iota
+	VisitStranger
+	VisitDisturbance
+)
+
+func (k VisitKind) String() string {
+	switch k {
+	case VisitTarget:
+		return "target"
+	case VisitStranger:
+		return "stranger"
+	case VisitDisturbance:
+		return "disturbance"
+	}
+	return "unknown"
+}
+
+// Visit is one event in a security trace: a person (or disturbance) that
+// enters the scene at StartFrame and stays for Duration frames, moving
+// across the field of view.
+type Visit struct {
+	Kind       VisitKind
+	Identity   Identity // valid for Target and Stranger
+	StartFrame int
+	Duration   int
+	EntryX     float64 // path start, fraction of frame width
+	ExitX      float64 // path end
+	Y          float64 // vertical position, fraction of frame height
+	FaceSize   int     // face box edge in pixels
+}
+
+// TraceConfig parameterizes a security-camera workload trace. The paper's
+// deployment captures 1 frame per second on harvested energy; frames with
+// no motion are the common case.
+type TraceConfig struct {
+	W, H         int
+	Frames       int     // trace length in frames (1 FPS nominal)
+	TargetSeed   int64   // identity of the enrolled user
+	VisitRate    float64 // expected visits per 100 frames
+	TargetFrac   float64 // fraction of person visits that are the target
+	DisturbFrac  float64 // fraction of all visits that are non-person motion
+	MeanDuration int     // mean visit length in frames
+	NoiseSigma   float64 // per-frame sensor noise
+	LightDrift   float64 // slow illumination drift amplitude
+}
+
+// DefaultTraceConfig returns the workload used by the E6 end-to-end
+// evaluation: a day-scale trace at 1 FPS dominated by empty frames.
+func DefaultTraceConfig(frames int) TraceConfig {
+	return TraceConfig{
+		W: 160, H: 120, Frames: frames,
+		TargetSeed:   7,
+		VisitRate:    2.0, // 2 visits per 100 frames
+		TargetFrac:   0.5,
+		DisturbFrac:  0.25,
+		MeanDuration: 6,
+		NoiseSigma:   0.008,
+		LightDrift:   0.05,
+	}
+}
+
+// Trace is a fully scheduled security-camera workload whose frames are
+// rendered lazily and deterministically by Frame.
+type Trace struct {
+	Cfg        TraceConfig
+	Target     Identity
+	Visits     []Visit
+	background *img.Gray
+	seed       int64
+}
+
+// FrameTruth is the ground truth for one rendered frame.
+type FrameTruth struct {
+	Faces         []quality.Box // all visible face boxes
+	TargetPresent bool          // true iff the enrolled user's face is visible
+	Motion        bool          // true iff anything moved vs the static background
+}
+
+// NewTrace schedules visits for the whole trace deterministically from seed.
+func NewTrace(seed int64, cfg TraceConfig) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{Cfg: cfg, Target: IdentityFromSeed(cfg.TargetSeed), seed: seed}
+
+	// Static background scene.
+	bg := img.NewGray(cfg.W, cfg.H)
+	s := float64(cfg.W)
+	bgSeed := rng.Uint32()
+	for y := 0; y < cfg.H; y++ {
+		for x := 0; x < cfg.W; x++ {
+			bg.Pix[y*cfg.W+x] = 0.2 + 0.4*FractalNoise(float64(x)/s, float64(y)/s, 2, 4, bgSeed)
+		}
+	}
+	// A couple of fixed structures (door frame, window).
+	img.FillRect(bg, cfg.W/8, cfg.H/6, cfg.W/5, 2*cfg.H/3, 0.35)
+	img.DrawRectOutline(bg, cfg.W/8, cfg.H/6, cfg.W/5, 2*cfg.H/3, 0.15)
+	img.FillRect(bg, 2*cfg.W/3, cfg.H/5, cfg.W/4, cfg.H/4, 0.7)
+	t.background = bg
+
+	// Schedule visits via a Bernoulli-per-frame arrival process.
+	p := cfg.VisitRate / 100
+	for f := 0; f < cfg.Frames; f++ {
+		if rng.Float64() >= p {
+			continue
+		}
+		dur := 1 + rng.Intn(2*cfg.MeanDuration)
+		v := Visit{
+			StartFrame: f,
+			Duration:   dur,
+			EntryX:     0.15 + 0.2*rng.Float64(),
+			ExitX:      0.65 + 0.2*rng.Float64(),
+			Y:          0.25 + 0.3*rng.Float64(),
+			FaceSize:   cfg.H/4 + rng.Intn(cfg.H/6),
+		}
+		if rng.Float64() < cfg.DisturbFrac {
+			v.Kind = VisitDisturbance
+		} else if rng.Float64() < cfg.TargetFrac {
+			v.Kind = VisitTarget
+			v.Identity = t.Target
+		} else {
+			v.Kind = VisitStranger
+			v.Identity = NewIdentity(rng)
+		}
+		t.Visits = append(t.Visits, v)
+	}
+	return t
+}
+
+// activeVisits returns the visits visible in frame f.
+func (t *Trace) activeVisits(f int) []Visit {
+	var out []Visit
+	for _, v := range t.Visits {
+		if f >= v.StartFrame && f < v.StartFrame+v.Duration {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Frame renders frame f and its ground truth. Rendering is deterministic:
+// the same (trace, f) always produces the same pixels.
+func (t *Trace) Frame(f int) (*img.Gray, FrameTruth) {
+	cfg := t.Cfg
+	g := t.background.Clone()
+	var truth FrameTruth
+
+	frameRng := rand.New(rand.NewSource(t.seed ^ int64(uint64(f)*0x9e3779b97f4a7c15)))
+
+	for _, v := range t.activeVisits(f) {
+		progress := float64(f-v.StartFrame) / math.Max(1, float64(v.Duration-1))
+		x := v.EntryX + (v.ExitX-v.EntryX)*progress
+		px := int(x*float64(cfg.W)) - v.FaceSize/2
+		py := int(v.Y*float64(cfg.H)) - v.FaceSize/2
+		truth.Motion = true
+		switch v.Kind {
+		case VisitDisturbance:
+			// A moving dark blob with no facial structure.
+			img.BlendEllipse(g, x*float64(cfg.W), v.Y*float64(cfg.H),
+				float64(v.FaceSize)*0.5, float64(v.FaceSize)*0.6, 0.25, 0.8)
+		default:
+			o := JitterRenderOpts(frameRng, v.FaceSize, false)
+			o.Background = 0.5
+			chip := v.Identity.Render(o)
+			pasteFaceChip(g, chip, px, py)
+			// Torso below the face.
+			img.BlendEllipse(g, x*float64(cfg.W), v.Y*float64(cfg.H)+float64(v.FaceSize)*1.1,
+				float64(v.FaceSize)*0.7, float64(v.FaceSize)*0.9, 0.3, 0.9)
+			truth.Faces = append(truth.Faces, quality.Box{X: px, Y: py, W: v.FaceSize, H: v.FaceSize})
+			if v.Kind == VisitTarget {
+				truth.TargetPresent = true
+			}
+		}
+	}
+
+	// Slow illumination drift plus per-frame sensor noise.
+	drift := float32(cfg.LightDrift * math.Sin(2*math.Pi*float64(f)/math.Max(120, float64(cfg.Frames))))
+	for i := range g.Pix {
+		g.Pix[i] += drift + float32(cfg.NoiseSigma*frameRng.NormFloat64())
+	}
+	g.Clamp01()
+	return g, truth
+}
+
+// Stats summarizes a trace's ground truth composition.
+type TraceStats struct {
+	Frames, MotionFrames, FaceFrames, TargetFrames int
+}
+
+// Stats renders nothing; it walks the schedule to count per-frame truth.
+func (t *Trace) Stats() TraceStats {
+	st := TraceStats{Frames: t.Cfg.Frames}
+	for f := 0; f < t.Cfg.Frames; f++ {
+		vs := t.activeVisits(f)
+		if len(vs) == 0 {
+			continue
+		}
+		st.MotionFrames++
+		face, target := false, false
+		for _, v := range vs {
+			if v.Kind != VisitDisturbance {
+				face = true
+			}
+			if v.Kind == VisitTarget {
+				target = true
+			}
+		}
+		if face {
+			st.FaceFrames++
+		}
+		if target {
+			st.TargetFrames++
+		}
+	}
+	return st
+}

@@ -1,0 +1,166 @@
+package vj
+
+import (
+	"fmt"
+	"math"
+
+	"camsim/internal/img"
+	"camsim/internal/quality"
+)
+
+// DetectParams are the algorithm knobs the paper sweeps in Fig. 4c.
+type DetectParams struct {
+	// ScaleFactor multiplies the window size between scale passes
+	// (paper sweep: 1.25–2.0; smaller is slower and more accurate).
+	ScaleFactor float64
+	// StepSize is the static sliding stride in pixels at the base scale;
+	// it is scaled with the window (paper sweep: 4–16).
+	StepSize int
+	// AdaptiveStep, when positive, skips ahead after confidently rejected
+	// windows: the stride grows by AdaptiveStep·windowSize scaled by the
+	// first-stage rejection margin (paper sweep: 0.0–0.4).
+	AdaptiveStep float64
+	// MinNeighbors is the detection-merge threshold (default 2).
+	MinNeighbors int
+	// MaxWindow caps the largest window edge; 0 means the full image.
+	MaxWindow int
+}
+
+// DefaultDetectParams returns the accuracy-oriented operating point used
+// as the Fig. 4c reference (relative accuracy 100%).
+func DefaultDetectParams() DetectParams {
+	return DetectParams{ScaleFactor: 1.25, StepSize: 4, AdaptiveStep: 0, MinNeighbors: 2}
+}
+
+// DetectStats counts the work a detection pass performed — the quantities
+// the cascade's progressive filtering is designed to minimize.
+type DetectStats struct {
+	Windows      int64 // windows considered
+	StageEvals   int64 // cascade stages entered
+	FeatureEvals int64 // Haar features evaluated
+	Scales       int   // scale passes over the image
+	RawHits      int   // windows passing the full cascade before merging
+}
+
+// Detect scans the image at multiple scales and returns merged face boxes
+// plus the work statistics.
+func (c *Cascade) Detect(g *img.Gray, p DetectParams) ([]quality.Box, DetectStats) {
+	var st DetectStats
+	if p.ScaleFactor <= 1 {
+		panic(fmt.Sprintf("vj: scale factor %v must exceed 1", p.ScaleFactor))
+	}
+	if p.StepSize < 1 {
+		p.StepSize = 1
+	}
+	if p.MinNeighbors < 1 {
+		p.MinNeighbors = 1
+	}
+	plain := img.NewIntegral(g)
+	squared := img.NewSquaredIntegral(g)
+
+	maxWindow := minI(g.W, g.H)
+	if p.MaxWindow > 0 && p.MaxWindow < maxWindow {
+		maxWindow = p.MaxWindow
+	}
+
+	var hits []quality.Box
+	for scale := 1.0; int(float64(c.Base)*scale) <= maxWindow; scale *= p.ScaleFactor {
+		st.Scales++
+		size := int(float64(c.Base) * scale)
+		step := int(float64(p.StepSize) * scale)
+		if step < 1 {
+			step = 1
+		}
+		for y := 0; y+size <= g.H; y += step {
+			x := 0
+			for x+size <= g.W {
+				st.Windows++
+				w, ok := NewWindow(plain, squared, x, y, c.Base, scale)
+				if !ok {
+					break
+				}
+				pass, score, margin := c.evalWindow(w, &st)
+				if pass {
+					hits = append(hits, quality.Box{X: x, Y: y, W: size, H: size, Score: score})
+					st.RawHits++
+					x += step
+					continue
+				}
+				// Adaptive stride: confidently rejected regions are skipped
+				// faster. margin is the normalized first-stage shortfall.
+				if p.AdaptiveStep > 0 {
+					skip := int(p.AdaptiveStep * float64(size) * margin)
+					x += step + skip
+				} else {
+					x += step
+				}
+			}
+		}
+	}
+	return quality.MergeOverlapping(hits, 0.3, p.MinNeighbors), st
+}
+
+// evalWindow runs the cascade in the window. It returns whether the window
+// passed, the accumulated score, and the normalized rejection margin of
+// the stage that rejected it (0 for passes, in [0,1] for rejections).
+func (c *Cascade) evalWindow(w Window, st *DetectStats) (bool, float64, float64) {
+	var total float64
+	for si := range c.Stages {
+		stage := &c.Stages[si]
+		st.StageEvals++
+		var score, norm float64
+		for _, s := range stage.Stumps {
+			st.FeatureEvals++
+			score += stumpVote(s, w.Eval(&c.Features[s.Feature]))
+			norm += s.Alpha
+		}
+		if score < stage.Bias {
+			// Normalized shortfall below the stage threshold.
+			margin := 0.0
+			if norm > 0 {
+				margin = (stage.Bias - score) / (2 * norm)
+				margin = math.Min(1, math.Max(0, margin))
+			}
+			return false, 0, margin
+		}
+		total += score
+	}
+	return true, total, 0
+}
+
+// EvaluateOnScenes runs the detector over labelled scenes and accumulates
+// detection accuracy and work statistics — the harness behind Fig. 4c.
+func (c *Cascade) EvaluateOnScenes(scenes []struct {
+	Image *img.Gray
+	Faces []quality.Box
+}, p DetectParams) (quality.DetectionStats, DetectStats) {
+	var acc quality.DetectionStats
+	var work DetectStats
+	for _, sc := range scenes {
+		pred, st := c.Detect(sc.Image, p)
+		acc.Add(quality.MatchDetections(pred, sc.Faces, 0.4))
+		work.Windows += st.Windows
+		work.StageEvals += st.StageEvals
+		work.FeatureEvals += st.FeatureEvals
+		work.Scales += st.Scales
+		work.RawHits += st.RawHits
+	}
+	return acc, work
+}
+
+// ContainsFace is the pre-filter decision the FA pipeline uses: does the
+// frame contain at least one face candidate?
+func (c *Cascade) ContainsFace(g *img.Gray, p DetectParams) (bool, DetectStats) {
+	boxes, st := c.Detect(g, p)
+	return len(boxes) > 0, st
+}
+
+// NumFeaturesPerStage returns the stump counts, exposing the cascade's
+// progressive structure (few features first, many later — Fig. 4b).
+func (c *Cascade) NumFeaturesPerStage() []int {
+	out := make([]int, len(c.Stages))
+	for i, s := range c.Stages {
+		out[i] = len(s.Stumps)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+// Package vj implements the Viola-Jones face detector used as the
+// paper's optional pre-filtering block (§III-B, Fig. 4): Haar-like
+// rectangular features over integral images, AdaBoost training of an
+// attentional cascade, and a sliding-window detector exposing the
+// algorithm parameters the paper sweeps in Fig. 4c — scale factor,
+// static step size, and adaptive step size.
+package vj
+
+import (
+	"fmt"
+	"math"
+
+	"camsim/internal/img"
+)
+
+// Rect is a rectangle within the detector's base window with an evaluation
+// weight (+/−). Feature value = Σ weight · pixelSum(rect).
+type Rect struct {
+	X, Y, W, H int
+	Weight     float64
+}
+
+// Feature is a Haar-like rectangular feature defined in base-window
+// coordinates. The weighted rectangle sums are computed on an integral
+// image in O(1) per rectangle.
+type Feature struct {
+	Rects [3]Rect // at most 3 weighted rects express all classic types
+	NRect int
+}
+
+// FeatureKind enumerates the classic Haar feature layouts.
+type FeatureKind int
+
+// The four feature layouts used by the detector (Viola & Jones 2004).
+const (
+	EdgeHorizontal FeatureKind = iota // two rects side by side
+	EdgeVertical                      // two rects stacked
+	LineHorizontal                    // three rects in a row (e.g. eyes-nose-eyes)
+	LineVertical                      // three rects in a column
+)
+
+// makeFeature constructs a feature of the given kind with top-left (x, y)
+// and overall size (w, h) in base-window coordinates. Using sum-weights
+// lets two-rect features be expressed with 2 rects and three-rect features
+// with 2 as well (whole window minus 3× the middle), minimizing integral
+// image lookups.
+func makeFeature(kind FeatureKind, x, y, w, h int) Feature {
+	var f Feature
+	switch kind {
+	case EdgeHorizontal: // left half minus right half
+		f.Rects[0] = Rect{x, y, w, h, 1}
+		f.Rects[1] = Rect{x + w/2, y, w / 2, h, -2}
+		f.NRect = 2
+	case EdgeVertical: // top half minus bottom half
+		f.Rects[0] = Rect{x, y, w, h, 1}
+		f.Rects[1] = Rect{x, y + h/2, w, h / 2, -2}
+		f.NRect = 2
+	case LineHorizontal: // outer thirds minus middle third
+		f.Rects[0] = Rect{x, y, w, h, 1}
+		f.Rects[1] = Rect{x + w/3, y, w / 3, h, -3}
+		f.NRect = 2
+	case LineVertical:
+		f.Rects[0] = Rect{x, y, w, h, 1}
+		f.Rects[1] = Rect{x, y + h/3, w, h / 3, -3}
+		f.NRect = 2
+	default:
+		panic(fmt.Sprintf("vj: unknown feature kind %d", kind))
+	}
+	return f
+}
+
+// GenerateFeatures enumerates Haar features inside a base×base window.
+// positionStep and sizeStep subsample the full (very large) feature pool;
+// the classic detector uses every position/size, which is unnecessary for
+// a pre-filter. minSize is the smallest feature edge.
+func GenerateFeatures(base, positionStep, sizeStep, minSize int) []Feature {
+	if positionStep < 1 || sizeStep < 1 {
+		panic("vj: steps must be >= 1")
+	}
+	var out []Feature
+	for _, kind := range []FeatureKind{EdgeHorizontal, EdgeVertical, LineHorizontal, LineVertical} {
+		// Dimension granularity so thirds/halves divide exactly.
+		wStep, hStep := 2, 1
+		if kind == EdgeVertical {
+			wStep, hStep = 1, 2
+		}
+		if kind == LineHorizontal {
+			wStep, hStep = 3, 1
+		}
+		if kind == LineVertical {
+			wStep, hStep = 1, 3
+		}
+		for w := maxI(minSize, wStep); w <= base; w += wStep * sizeStep {
+			for h := maxI(minSize, hStep); h <= base; h += hStep * sizeStep {
+				for y := 0; y+h <= base; y += positionStep {
+					for x := 0; x+w <= base; x += positionStep {
+						out = append(out, makeFeature(kind, x, y, w, h))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Window binds an integral image to a scaled, positioned detector window
+// so features can be evaluated with variance normalization (the standard
+// VJ lighting correction).
+type Window struct {
+	ii      *img.Integral
+	x, y    int
+	scale   float64
+	base    int
+	invArea float64
+	invStd  float64
+}
+
+// NewWindow prepares feature evaluation for the window at (x, y) with edge
+// length base·scale on the given plain and squared integral images.
+// It reports false if the window leaves the image.
+func NewWindow(plain, squared *img.Integral, x, y, base int, scale float64) (Window, bool) {
+	size := int(float64(base) * scale)
+	if x < 0 || y < 0 || x+size > plain.W || y+size > plain.H || size <= 0 {
+		return Window{}, false
+	}
+	mean, variance := img.WindowStats(plain, squared, x, y, size, size)
+	_ = mean
+	std := 1.0
+	if variance > 1e-8 {
+		std = math.Sqrt(variance)
+	}
+	return Window{
+		ii: plain, x: x, y: y, scale: scale, base: base,
+		invArea: 1 / float64(size*size),
+		invStd:  1 / std,
+	}, true
+}
+
+// Eval computes the variance-normalized feature response in the window.
+func (w Window) Eval(f *Feature) float64 {
+	var sum float64
+	for i := 0; i < f.NRect; i++ {
+		r := &f.Rects[i]
+		rx := w.x + int(float64(r.X)*w.scale)
+		ry := w.y + int(float64(r.Y)*w.scale)
+		rw := int(float64(r.W) * w.scale)
+		rh := int(float64(r.H) * w.scale)
+		sum += r.Weight * w.ii.Sum(rx, ry, rw, rh)
+	}
+	// Normalize by window area and contrast so thresholds learned at the
+	// base scale transfer across scales and lighting.
+	return sum * w.invArea * w.invStd
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package vj
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// cascadeMagic identifies the camsim cascade serialization format.
+const cascadeMagic = "CSVJ"
+
+// Save writes the trained cascade in a compact deterministic binary
+// format, so deployments can train once and ship the model with the
+// camera firmware.
+func (c *Cascade) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(cascadeMagic); err != nil {
+		return err
+	}
+	write := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(uint32(c.Base), uint32(len(c.Features)), uint32(len(c.Stages))); err != nil {
+		return err
+	}
+	for _, f := range c.Features {
+		if err := write(uint8(f.NRect)); err != nil {
+			return err
+		}
+		for i := 0; i < f.NRect; i++ {
+			r := f.Rects[i]
+			if err := write(int32(r.X), int32(r.Y), int32(r.W), int32(r.H), r.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	for _, st := range c.Stages {
+		if err := write(uint32(len(st.Stumps)), st.Bias); err != nil {
+			return err
+		}
+		for _, s := range st.Stumps {
+			if err := write(uint32(s.Feature), s.Threshold, s.Polarity, s.Alpha); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCascade reads a cascade produced by Save, validating structural
+// invariants (feature indices in range, finite parameters).
+func LoadCascade(r io.Reader) (*Cascade, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(cascadeMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr) != cascadeMagic {
+		return nil, fmt.Errorf("vj: bad magic %q", hdr)
+	}
+	read := func(vs ...interface{}) error {
+		for _, v := range vs {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var base, nFeat, nStages uint32
+	if err := read(&base, &nFeat, &nStages); err != nil {
+		return nil, err
+	}
+	if base == 0 || base > 1024 || nFeat == 0 || nFeat > 1<<22 || nStages == 0 || nStages > 1024 {
+		return nil, fmt.Errorf("vj: implausible cascade header base=%d features=%d stages=%d", base, nFeat, nStages)
+	}
+	c := &Cascade{Base: int(base), Features: make([]Feature, nFeat)}
+	for i := range c.Features {
+		var nr uint8
+		if err := read(&nr); err != nil {
+			return nil, err
+		}
+		if nr == 0 || nr > 3 {
+			return nil, fmt.Errorf("vj: feature %d has %d rects", i, nr)
+		}
+		c.Features[i].NRect = int(nr)
+		for k := 0; k < int(nr); k++ {
+			var x, y, w, h int32
+			var wt float64
+			if err := read(&x, &y, &w, &h, &wt); err != nil {
+				return nil, err
+			}
+			if w <= 0 || h <= 0 || x < 0 || y < 0 || int(x+w) > int(base) || int(y+h) > int(base) {
+				return nil, fmt.Errorf("vj: feature %d rect out of window", i)
+			}
+			c.Features[i].Rects[k] = Rect{int(x), int(y), int(w), int(h), wt}
+		}
+	}
+	for si := uint32(0); si < nStages; si++ {
+		var nStumps uint32
+		var bias float64
+		if err := read(&nStumps, &bias); err != nil {
+			return nil, err
+		}
+		if nStumps > 1<<16 {
+			return nil, fmt.Errorf("vj: stage %d has %d stumps", si, nStumps)
+		}
+		st := Stage{Bias: bias}
+		for k := uint32(0); k < nStumps; k++ {
+			var feat uint32
+			var thr, pol, alpha float64
+			if err := read(&feat, &thr, &pol, &alpha); err != nil {
+				return nil, err
+			}
+			if feat >= nFeat {
+				return nil, fmt.Errorf("vj: stump references feature %d of %d", feat, nFeat)
+			}
+			if math.IsNaN(thr) || math.IsNaN(alpha) || (pol != 1 && pol != -1) {
+				return nil, fmt.Errorf("vj: invalid stump parameters")
+			}
+			st.Stumps = append(st.Stumps, Stump{Feature: int(feat), Threshold: thr, Polarity: pol, Alpha: alpha})
+		}
+		c.Stages = append(c.Stages, st)
+	}
+	return c, nil
+}

@@ -1,0 +1,84 @@
+package vj
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"camsim/internal/synth"
+)
+
+func TestCascadeSaveLoadRoundTrip(t *testing.T) {
+	c := trainedCascade(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCascade(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Base != c.Base || len(back.Features) != len(c.Features) || len(back.Stages) != len(c.Stages) {
+		t.Fatalf("structure mismatch: base %d/%d features %d/%d stages %d/%d",
+			back.Base, c.Base, len(back.Features), len(c.Features), len(back.Stages), len(c.Stages))
+	}
+	for i := range c.Stages {
+		if back.Stages[i].Bias != c.Stages[i].Bias {
+			t.Fatalf("stage %d bias drift", i)
+		}
+		for k := range c.Stages[i].Stumps {
+			if back.Stages[i].Stumps[k] != c.Stages[i].Stumps[k] {
+				t.Fatalf("stage %d stump %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestLoadedCascadeDetectsIdentically(t *testing.T) {
+	c := trainedCascade(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCascade(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(321))
+	sc := synth.BuildDetectionScene(rng, synth.SceneConfig{
+		W: 160, H: 120, MaxFaces: 2, MinSize: 24, MaxSize: 44, ForceFace: true,
+	})
+	p := DefaultDetectParams()
+	a, _ := c.Detect(sc.Image, p)
+	b, _ := back.Detect(sc.Image, p)
+	if len(a) != len(b) {
+		t.Fatalf("detection count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("detection %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadCascadeRejectsCorruption(t *testing.T) {
+	c := trainedCascade(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := LoadCascade(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	if _, err := LoadCascade(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("accepted truncated stream")
+	}
+	// Corrupt the base-window field to an absurd value.
+	bad := append([]byte(nil), data...)
+	bad[4], bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff, 0xff
+	if _, err := LoadCascade(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted absurd base window")
+	}
+}

@@ -1,0 +1,319 @@
+package vj
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"camsim/internal/img"
+)
+
+// Stump is a depth-1 decision tree over one Haar feature: it votes +alpha
+// when polarity·value < polarity·threshold (face-like) and −alpha
+// otherwise.
+type Stump struct {
+	Feature   int // index into the cascade's feature pool
+	Threshold float64
+	Polarity  float64 // +1 or −1
+	Alpha     float64 // AdaBoost vote weight
+}
+
+// Stage is one level of the attentional cascade: a weighted vote of stumps
+// compared against a bias chosen to preserve a target detection rate.
+type Stage struct {
+	Stumps []Stump
+	Bias   float64 // window passes when Σ votes >= Bias
+}
+
+// Cascade is a trained attentional face detector over a pool of features
+// evaluated in a base×base window.
+type Cascade struct {
+	Base     int
+	Features []Feature
+	Stages   []Stage
+}
+
+// TrainConfig parameterizes cascade training.
+type TrainConfig struct {
+	Base           int     // detector window edge (paper-style 20–24 px)
+	MaxStages      int     // cascade depth
+	StumpsPerStage []int   // stumps per stage (grows with depth, e.g. 3, 8, 15, 25)
+	StageDetection float64 // per-stage minimum detection rate on positives (e.g. 0.995)
+	StageFalsePos  float64 // per-stage maximum false-positive rate target (e.g. 0.5)
+	PositionStep   int     // feature-pool subsampling
+	SizeStep       int
+	MinFeature     int
+}
+
+// DefaultTrainConfig returns a pre-filter-grade cascade configuration:
+// shallow, fast, tuned for high recall (the NN behind it removes false
+// positives).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Base:           20,
+		MaxStages:      5,
+		StumpsPerStage: []int{3, 6, 10, 16, 24},
+		StageDetection: 0.995,
+		StageFalsePos:  0.45,
+		PositionStep:   2,
+		SizeStep:       2,
+		MinFeature:     4,
+	}
+}
+
+// Train builds a cascade from positive (face) and negative (non-face)
+// chips of size cfg.Base. Negatives are re-mined between stages from the
+// pool of negatives that still pass the partial cascade, the standard
+// bootstrapping that gives the cascade its multiplicative rejection.
+func Train(rng *rand.Rand, positives, negatives []*img.Gray, cfg TrainConfig) (*Cascade, error) {
+	if len(positives) == 0 || len(negatives) == 0 {
+		return nil, fmt.Errorf("vj: need positives and negatives, got %d/%d", len(positives), len(negatives))
+	}
+	for _, s := range append(append([]*img.Gray{}, positives...), negatives...) {
+		if s.W != cfg.Base || s.H != cfg.Base {
+			return nil, fmt.Errorf("vj: chip size %dx%d, want %dx%d", s.W, s.H, cfg.Base, cfg.Base)
+		}
+	}
+	features := GenerateFeatures(cfg.Base, cfg.PositionStep, cfg.SizeStep, cfg.MinFeature)
+	c := &Cascade{Base: cfg.Base, Features: features}
+
+	// Precompute normalized feature values for every sample once.
+	posVals := evalAll(features, positives, cfg.Base)
+	negVals := evalAll(features, negatives, cfg.Base)
+
+	activeNeg := make([]int, len(negatives))
+	for i := range activeNeg {
+		activeNeg[i] = i
+	}
+
+	for stage := 0; stage < cfg.MaxStages && len(activeNeg) > 0; stage++ {
+		nStumps := cfg.StumpsPerStage[minI(stage, len(cfg.StumpsPerStage)-1)]
+		st := trainStage(rng, features, posVals, negVals, activeNeg, nStumps, cfg.StageDetection)
+		c.Stages = append(c.Stages, st)
+
+		// Keep only the negatives that still pass (future stages must work
+		// on the survivors).
+		var survivors []int
+		for _, ni := range activeNeg {
+			if stagePasses(st, negVals, ni) {
+				survivors = append(survivors, ni)
+			}
+		}
+		fpr := float64(len(survivors)) / float64(len(activeNeg))
+		activeNeg = survivors
+		// Stop early if the stage already over-achieved the target FPR and
+		// nothing is left to reject.
+		if fpr == 0 {
+			break
+		}
+	}
+	if len(c.Stages) == 0 {
+		return nil, fmt.Errorf("vj: training produced no stages")
+	}
+	return c, nil
+}
+
+// evalAll computes values[featureIdx][sampleIdx] for every (feature,
+// sample) pair using variance-normalized windows over the whole chip.
+func evalAll(features []Feature, samples []*img.Gray, base int) [][]float64 {
+	vals := make([][]float64, len(features))
+	wins := make([]Window, len(samples))
+	for si, s := range samples {
+		plain := img.NewIntegral(s)
+		squared := img.NewSquaredIntegral(s)
+		w, ok := NewWindow(plain, squared, 0, 0, base, 1)
+		if !ok {
+			panic("vj: sample smaller than base window")
+		}
+		wins[si] = w
+	}
+	for fi := range features {
+		row := make([]float64, len(samples))
+		for si := range samples {
+			row[si] = wins[si].Eval(&features[fi])
+		}
+		vals[fi] = row
+	}
+	return vals
+}
+
+// trainStage runs AdaBoost for nStumps rounds over positives and the
+// currently active negatives, then lowers the stage bias until the stage
+// detection rate on positives reaches minDetect.
+func trainStage(rng *rand.Rand, features []Feature, posVals, negVals [][]float64,
+	activeNeg []int, nStumps int, minDetect float64) Stage {
+
+	nPos := len(posVals[0])
+	nNeg := len(activeNeg)
+	// AdaBoost weights, initialized uniform per class.
+	wPos := make([]float64, nPos)
+	wNeg := make([]float64, nNeg)
+	for i := range wPos {
+		wPos[i] = 0.5 / float64(nPos)
+	}
+	for i := range wNeg {
+		wNeg[i] = 0.5 / float64(nNeg)
+	}
+	_ = rng
+
+	var st Stage
+	// scores accumulate the weighted votes for threshold selection.
+	posScore := make([]float64, nPos)
+	negScore := make([]float64, nNeg)
+
+	for round := 0; round < nStumps; round++ {
+		normalize(wPos, wNeg)
+		best := bestStump(features, posVals, negVals, activeNeg, wPos, wNeg)
+		if best.Alpha <= 0 {
+			break // no weak learner better than chance remains
+		}
+		st.Stumps = append(st.Stumps, best)
+		// Update weights: correctly classified samples get down-weighted.
+		beta := math.Exp(-best.Alpha)
+		for i := 0; i < nPos; i++ {
+			vote := stumpVote(best, posVals[best.Feature][i])
+			posScore[i] += vote
+			if vote > 0 {
+				wPos[i] *= beta
+			} else {
+				wPos[i] /= beta
+			}
+		}
+		for k, ni := range activeNeg {
+			vote := stumpVote(best, negVals[best.Feature][ni])
+			negScore[k] += vote
+			if vote < 0 {
+				wNeg[k] *= beta
+			} else {
+				wNeg[k] /= beta
+			}
+		}
+	}
+	if len(st.Stumps) == 0 {
+		// Degenerate data: accept everything.
+		st.Bias = -math.MaxFloat64
+		return st
+	}
+	// Choose the bias as the largest value keeping minDetect of positives.
+	sorted := append([]float64(nil), posScore...)
+	sort.Float64s(sorted)
+	idx := int(float64(nPos) * (1 - minDetect))
+	if idx >= nPos {
+		idx = nPos - 1
+	}
+	st.Bias = sorted[idx] - 1e-9
+	return st
+}
+
+// bestStump scans every feature for the lowest weighted-error decision
+// stump using the sorted-threshold sweep.
+func bestStump(features []Feature, posVals, negVals [][]float64,
+	activeNeg []int, wPos, wNeg []float64) Stump {
+
+	type item struct {
+		v   float64
+		w   float64
+		pos bool
+	}
+	nPos := len(wPos)
+	items := make([]item, 0, nPos+len(activeNeg))
+
+	bestErr := 0.5
+	var best Stump
+	var totalPos, totalNeg float64
+	for _, w := range wPos {
+		totalPos += w
+	}
+	for _, w := range wNeg {
+		totalNeg += w
+	}
+
+	for fi := range features {
+		items = items[:0]
+		pv := posVals[fi]
+		nv := negVals[fi]
+		for i := 0; i < nPos; i++ {
+			items = append(items, item{pv[i], wPos[i], true})
+		}
+		for k, ni := range activeNeg {
+			items = append(items, item{nv[ni], wNeg[k], false})
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a].v < items[b].v })
+
+		// Sweep thresholds between consecutive values. belowPos/belowNeg
+		// are the class weights strictly below the candidate threshold.
+		var belowPos, belowNeg float64
+		for i := 0; i < len(items); i++ {
+			// Error if faces are "below" (polarity +1): misclassified =
+			// positives above + negatives below.
+			errPosBelow := (totalPos - belowPos) + belowNeg
+			// Error if faces are "above" (polarity −1).
+			errPosAbove := belowPos + (totalNeg - belowNeg)
+			thr := items[i].v
+			if e := errPosBelow; e < bestErr {
+				bestErr = e
+				best = Stump{Feature: fi, Threshold: thr, Polarity: 1}
+			}
+			if e := errPosAbove; e < bestErr {
+				bestErr = e
+				best = Stump{Feature: fi, Threshold: thr, Polarity: -1}
+			}
+			if items[i].pos {
+				belowPos += items[i].w
+			} else {
+				belowNeg += items[i].w
+			}
+		}
+	}
+	if bestErr >= 0.5 {
+		return Stump{} // Alpha 0 signals "no useful stump"
+	}
+	eps := math.Max(bestErr, 1e-10)
+	best.Alpha = 0.5 * math.Log((1-eps)/eps)
+	return best
+}
+
+// stumpVote returns ±Alpha for a feature value.
+func stumpVote(s Stump, v float64) float64 {
+	if s.Polarity*v < s.Polarity*s.Threshold {
+		return s.Alpha
+	}
+	return -s.Alpha
+}
+
+// stagePasses evaluates a stage on precomputed feature values of sample i.
+func stagePasses(st Stage, vals [][]float64, i int) bool {
+	var score float64
+	for _, s := range st.Stumps {
+		score += stumpVote(s, vals[s.Feature][i])
+	}
+	return score >= st.Bias
+}
+
+func normalize(wPos, wNeg []float64) {
+	var sum float64
+	for _, w := range wPos {
+		sum += w
+	}
+	for _, w := range wNeg {
+		sum += w
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / sum
+	for i := range wPos {
+		wPos[i] *= inv
+	}
+	for i := range wNeg {
+		wNeg[i] *= inv
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,339 @@
+package vj
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"camsim/internal/img"
+	"camsim/internal/quality"
+	"camsim/internal/synth"
+)
+
+func TestGenerateFeaturesInBounds(t *testing.T) {
+	feats := GenerateFeatures(20, 2, 2, 4)
+	if len(feats) < 200 {
+		t.Fatalf("only %d features generated", len(feats))
+	}
+	for _, f := range feats {
+		for i := 0; i < f.NRect; i++ {
+			r := f.Rects[i]
+			if r.X < 0 || r.Y < 0 || r.X+r.W > 20 || r.Y+r.H > 20 {
+				t.Fatalf("feature rect out of bounds: %+v", r)
+			}
+			if r.W <= 0 || r.H <= 0 {
+				t.Fatalf("degenerate rect: %+v", r)
+			}
+		}
+	}
+}
+
+func TestGenerateFeaturesPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GenerateFeatures(20, 0, 1, 4)
+}
+
+func TestFeatureEvalFlatImageIsZero(t *testing.T) {
+	g := img.NewGray(20, 20)
+	g.Fill(0.5)
+	plain := img.NewIntegral(g)
+	squared := img.NewSquaredIntegral(g)
+	w, ok := NewWindow(plain, squared, 0, 0, 20, 1)
+	if !ok {
+		t.Fatal("window rejected")
+	}
+	for _, kind := range []FeatureKind{EdgeHorizontal, EdgeVertical, LineHorizontal, LineVertical} {
+		f := makeFeature(kind, 2, 2, 12, 12)
+		if v := w.Eval(&f); v < -1e-6 || v > 1e-6 {
+			t.Fatalf("kind %d: flat image response %v, want ~0", kind, v)
+		}
+	}
+}
+
+func TestFeatureEvalEdgeResponse(t *testing.T) {
+	// Left-dark/right-bright image: EdgeHorizontal (left − 2·right... i.e.
+	// whole − 2·right half) must respond strongly and with opposite signs
+	// for mirrored images.
+	g := img.NewGray(20, 20)
+	for y := 0; y < 20; y++ {
+		for x := 10; x < 20; x++ {
+			g.Set(x, y, 1)
+		}
+	}
+	plain := img.NewIntegral(g)
+	squared := img.NewSquaredIntegral(g)
+	w, _ := NewWindow(plain, squared, 0, 0, 20, 1)
+	f := makeFeature(EdgeHorizontal, 0, 0, 20, 20)
+	v1 := w.Eval(&f)
+
+	m := img.NewGray(20, 20)
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 10; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	plain2 := img.NewIntegral(m)
+	squared2 := img.NewSquaredIntegral(m)
+	w2, _ := NewWindow(plain2, squared2, 0, 0, 20, 1)
+	v2 := w2.Eval(&f)
+	if v1*v2 >= 0 {
+		t.Fatalf("mirrored edges gave same-sign responses: %v, %v", v1, v2)
+	}
+}
+
+func TestWindowScaleInvariance(t *testing.T) {
+	// The same pattern at 1x and 2x scale should give similar normalized
+	// feature values when evaluated with the matching window scale.
+	id := synth.IdentityFromSeed(3)
+	o := synth.DefaultRenderOpts(20)
+	o.Background = 0.5
+	small := id.Render(o)
+	big := img.ResizeBilinear(small, 40, 40)
+
+	f := makeFeature(EdgeVertical, 4, 4, 12, 12)
+	ps, ss := img.NewIntegral(small), img.NewSquaredIntegral(small)
+	pb, sb := img.NewIntegral(big), img.NewSquaredIntegral(big)
+	ws, _ := NewWindow(ps, ss, 0, 0, 20, 1)
+	wb, _ := NewWindow(pb, sb, 0, 0, 20, 2)
+	vs, vb := ws.Eval(&f), wb.Eval(&f)
+	if d := vs - vb; d > 0.1 || d < -0.1 {
+		t.Fatalf("scale variance too high: %v vs %v", vs, vb)
+	}
+}
+
+func TestNewWindowRejectsOutOfBounds(t *testing.T) {
+	g := img.NewGray(30, 30)
+	plain := img.NewIntegral(g)
+	squared := img.NewSquaredIntegral(g)
+	if _, ok := NewWindow(plain, squared, 15, 15, 20, 1); ok {
+		t.Fatal("accepted window extending past the image")
+	}
+	if _, ok := NewWindow(plain, squared, -1, 0, 20, 1); ok {
+		t.Fatal("accepted negative origin")
+	}
+}
+
+// Shared trained cascade (training is the expensive part of this suite).
+var (
+	cascadeOnce sync.Once
+	cascade     *Cascade
+	cascadeErr  error
+)
+
+func trainedCascade(t *testing.T) *Cascade {
+	t.Helper()
+	cascadeOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		pos := synth.FaceChips(rng, 300, 20)
+		neg := synth.NonFaceChips(rng, 600, 20)
+		cfg := DefaultTrainConfig()
+		cascade, cascadeErr = Train(rng, pos, neg, cfg)
+	})
+	if cascadeErr != nil {
+		t.Fatal(cascadeErr)
+	}
+	return cascade
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Train(rng, nil, synth.NonFaceChips(rng, 5, 20), DefaultTrainConfig()); err == nil {
+		t.Fatal("accepted empty positives")
+	}
+	pos := synth.FaceChips(rng, 3, 24) // wrong chip size
+	neg := synth.NonFaceChips(rng, 3, 24)
+	if _, err := Train(rng, pos, neg, DefaultTrainConfig()); err == nil {
+		t.Fatal("accepted wrong chip size")
+	}
+}
+
+func TestCascadeStructureIsProgressive(t *testing.T) {
+	c := trainedCascade(t)
+	if len(c.Stages) < 2 {
+		t.Fatalf("cascade has %d stages, want >= 2", len(c.Stages))
+	}
+	per := c.NumFeaturesPerStage()
+	if per[0] > per[len(per)-1] {
+		t.Fatalf("first stage (%d stumps) larger than last (%d) — not attentional", per[0], per[len(per)-1])
+	}
+}
+
+func TestCascadeSeparatesChips(t *testing.T) {
+	c := trainedCascade(t)
+	rng := rand.New(rand.NewSource(77)) // held-out data
+	pos := synth.FaceChips(rng, 100, 20)
+	neg := synth.NonFaceChips(rng, 200, 20)
+	classify := func(g *img.Gray) bool {
+		plain := img.NewIntegral(g)
+		squared := img.NewSquaredIntegral(g)
+		w, _ := NewWindow(plain, squared, 0, 0, 20, 1)
+		var st DetectStats
+		pass, _, _ := c.evalWindow(w, &st)
+		return pass
+	}
+	var tp, fp int
+	for _, g := range pos {
+		if classify(g) {
+			tp++
+		}
+	}
+	for _, g := range neg {
+		if classify(g) {
+			fp++
+		}
+	}
+	if det := float64(tp) / 100; det < 0.9 {
+		t.Fatalf("held-out detection rate %v, want >= 0.9", det)
+	}
+	if fpr := float64(fp) / 200; fpr > 0.25 {
+		t.Fatalf("held-out false-positive rate %v, want <= 0.25", fpr)
+	}
+}
+
+func sceneBatch(seed int64, n int) []struct {
+	Image *img.Gray
+	Faces []quality.Box
+} {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]struct {
+		Image *img.Gray
+		Faces []quality.Box
+	}, n)
+	for i := range out {
+		sc := synth.BuildDetectionScene(rng, synth.SceneConfig{
+			W: 160, H: 120, MaxFaces: 2, MinSize: 24, MaxSize: 44, Clutter: 4,
+			NoiseSig: 0.01, ForceFace: true,
+		})
+		out[i].Image = sc.Image
+		out[i].Faces = sc.Faces
+	}
+	return out
+}
+
+func TestDetectFindsFacesInScenes(t *testing.T) {
+	c := trainedCascade(t)
+	scenes := sceneBatch(101, 8)
+	acc, work := c.EvaluateOnScenes(scenes, DefaultDetectParams())
+	if r := acc.Recall(); r < 0.6 {
+		t.Fatalf("scene recall %v too low (stats %+v)", r, acc)
+	}
+	if work.Windows == 0 || work.FeatureEvals == 0 {
+		t.Fatal("work counters not populated")
+	}
+}
+
+func TestCascadeRejectsEarlyOnAverage(t *testing.T) {
+	// The whole point of the attentional cascade: average stage entries
+	// per window must be much closer to 1 than to the cascade depth.
+	c := trainedCascade(t)
+	scenes := sceneBatch(102, 4)
+	_, work := c.EvaluateOnScenes(scenes, DefaultDetectParams())
+	avgStages := float64(work.StageEvals) / float64(work.Windows)
+	if avgStages > float64(len(c.Stages))*0.6 {
+		t.Fatalf("average %.2f stages per window across %d stages — cascade not rejecting early",
+			avgStages, len(c.Stages))
+	}
+}
+
+func TestScaleFactorTradeoff(t *testing.T) {
+	// Fig. 4c: growing the scale factor reduces work and accuracy.
+	c := trainedCascade(t)
+	scenes := sceneBatch(103, 8)
+	pFine := DefaultDetectParams()
+	pCoarse := DefaultDetectParams()
+	pCoarse.ScaleFactor = 2.0
+	accF, workF := c.EvaluateOnScenes(scenes, pFine)
+	accC, workC := c.EvaluateOnScenes(scenes, pCoarse)
+	if workC.Windows >= workF.Windows {
+		t.Fatalf("scale factor 2.0 did not reduce windows: %d vs %d", workC.Windows, workF.Windows)
+	}
+	if accC.F1() > accF.F1()+0.05 {
+		t.Fatalf("coarser scale factor improved F1 (%v vs %v)?", accC.F1(), accF.F1())
+	}
+}
+
+func TestStepSizeTradeoff(t *testing.T) {
+	c := trainedCascade(t)
+	scenes := sceneBatch(104, 8)
+	pFine := DefaultDetectParams()
+	pCoarse := DefaultDetectParams()
+	pCoarse.StepSize = 16
+	accF, workF := c.EvaluateOnScenes(scenes, pFine)
+	accC, workC := c.EvaluateOnScenes(scenes, pCoarse)
+	if workC.Windows >= workF.Windows/4 {
+		t.Fatalf("step 16 should cut windows >4x vs step 4: %d vs %d", workC.Windows, workF.Windows)
+	}
+	if accC.Recall() > accF.Recall()+1e-9 {
+		t.Fatalf("coarser steps increased recall (%v vs %v)?", accC.Recall(), accF.Recall())
+	}
+}
+
+func TestAdaptiveStepReducesWork(t *testing.T) {
+	c := trainedCascade(t)
+	scenes := sceneBatch(105, 8)
+	pStatic := DefaultDetectParams()
+	pAdaptive := DefaultDetectParams()
+	pAdaptive.AdaptiveStep = 0.3
+	_, workS := c.EvaluateOnScenes(scenes, pStatic)
+	_, workA := c.EvaluateOnScenes(scenes, pAdaptive)
+	if workA.Windows >= workS.Windows {
+		t.Fatalf("adaptive stride did not reduce windows: %d vs %d", workA.Windows, workS.Windows)
+	}
+}
+
+func TestDetectPanicsOnBadScaleFactor(t *testing.T) {
+	c := trainedCascade(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := DefaultDetectParams()
+	p.ScaleFactor = 1.0
+	c.Detect(img.NewGray(64, 64), p)
+}
+
+func TestContainsFace(t *testing.T) {
+	c := trainedCascade(t)
+	scenes := sceneBatch(106, 3)
+	found := 0
+	for _, sc := range scenes {
+		if ok, _ := c.ContainsFace(sc.Image, DefaultDetectParams()); ok {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("ContainsFace found nothing in face-bearing scenes")
+	}
+	// An empty flat image must contain nothing.
+	empty := img.NewGray(160, 120)
+	empty.Fill(0.5)
+	if ok, _ := c.ContainsFace(empty, DefaultDetectParams()); ok {
+		t.Fatal("ContainsFace fired on a flat image")
+	}
+}
+
+func BenchmarkDetectQVGA(b *testing.B) {
+	cascadeOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		pos := synth.FaceChips(rng, 300, 20)
+		neg := synth.NonFaceChips(rng, 600, 20)
+		cascade, cascadeErr = Train(rng, pos, neg, DefaultTrainConfig())
+	})
+	if cascadeErr != nil {
+		b.Fatal(cascadeErr)
+	}
+	rng := rand.New(rand.NewSource(9))
+	sc := synth.BuildDetectionScene(rng, synth.SceneConfig{
+		W: 320, H: 240, MaxFaces: 2, MinSize: 30, MaxSize: 60, ForceFace: true,
+	})
+	p := DefaultDetectParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cascade.Detect(sc.Image, p)
+	}
+}

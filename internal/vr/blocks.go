@@ -1,0 +1,97 @@
+// Package vr implements the four processing blocks of the paper's
+// real-time VR video pipeline (§IV, Fig. 5): B1 pre-processing (demosaic,
+// denoise, gamma), B2 image alignment (pairwise shift estimation and
+// rectification), B3 depth estimation (BSSA, internal/bilateral), and B4
+// panorama stitching with parallax compensation, plus the data-size model
+// behind Figs. 9 and 10.
+package vr
+
+import (
+	"fmt"
+	"math"
+
+	"camsim/internal/bilateral"
+	"camsim/internal/img"
+)
+
+// CaptureFrame simulates the sensor: it mosaics the scene view through a
+// 12-bit Bayer CFA, producing the raw frame the pipeline ingests
+// (and whose packed size is the sensor's communication cost).
+func CaptureFrame(view *img.Gray) *img.Raw {
+	return img.Mosaic(img.GrayToRGB(view), 12, img.BayerRGGB)
+}
+
+// Preprocess is block B1: demosaic the raw frame, convert to luma, apply a
+// 3×3 median denoise and gamma encoding. Output is a full-resolution
+// grayscale frame in [0, 1].
+func Preprocess(raw *img.Raw) *img.Gray {
+	rgb := img.Demosaic(raw)
+	luma := rgb.Luma()
+	den := img.Median3(luma)
+	return img.GammaEncode(den, 1.1)
+}
+
+// AlignResult is block B2's output for one adjacent camera pair.
+type AlignResult struct {
+	// Shift is the estimated pan displacement in pixels between the views.
+	Shift int
+	// Score is the mean absolute residual at the chosen shift.
+	Score float64
+	// LeftOverlap and RightOverlap are the rectified overlap crops: pixel
+	// (x, y) of both images views the same scene column up to stereo
+	// parallax, ready for depth estimation.
+	LeftOverlap, RightOverlap *img.Gray
+}
+
+// Align is block B2: it estimates the pan shift between two adjacent views
+// by SAD search within ±searchRadius of the rig's nominal spacing, then
+// crops both views to their common overlap.
+func Align(left, right *img.Gray, nominalShift, searchRadius int) (AlignResult, error) {
+	if left.W != right.W || left.H != right.H {
+		return AlignResult{}, fmt.Errorf("vr: view size mismatch %dx%d vs %dx%d", left.W, left.H, right.W, right.H)
+	}
+	if nominalShift < 0 || nominalShift >= left.W {
+		return AlignResult{}, fmt.Errorf("vr: nominal shift %d outside view width %d", nominalShift, left.W)
+	}
+	best := AlignResult{Shift: -1, Score: math.Inf(1)}
+	lo := nominalShift - searchRadius
+	hi := nominalShift + searchRadius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= left.W {
+		hi = left.W - 1
+	}
+	for s := lo; s <= hi; s++ {
+		ow := left.W - s
+		var sum float64
+		// Subsample rows for speed; alignment needs no per-pixel precision.
+		rows := 0
+		for y := 0; y < left.H; y += 2 {
+			for x := 0; x < ow; x += 2 {
+				d := float64(left.At(x+s, y) - right.At(x, y))
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+			rows++
+		}
+		score := sum / float64(rows*(ow/2+1))
+		if score < best.Score {
+			best.Score = score
+			best.Shift = s
+		}
+	}
+	ow := left.W - best.Shift
+	best.LeftOverlap = left.SubImage(best.Shift, 0, ow, left.H)
+	best.RightOverlap = right.SubImage(0, 0, ow, right.H)
+	return best, nil
+}
+
+// Depth is block B3: BSSA disparity refinement on a rectified pair.
+// It is a thin wrapper so the pipeline can swap solver configurations
+// (the CPU/GPU/FPGA comparisons share this exact computation).
+func Depth(left, right *img.Gray, cfg bilateral.BSSAConfig) (*img.Gray, bilateral.Stats, error) {
+	return bilateral.Solve(left, right, cfg)
+}

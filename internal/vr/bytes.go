@@ -1,0 +1,52 @@
+package vr
+
+// PaperByteModel returns the full-scale per-frame-set output sizes (bytes)
+// of the 16-camera 4K rig's pipeline stages, reverse-engineered from the
+// upload rates of the paper's Fig. 10 at the stated 25 GbE uplink
+// (3.125 GB/s): FPS = 3.125e9 / bytes.
+//
+//	sensor  → 15.8 FPS → 197.8 MB  (16 × 3840×2160 × 12-bit packed Bayer)
+//	B1 out  → 15.8 FPS → 197.8 MB  (denoised raw, same packing)
+//	B2 out  →  3.95 FPS → 791.1 MB (16 aligned overlap pairs, 16-bit — the
+//	                                data *expansion* the paper highlights)
+//	B3 out  → 11.2 FPS → 279.0 MB  (pairwise depth + confidence maps)
+//	B4 out  →   174 FPS → 17.96 MB (stereo panorama pair — the only output
+//	                                small enough for real-time upload)
+type ByteModel struct {
+	Sensor, B1, B2, B3, B4 int64
+}
+
+// PaperByteModel returns the Fig. 10-calibrated sizes.
+func PaperByteModel() ByteModel {
+	const gbps25 = 25e9 / 8 // bytes per second on 25 GbE
+	fromFPS := func(fps float64) int64 { return int64(gbps25 / fps) }
+	return ByteModel{
+		Sensor: fromFPS(15.8),
+		B1:     fromFPS(15.8),
+		B2:     fromFPS(3.95),
+		B3:     fromFPS(11.2),
+		B4:     fromFPS(174),
+	}
+}
+
+// Stage returns the output bytes after the pipeline prefix of the given
+// length (0 = raw sensor, 1 = after B1, … 4 = after B4).
+func (m ByteModel) Stage(prefix int) int64 {
+	switch prefix {
+	case 0:
+		return m.Sensor
+	case 1:
+		return m.B1
+	case 2:
+		return m.B2
+	case 3:
+		return m.B3
+	case 4:
+		return m.B4
+	}
+	panic("vr: pipeline prefix must be 0..4")
+}
+
+// ComputeShare returns the paper's Fig. 9 per-block computation-time
+// distribution (B1 5%, B2 20%, B3 70%, B4 5%).
+func ComputeShare() [4]float64 { return [4]float64{0.05, 0.20, 0.70, 0.05} }

@@ -1,0 +1,124 @@
+package vr
+
+import (
+	"fmt"
+
+	"camsim/internal/bilateral"
+	"camsim/internal/img"
+	"camsim/internal/rig"
+)
+
+// Pipeline runs the full B1→B4 flow over a synthetic rig at working
+// resolution, producing every intermediate artifact plus actual byte
+// counts so the scaled pipeline can be compared against the paper's
+// full-scale byte model.
+type Pipeline struct {
+	Rig        *rig.Rig
+	BSSA       bilateral.BSSAConfig
+	SearchRad  int // B2 shift search radius
+	Compensate bool
+}
+
+// NewPipeline builds a pipeline over the rig with a fine-grid BSSA
+// configuration.
+func NewPipeline(r *rig.Rig) *Pipeline {
+	return &Pipeline{
+		Rig:        r,
+		BSSA:       bilateral.DefaultBSSAConfig(r.MaxDisparity()),
+		SearchRad:  4,
+		Compensate: true,
+	}
+}
+
+// Result holds every intermediate output of one full-rig run.
+type Result struct {
+	Raw          []*img.Raw    // sensor output per camera
+	Preprocessed []*img.Gray   // B1 output per camera
+	Aligned      []AlignResult // B2 output per adjacent pair (cameras i, i+1)
+	Disparities  []*img.Gray   // B3 output per stereo pair (even i)
+	DepthStats   []bilateral.Stats
+	Panorama     *img.Gray // B4 output
+	LeftEye      *img.Gray
+	RightEye     *img.Gray
+
+	// Bytes actually produced by each stage at working resolution.
+	Bytes StageBytes
+}
+
+// StageBytes records per-stage output sizes in bytes.
+type StageBytes struct {
+	Sensor, B1, B2, B3, B4 int64
+}
+
+// Run executes the full pipeline over every camera of the rig.
+func (p *Pipeline) Run() (*Result, error) {
+	r := p.Rig
+	res := &Result{}
+
+	// Sensor + B1 per camera.
+	for i := 0; i < r.Cameras; i++ {
+		raw := CaptureFrame(r.View(i))
+		res.Raw = append(res.Raw, raw)
+		res.Bytes.Sensor += raw.SizeBytes()
+		pre := Preprocess(raw)
+		res.Preprocessed = append(res.Preprocessed, pre)
+		res.Bytes.B1 += raw.SizeBytes() // B1 keeps the packed-raw footprint
+	}
+
+	// B2 per adjacent pair.
+	nominal := int(r.PanSpacing)
+	for i := 0; i+1 < r.Cameras; i++ {
+		al, err := Align(res.Preprocessed[i], res.Preprocessed[i+1], nominal, p.SearchRad)
+		if err != nil {
+			return nil, fmt.Errorf("vr: align pair %d: %w", i, err)
+		}
+		res.Aligned = append(res.Aligned, al)
+		// Aligned overlap pairs at 16-bit working precision.
+		res.Bytes.B2 += int64(al.LeftOverlap.W*al.LeftOverlap.H) * 2 * 2
+	}
+
+	// B3 per stereo pair (even cameras). The stereo pair uses the rig's
+	// rectified rendering; the B2 overlap estimate validates alignment.
+	for i := 0; i+1 < r.Cameras; i += 2 {
+		left, right, _ := r.Pair(i)
+		d, st, err := Depth(left, right, p.BSSA)
+		if err != nil {
+			return nil, fmt.Errorf("vr: depth pair %d: %w", i, err)
+		}
+		res.Disparities = append(res.Disparities, d)
+		res.DepthStats = append(res.DepthStats, st)
+		// Depth (16-bit) + confidence (8-bit) + reference luma (8-bit) per
+		// pixel — like the paper, the depth stage's output exceeds the raw
+		// sensor bytes because stitching needs imagery alongside depth.
+		res.Bytes.B3 += int64(d.W*d.H) * 4
+	}
+
+	// B4: panorama + eye pair.
+	pano, err := Stitch(res.Preprocessed, res.Disparities, StitchConfig{
+		PanSpacing:         r.PanSpacing,
+		ParallaxCompensate: p.Compensate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Panorama = pano
+	// Disparity panorama: stitch the per-pair disparity maps the same way.
+	dispViews := make([]*img.Gray, len(res.Preprocessed))
+	for i := range dispViews {
+		d := res.Disparities[i/2]
+		dispViews[i] = d
+	}
+	dispPano, err := Stitch(dispViews, res.Disparities, StitchConfig{
+		PanSpacing: r.PanSpacing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, rr, err := EyePair(pano, dispPano, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res.LeftEye, res.RightEye = l, rr
+	res.Bytes.B4 = int64(l.W*l.H) * 2 // 8-bit stereo pair
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package vr
+
+import (
+	"fmt"
+
+	"camsim/internal/img"
+)
+
+// StitchConfig parameterizes block B4.
+type StitchConfig struct {
+	// PanSpacing is the pan displacement between adjacent cameras in
+	// pixels (from the rig geometry or the B2 estimates).
+	PanSpacing float64
+	// PanoramaW is the output width; 0 derives it from the view count.
+	PanoramaW int
+	// ParallaxCompensate shifts odd (baseline-displaced) cameras by their
+	// per-pixel disparity before compositing, removing double images of
+	// near objects. Disabling it is the ablation baseline.
+	ParallaxCompensate bool
+}
+
+// Stitch is block B4: it composites the camera views into a single
+// panorama with linear feather blending in the overlaps. views[i] is
+// camera i's processed frame; disparities[i/2] is the pair disparity map
+// used to parallax-compensate odd cameras (may be nil when compensation is
+// off).
+func Stitch(views []*img.Gray, disparities []*img.Gray, cfg StitchConfig) (*img.Gray, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("vr: no views to stitch")
+	}
+	w, h := views[0].W, views[0].H
+	for i, v := range views {
+		if v.W != w || v.H != h {
+			return nil, fmt.Errorf("vr: view %d size %dx%d differs from %dx%d", i, v.W, v.H, w, h)
+		}
+	}
+	if cfg.ParallaxCompensate && len(disparities) < len(views)/2 {
+		return nil, fmt.Errorf("vr: need %d disparity maps, got %d", len(views)/2, len(disparities))
+	}
+	panW := cfg.PanoramaW
+	if panW <= 0 {
+		panW = int(float64(len(views)-1)*cfg.PanSpacing) + w
+	}
+	acc := img.NewGray(panW, h)
+	wt := img.NewGray(panW, h)
+
+	for i, v := range views {
+		panX := float64(i) * cfg.PanSpacing
+		var disp *img.Gray
+		if cfg.ParallaxCompensate && i%2 == 1 {
+			disp = disparities[i/2]
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				// Feather: weight peaks at the view centre.
+				fx := float64(x)/float64(w-1)*2 - 1
+				weight := float32(1 - fx*fx)
+				if weight <= 0 {
+					continue
+				}
+				// Odd cameras sit one baseline to the side; their content
+				// appears disparity pixels later in panorama space.
+				px := panX + float64(x)
+				if disp != nil {
+					px += float64(disp.AtClamped(x, y))
+				}
+				ix := int(px + 0.5)
+				if ix < 0 || ix >= panW {
+					continue
+				}
+				acc.Pix[y*panW+ix] += weight * v.Pix[y*w+x]
+				wt.Pix[y*panW+ix] += weight
+			}
+		}
+	}
+	out := img.NewGray(panW, h)
+	for i := range acc.Pix {
+		if wt.Pix[i] > 1e-6 {
+			out.Pix[i] = acc.Pix[i] / wt.Pix[i]
+		}
+	}
+	// Forward warping and zero-weight feather edges leave holes; fill from
+	// the left, then fill any leading holes from the right.
+	for y := 0; y < h; y++ {
+		last := float32(0)
+		haveLast := false
+		for x := 0; x < panW; x++ {
+			i := y*panW + x
+			if wt.Pix[i] <= 1e-6 {
+				if haveLast {
+					out.Pix[i] = last
+				}
+			} else {
+				last = out.Pix[i]
+				haveLast = true
+			}
+		}
+		for x := panW - 1; x >= 0; x-- {
+			i := y*panW + x
+			if wt.Pix[i] > 1e-6 {
+				last = out.Pix[i]
+			} else {
+				out.Pix[i] = last
+			}
+		}
+	}
+	return out, nil
+}
+
+// EyePair synthesizes the stereoscopic output pair from a stitched
+// panorama and its disparity panorama: each eye sees the panorama warped
+// by ±ipdScale·disparity/2 — the final 3D-360° product of the pipeline.
+func EyePair(pano, dispPano *img.Gray, ipdScale float64) (left, right *img.Gray, err error) {
+	if pano.W != dispPano.W || pano.H != dispPano.H {
+		return nil, nil, fmt.Errorf("vr: panorama %dx%d vs disparity %dx%d", pano.W, pano.H, dispPano.W, dispPano.H)
+	}
+	left = img.NewGray(pano.W, pano.H)
+	right = img.NewGray(pano.W, pano.H)
+	for y := 0; y < pano.H; y++ {
+		for x := 0; x < pano.W; x++ {
+			d := float64(dispPano.At(x, y)) * ipdScale / 2
+			left.Pix[y*pano.W+x] = img.SampleBilinear(pano, float64(x)-d, float64(y))
+			right.Pix[y*pano.W+x] = img.SampleBilinear(pano, float64(x)+d, float64(y))
+		}
+	}
+	return left, right, nil
+}

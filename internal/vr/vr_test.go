@@ -1,0 +1,313 @@
+package vr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"camsim/internal/bilateral"
+	"camsim/internal/img"
+	"camsim/internal/quality"
+	"camsim/internal/rig"
+)
+
+func testRig(seed int64) *rig.Rig {
+	return rig.NewRig(rand.New(rand.NewSource(seed)), 4, 128, 64, 0.75, 3)
+}
+
+func TestCapturePreprocessRoundTrip(t *testing.T) {
+	r := testRig(1)
+	view := r.View(0)
+	raw := CaptureFrame(view)
+	if raw.Bits != 12 || raw.W != view.W {
+		t.Fatalf("raw %dx%d@%d", raw.W, raw.H, raw.Bits)
+	}
+	pre := Preprocess(raw)
+	if pre.W != view.W || pre.H != view.H {
+		t.Fatalf("preprocessed size %dx%d", pre.W, pre.H)
+	}
+	// B1 output must stay close to the clean view (gamma 1.1 shifts values
+	// slightly; structural similarity is the right lens).
+	if s := quality.SSIM(view, pre); s < 0.7 {
+		t.Fatalf("preprocessed SSIM vs clean view %v too low", s)
+	}
+}
+
+func TestPreprocessDenoises(t *testing.T) {
+	r := testRig(2)
+	view := r.View(0)
+	noisy := view.Clone()
+	rng := rand.New(rand.NewSource(3))
+	// Salt-and-pepper noise, which the median stage should remove.
+	for k := 0; k < len(noisy.Pix)/50; k++ {
+		i := rng.Intn(len(noisy.Pix))
+		if k%2 == 0 {
+			noisy.Pix[i] = 1
+		} else {
+			noisy.Pix[i] = 0
+		}
+	}
+	pre := Preprocess(CaptureFrame(noisy))
+	preNoisy := Preprocess(CaptureFrame(view))
+	// The denoised noisy capture should be nearly as similar to the clean
+	// capture as a clean capture is.
+	sNoisy := quality.SSIM(pre, preNoisy)
+	if sNoisy < 0.8 {
+		t.Fatalf("median stage failed to suppress impulses: SSIM %v", sNoisy)
+	}
+}
+
+func TestAlignRecoversPanSpacing(t *testing.T) {
+	r := testRig(4)
+	left, right := r.RawPair(0)
+	nominal := int(r.PanSpacing)
+	al, err := Align(left, right, nominal, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SAD optimum is pan spacing plus the dominant (background)
+	// parallax of ~3 px; accept a small band around that.
+	if d := al.Shift - nominal - 3; d < -3 || d > 3 {
+		t.Fatalf("estimated shift %d, want ~%d", al.Shift, nominal+3)
+	}
+	if al.LeftOverlap.W != left.W-al.Shift {
+		t.Fatalf("overlap width %d", al.LeftOverlap.W)
+	}
+	// Overlap crops must be far more similar than the raw views.
+	if al.LeftOverlap.MeanAbsDiff(al.RightOverlap) >= left.MeanAbsDiff(right) {
+		t.Fatal("aligned overlaps no more similar than raw views")
+	}
+}
+
+func TestAlignWithWrongNominalStillSearches(t *testing.T) {
+	r := testRig(5)
+	left, right := r.RawPair(0)
+	nominal := int(r.PanSpacing)
+	al, err := Align(left, right, nominal+3, 6) // offset nominal inside radius
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := al.Shift - nominal - 3; d < -4 || d > 4 {
+		t.Fatalf("search failed to recover true shift: got %d, want ~%d", al.Shift, nominal+3)
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	a := img.NewGray(32, 32)
+	if _, err := Align(a, img.NewGray(31, 32), 4, 2); err == nil {
+		t.Fatal("accepted size mismatch")
+	}
+	if _, err := Align(a, a.Clone(), 40, 2); err == nil {
+		t.Fatal("accepted nominal shift beyond width")
+	}
+	if _, err := Align(a, a.Clone(), -1, 2); err == nil {
+		t.Fatal("accepted negative nominal shift")
+	}
+}
+
+func TestStitchFlatViews(t *testing.T) {
+	views := make([]*img.Gray, 4)
+	for i := range views {
+		v := img.NewGray(64, 32)
+		v.Fill(0.6)
+		views[i] = v
+	}
+	pano, err := Stitch(views, nil, StitchConfig{PanSpacing: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pano.W != 3*32+64 {
+		t.Fatalf("panorama width %d", pano.W)
+	}
+	for _, v := range pano.Pix {
+		if math.Abs(float64(v)-0.6) > 0.01 {
+			t.Fatalf("flat stitch value %v", v)
+		}
+	}
+}
+
+func TestStitchErrors(t *testing.T) {
+	if _, err := Stitch(nil, nil, StitchConfig{}); err == nil {
+		t.Fatal("accepted empty views")
+	}
+	a := img.NewGray(16, 16)
+	b := img.NewGray(17, 16)
+	if _, err := Stitch([]*img.Gray{a, b}, nil, StitchConfig{PanSpacing: 4}); err == nil {
+		t.Fatal("accepted mismatched view sizes")
+	}
+	if _, err := Stitch([]*img.Gray{a, a}, nil, StitchConfig{PanSpacing: 4, ParallaxCompensate: true}); err == nil {
+		t.Fatal("accepted compensation without disparity maps")
+	}
+}
+
+func TestParallaxCompensationImprovesStitch(t *testing.T) {
+	// Stitching with depth-based compensation must beat naive stitching
+	// against the reference panorama — the paper's core point that depth
+	// (B3) enables high-quality stitching (B4).
+	r := testRig(6)
+	p := NewPipeline(r)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Stitch(res.Preprocessed, res.Disparities, StitchConfig{
+		PanSpacing: r.PanSpacing, ParallaxCompensate: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := r.ReferencePanorama()
+	// Compare on the common width.
+	w := minI(ref.W, res.Panorama.W)
+	crop := func(g *img.Gray) *img.Gray { return g.SubImage(0, 0, w, g.H) }
+	qComp := quality.SSIM(crop(ref), crop(res.Panorama))
+	qNaive := quality.SSIM(crop(ref), crop(naive))
+	if qComp <= qNaive-0.002 {
+		t.Fatalf("parallax compensation SSIM %v vs naive %v — compensation hurt", qComp, qNaive)
+	}
+}
+
+func TestEyePairDiffers(t *testing.T) {
+	r := testRig(7)
+	p := NewPipeline(r)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeftEye == nil || res.RightEye == nil {
+		t.Fatal("eye pair missing")
+	}
+	if d := res.LeftEye.MeanAbsDiff(res.RightEye); d < 1e-4 {
+		t.Fatalf("stereo eyes nearly identical (%v) — no parallax synthesized", d)
+	}
+	// But they must still be views of the same scene.
+	if s := quality.SSIM(res.LeftEye, res.RightEye); s < 0.5 {
+		t.Fatalf("eyes too dissimilar: SSIM %v", s)
+	}
+}
+
+func TestEyePairErrors(t *testing.T) {
+	if _, _, err := EyePair(img.NewGray(8, 8), img.NewGray(9, 8), 1); err == nil {
+		t.Fatal("accepted size mismatch")
+	}
+}
+
+func TestPipelineRunBytesOrdering(t *testing.T) {
+	// The scaled pipeline must reproduce the paper's data-size *shape*:
+	// B2 expands the data (largest), B4 is the smallest output.
+	r := testRig(8)
+	res, err := NewPipeline(r).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Bytes
+	if !(b.B2 > b.Sensor) {
+		t.Fatalf("B2 (%d) must exceed sensor (%d) — alignment expands data", b.B2, b.Sensor)
+	}
+	// Paper shape (Fig. 10 bytes): B2 > B3 > sensor ≈ B1 ≫ B4.
+	if !(b.B2 > b.B3 && b.B3 > b.Sensor && b.B4 < b.Sensor) {
+		t.Fatalf("byte shape wrong: %+v", b)
+	}
+}
+
+func TestPipelineDepthQuality(t *testing.T) {
+	r := testRig(9)
+	p := NewPipeline(r)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Disparities) != r.Cameras/2 {
+		t.Fatalf("disparity maps %d, want %d", len(res.Disparities), r.Cameras/2)
+	}
+	_, _, gt := r.Pair(0)
+	mae := res.Disparities[0].MeanAbsDiff(gt)
+	if mae > 3 {
+		t.Fatalf("pipeline depth MAE %v px vs ground truth", mae)
+	}
+}
+
+func TestPaperByteModelMatchesFig10(t *testing.T) {
+	m := PaperByteModel()
+	const linkBps = 25e9 / 8
+	cases := []struct {
+		bytes int64
+		fps   float64
+	}{
+		{m.Sensor, 15.8}, {m.B1, 15.8}, {m.B2, 3.95}, {m.B3, 11.2}, {m.B4, 174},
+	}
+	for i, c := range cases {
+		got := linkBps / float64(c.bytes)
+		if math.Abs(got-c.fps)/c.fps > 0.01 {
+			t.Fatalf("stage %d: %v FPS, want %v", i, got, c.fps)
+		}
+	}
+	// Shape assertions from the paper's narrative: alignment expands the
+	// data the most, depth maps still exceed the raw sensor bytes, and
+	// only the stitched output is small.
+	if !(m.B2 > m.B3 && m.B3 > m.Sensor && m.B4 < m.Sensor/10) {
+		t.Fatalf("byte model shape wrong: %+v", m)
+	}
+	// Sensor ≈ 16 4K frames of 12-bit data (~190-200 MB).
+	if m.Sensor < 190e6 || m.Sensor > 205e6 {
+		t.Fatalf("sensor frame-set %d B implausible", m.Sensor)
+	}
+}
+
+func TestByteModelStagePrefix(t *testing.T) {
+	m := PaperByteModel()
+	if m.Stage(0) != m.Sensor || m.Stage(4) != m.B4 {
+		t.Fatal("Stage indexing wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for prefix 5")
+		}
+	}()
+	m.Stage(5)
+}
+
+func TestComputeShareSumsToOne(t *testing.T) {
+	s := ComputeShare()
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("compute shares sum to %v", sum)
+	}
+	if s[2] != 0.70 {
+		t.Fatalf("B3 share %v, want 0.70", s[2])
+	}
+}
+
+func TestPipelineWithBlockMatchConfigStillRuns(t *testing.T) {
+	// Coarser BSSA settings (cheap mode) must flow through the pipeline.
+	r := testRig(10)
+	p := NewPipeline(r)
+	p.BSSA = bilateral.BSSAConfig{
+		MaxDisparity: r.MaxDisparity(), MatchRadius: 2,
+		CellXY: 16, IntensityBins: 4, Iterations: 1, Lambda: 0.5, BlurPasses: 1,
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkPipelineFullRig(b *testing.B) {
+	r := testRig(1)
+	p := NewPipeline(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
