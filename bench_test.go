@@ -15,6 +15,7 @@ import (
 	"camsim/internal/compress"
 	"camsim/internal/core"
 	"camsim/internal/fixed"
+	"camsim/internal/fleet"
 	"camsim/internal/img"
 	"camsim/internal/nn"
 	"camsim/internal/platform"
@@ -341,6 +342,43 @@ func paperPipeline() *core.ThroughputPipeline {
 			{Name: "B4", OutputBytes: m.B4, FPS: fps(4, platform.CPU, platform.GPU, platform.FPGA)},
 		},
 	}
+}
+
+// BenchmarkFleetSweep measures the fleet simulator's hot path: a
+// 1000-camera mixed fleet (face-auth + VR) swept over the three Fig. 10
+// VR placements on a shared fair-share uplink, one full sweep per
+// iteration across the worker pool.
+func BenchmarkFleetSweep(b *testing.B) {
+	placements := []core.Placement{
+		{},
+		{InCamera: 3, Impl: []string{"CPU", "CPU", "FPGA"}},
+		{InCamera: 4, Impl: []string{"CPU", "CPU", "FPGA", "FPGA"}},
+	}
+	var scenarios []fleet.Scenario
+	for _, pl := range placements {
+		vrClass, err := fleet.VRClass(250, pl, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios = append(scenarios, fleet.Scenario{
+			Name:     "bench-" + vrClass.Name,
+			Seed:     1,
+			Duration: 5,
+			Uplink:   fleet.UplinkConfig{Gbps: 10, Contention: fleet.ContentionFairShare},
+			Classes:  []fleet.Class{fleet.FaceAuthClass(750), vrClass},
+		})
+	}
+	var frames int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range fleet.Sweep(scenarios, 0) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			frames += o.Result.Total.Captured
+		}
+	}
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/sweep")
 }
 
 // BenchmarkE15Compression measures the optional in-camera compression

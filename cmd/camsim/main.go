@@ -22,6 +22,13 @@
 //	table1          E12 Table I FPGA resource requirements
 //	linksweep       E13 §IV-C uplink bandwidth sensitivity (400 GbE)
 //	stereo-baseline E14 BSSA vs block-matching quality/work comparison
+//
+// Beyond the paper, `camsim fleet` scales the placement tradeoff to
+// populations of cameras contending for one shared uplink (internal/fleet):
+// it sweeps fleet size against VR placement for a mixed face-auth + VR
+// fleet and reports offload-latency percentiles, drops and utilization per
+// class. See `camsim fleet -h` for the knobs (fleet size, uplink Gb/s,
+// fair-share vs FIFO contention, sweep parallelism).
 package main
 
 import (
@@ -54,6 +61,7 @@ func commands() []command {
 		{"stereo-baseline", "E14: BSSA vs block matching", cmdStereoBaseline},
 		{"compress-block", "E15: in-camera compression as an optional block", cmdCompressBlock},
 		{"fa-roc", "E16: authentication threshold sweep (miss vs false-accept)", cmdFAROC},
+		{"fleet", "F1: camera-fleet sweep with shared-uplink contention", cmdFleet},
 	}
 }
 

@@ -22,8 +22,8 @@ func TestCommandsRegistered(t *testing.T) {
 		}
 		seen[c.name] = true
 	}
-	if len(seen) != 16 {
-		t.Fatalf("expected 16 experiments, found %d", len(seen))
+	if len(seen) != 17 {
+		t.Fatalf("expected 17 experiments, found %d", len(seen))
 	}
 }
 
@@ -38,6 +38,7 @@ func TestFastCommandsRun(t *testing.T) {
 		"fa-offload":      cmdFAOffload,
 		"stereo-baseline": cmdStereoBaseline,
 		"compress-block":  cmdCompressBlock,
+		"fleet":           cmdFleet,
 	}
 	for name, run := range fast {
 		if err := run(nil); err != nil {
@@ -52,6 +53,9 @@ func TestCommandsRejectBadFlags(t *testing.T) {
 	}
 	if err := cmdStereoBaseline([]string{"-bogus"}); err == nil {
 		t.Fatal("stereo-baseline accepted an unknown flag")
+	}
+	if err := cmdFleet([]string{"-n", "2"}); err == nil {
+		t.Fatal("fleet accepted a 2-camera fleet")
 	}
 }
 

@@ -9,6 +9,13 @@
 // a real-time 3D-360° VR video rig (internal/vr over
 // internal/{rig,bilateral,stereo,platform}).
 //
+// Beyond the paper's single-camera scope, internal/fleet scales these
+// models to populations of cameras contending for one shared uplink: a
+// JSON-configurable, deterministic discrete-event simulator with pluggable
+// contention (fair-share processor sharing or FIFO) and a worker-pool
+// sweeper, surfaced as the `camsim fleet` subcommand and the
+// examples/fleet-sweep program.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for
 // paper-vs-measured results, and cmd/camsim for the experiment driver
 // that regenerates every table and figure.

@@ -1,0 +1,62 @@
+// Fleet-sweep: drive the internal/fleet simulator from a JSON scenario —
+// the configuration surface a deployment tool would use — and compare the
+// two uplink contention models on the same mixed fleet.
+//
+// The fleet pairs bandwidth-hungry VR camera heads with battery-free
+// face-authentication cameras on one 1 Gb/s uplink. Under FIFO the VR
+// frames head-of-line-block the tiny authentication chips; under
+// fair-share the chips keep millisecond latencies while the VR class
+// absorbs the contention.
+package main
+
+import (
+	"fmt"
+
+	"camsim/internal/fleet"
+)
+
+const scenarioJSON = `{
+  "name": "corridor-mixed",
+  "seed": 1,
+  "duration_sec": 20,
+  "uplink": {"gbps": 1, "contention": "fair-share"},
+  "classes": [
+    {"name": "faceauth-door", "count": 120, "fps": 1, "arrival": "poisson",
+     "frame_bytes": 400, "offload_prob": 0.1, "compute_sec": 0.02,
+     "capture_j": 3.3e-6, "compute_j": 3e-7,
+     "tx_fixed_j": 2e-6, "tx_per_byte_j": 4.8e-10,
+     "harvest_w": 2e-4, "store_j": 0.07},
+    {"name": "vr-lobby", "count": 12, "fps": 30,
+     "frame_bytes": 1122000, "compute_sec": 0.0316,
+     "capture_j": 5e-3, "compute_j": 0.316,
+     "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8}
+  ]
+}`
+
+func main() {
+	base, err := fleet.ParseScenario([]byte(scenarioJSON))
+	if err != nil {
+		panic(err)
+	}
+
+	// The same population under both contention disciplines, swept in
+	// parallel across the worker pool.
+	var scenarios []fleet.Scenario
+	for _, contention := range []string{fleet.ContentionFairShare, fleet.ContentionFIFO} {
+		sc := base
+		sc.Name = base.Name + "/" + contention
+		sc.Uplink.Contention = contention
+		scenarios = append(scenarios, sc)
+	}
+	for _, o := range fleet.Sweep(scenarios, 0) {
+		if o.Err != nil {
+			panic(o.Err)
+		}
+		fmt.Print(o.Result.Table())
+		fmt.Println()
+	}
+
+	fmt.Println("the contention model is the whole story for the small flows: the same")
+	fmt.Println("face-auth chips that clear in milliseconds under fair-share wait behind")
+	fmt.Println("megabyte VR frames under FIFO.")
+}

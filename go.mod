@@ -1,0 +1,3 @@
+module camsim
+
+go 1.24

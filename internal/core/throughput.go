@@ -81,32 +81,17 @@ const MaxFPS = 1e4
 // Evaluate computes the assessment of a placement on a link with the given
 // payload rate in bytes per second.
 func (p *ThroughputPipeline) Evaluate(pl Placement, linkBytesPerSec float64) (Assessment, error) {
-	if pl.InCamera < 0 || pl.InCamera > len(p.Stages) {
-		return Assessment{}, fmt.Errorf("core: placement includes %d of %d stages", pl.InCamera, len(p.Stages))
-	}
-	if len(pl.Impl) != pl.InCamera {
-		return Assessment{}, fmt.Errorf("core: placement names %d impls for %d stages", len(pl.Impl), pl.InCamera)
+	computeFPS, slowest, err := p.scanCompute(pl)
+	if err != nil {
+		return Assessment{}, err
 	}
 	a := Assessment{Placement: pl, Label: pl.Label(p)}
-	a.ComputeFPS = MaxFPS
+	a.ComputeFPS = computeFPS
 	a.Bottleneck = "communication"
-	for i := 0; i < pl.InCamera; i++ {
-		fps, ok := p.Stages[i].FPS[pl.Impl[i]]
-		if !ok {
-			return Assessment{}, fmt.Errorf("core: stage %s has no %q implementation", p.Stages[i].Name, pl.Impl[i])
-		}
-		if fps <= 0 {
-			return Assessment{}, fmt.Errorf("core: stage %s on %s has non-positive FPS", p.Stages[i].Name, pl.Impl[i])
-		}
-		if fps < a.ComputeFPS {
-			a.ComputeFPS = fps
-			a.Bottleneck = "compute:" + p.Stages[i].Name + "(" + pl.Impl[i] + ")"
-		}
+	if slowest >= 0 {
+		a.Bottleneck = "compute:" + p.Stages[slowest].Name + "(" + pl.Impl[slowest] + ")"
 	}
-	a.OffloadBytes = p.SensorBytes
-	if pl.InCamera > 0 {
-		a.OffloadBytes = p.Stages[pl.InCamera-1].OutputBytes
-	}
+	a.OffloadBytes = p.offloadBytes(pl)
 	if linkBytesPerSec <= 0 || a.OffloadBytes <= 0 {
 		return Assessment{}, fmt.Errorf("core: invalid link rate %v or payload %d", linkBytesPerSec, a.OffloadBytes)
 	}
@@ -182,6 +167,70 @@ func (p *ThroughputPipeline) Best(placements []Placement, linkBytesPerSec float6
 		return Assessment{}, fmt.Errorf("core: no placements to evaluate")
 	}
 	return best, nil
+}
+
+// FrameCost is the link-independent per-frame cost of a placement: how long
+// the in-camera blocks take on one frame-set and how many bytes are shipped
+// when it offloads. It is the hook the fleet simulator (internal/fleet)
+// uses to drive per-camera timing while modelling the shared uplink — and
+// its contention — itself, instead of assuming the fixed private link that
+// Evaluate folds into CommFPS.
+type FrameCost struct {
+	// ComputeSeconds is the time the slowest in-camera block spends on one
+	// frame-set (1/ComputeFPS; 1/MaxFPS for a sensor-only placement).
+	ComputeSeconds float64
+	// OffloadBytes is the payload shipped per frame-set.
+	OffloadBytes int64
+}
+
+// Cost evaluates the placement's per-frame compute time and offload payload
+// without reference to any link.
+func (p *ThroughputPipeline) Cost(pl Placement) (FrameCost, error) {
+	computeFPS, _, err := p.scanCompute(pl)
+	if err != nil {
+		return FrameCost{}, err
+	}
+	c := FrameCost{ComputeSeconds: 1 / computeFPS, OffloadBytes: p.offloadBytes(pl)}
+	if c.OffloadBytes <= 0 {
+		return FrameCost{}, fmt.Errorf("core: non-positive offload payload %d", c.OffloadBytes)
+	}
+	return c, nil
+}
+
+// scanCompute validates a placement and returns the compute rate of its
+// slowest in-camera stage (MaxFPS-capped for a sensor-only placement) with
+// that stage's index, or -1 when no stage limits it. Shared by Evaluate
+// and Cost so the two views of a placement cannot diverge.
+func (p *ThroughputPipeline) scanCompute(pl Placement) (computeFPS float64, slowest int, err error) {
+	if pl.InCamera < 0 || pl.InCamera > len(p.Stages) {
+		return 0, -1, fmt.Errorf("core: placement includes %d of %d stages", pl.InCamera, len(p.Stages))
+	}
+	if len(pl.Impl) != pl.InCamera {
+		return 0, -1, fmt.Errorf("core: placement names %d impls for %d stages", len(pl.Impl), pl.InCamera)
+	}
+	computeFPS, slowest = MaxFPS, -1
+	for i := 0; i < pl.InCamera; i++ {
+		fps, ok := p.Stages[i].FPS[pl.Impl[i]]
+		if !ok {
+			return 0, -1, fmt.Errorf("core: stage %s has no %q implementation", p.Stages[i].Name, pl.Impl[i])
+		}
+		if fps <= 0 {
+			return 0, -1, fmt.Errorf("core: stage %s on %s has non-positive FPS", p.Stages[i].Name, pl.Impl[i])
+		}
+		if fps < computeFPS {
+			computeFPS, slowest = fps, i
+		}
+	}
+	return computeFPS, slowest, nil
+}
+
+// offloadBytes returns the payload a validated placement ships per
+// frame-set.
+func (p *ThroughputPipeline) offloadBytes(pl Placement) int64 {
+	if pl.InCamera > 0 {
+		return p.Stages[pl.InCamera-1].OutputBytes
+	}
+	return p.SensorBytes
 }
 
 // MeetsRealTime reports whether the assessment clears the target on both

@@ -36,6 +36,19 @@ func ActiveRadio() RadioModel {
 	}
 }
 
+// WiFiRadio models an embedded 802.11n-class module: the mains- or
+// battery-powered uplink of a fleet camera. Far more energy per bit than
+// backscatter, but with the sustained throughput the VR-class payloads
+// need.
+func WiFiRadio() RadioModel {
+	return RadioModel{
+		Name:          "wifi",
+		EnergyPerBit:  5 * Nanojoule,
+		ThroughputBps: 54e6,
+		WakeOverhead:  100 * Microjoule,
+	}
+}
+
 // TransmitEnergy returns the energy to ship the given payload.
 func (r RadioModel) TransmitEnergy(bytes int64) Energy {
 	return r.WakeOverhead + Energy(float64(bytes*8))*r.EnergyPerBit

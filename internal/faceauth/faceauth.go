@@ -75,12 +75,22 @@ var (
 	authOffsets = [][2]float64{{0, 0}, {-0.08, 0}, {0.08, 0}, {0, -0.08}, {0, 0.08}}
 )
 
-// Build trains the cascade and the verification network.
+// Build trains the cascade and the verification network, seeding its RNG
+// from opts.Seed. Callers that manage their own deterministic random
+// streams (simulation harnesses, the fleet sweeper) should use
+// BuildWithRand instead.
 func Build(opts BuildOptions) (*System, error) {
+	return BuildWithRand(rand.New(rand.NewSource(opts.Seed)), opts)
+}
+
+// BuildWithRand trains the cascade and the verification network drawing all
+// randomness from the injected rng, so a caller can derive reproducible
+// systems from its own seeded stream instead of the package touching any
+// global or self-seeded source.
+func BuildWithRand(rng *rand.Rand, opts BuildOptions) (*System, error) {
 	if opts.ChipSize < 5 || opts.Hidden < 1 {
 		return nil, fmt.Errorf("faceauth: invalid topology %d/%d", opts.ChipSize, opts.Hidden)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Viola-Jones pre-filter.
 	cascadeCfg := vj.DefaultTrainConfig()
@@ -98,7 +108,7 @@ func Build(opts BuildOptions) (*System, error) {
 		Impostors: opts.Impostors, TrainFrac: 0.9, Hard: false, TargetSeed: opts.TargetSeed,
 	})
 	inputs := opts.ChipSize * opts.ChipSize
-	net := nn.New(rand.New(rand.NewSource(opts.Seed+1)), inputs, opts.Hidden, 1)
+	net := nn.New(rand.New(rand.NewSource(rng.Int63())), inputs, opts.Hidden, 1)
 	net.TrainRPROP(nn.ToTrainSamples(set.Train), nn.DefaultRPROP(opts.TrainEpochs))
 	quant := fixed.QuantizeNet(net, opts.Bits, nil)
 

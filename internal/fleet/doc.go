@@ -1,0 +1,67 @@
+// Package fleet scales the paper's single-camera computation-communication
+// models to populations of cameras contending for one shared uplink. It is
+// the bridge from the per-device analyses of internal/core (placement cost),
+// internal/energy (radios, harvesters) and the two case studies
+// (internal/faceauth, internal/vr) to fleet-level questions: how many
+// cameras does a given uplink support, which placement keeps offload
+// latency bounded as the fleet grows, and what does contention do to
+// harvest-constrained devices sharing the air with bandwidth-hungry ones.
+//
+// # Scenario format
+//
+// A simulation run is described by a Scenario, decodable from JSON:
+//
+//	{
+//	  "name": "mixed-1000",
+//	  "seed": 1,
+//	  "duration_sec": 10,
+//	  "uplink": {"gbps": 10, "contention": "fair-share"},
+//	  "classes": [
+//	    {"name": "fa", "count": 700, "fps": 1, "arrival": "poisson",
+//	     "frame_bytes": 400, "offload_prob": 0.05, "compute_sec": 0.02,
+//	     "capture_j": 3.3e-6, "compute_j": 1.1e-6,
+//	     "tx_fixed_j": 2e-6, "tx_per_byte_j": 4.8e-10,
+//	     "harvest_w": 2e-4, "store_j": 0.07, "queue_depth": 4},
+//	    {"name": "vr", "count": 300, "fps": 30, "frame_bytes": 1122000,
+//	     "compute_sec": 0.0316, "capture_j": 0.005, "compute_j": 0.316,
+//	     "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8}
+//	  ]
+//	}
+//
+// Each class instantiates Count identical cameras that capture frames at
+// FPS (periodic with a random phase, or Poisson), spend ComputeSeconds of
+// in-camera processing per frame, then offload FrameBytes with probability
+// OffloadProb over the shared uplink. Classes with HarvestW > 0 are
+// energy-harvesting: a camera skips frames its capacitor cannot pay for.
+// The class builders FaceAuthClass and VRClass derive these parameters
+// from the existing single-camera models (core.EnergyPipeline for the
+// progressive-filtering face-authentication camera;
+// core.ThroughputPipeline.Cost plus vr.PaperByteModel and
+// platform.PaperThroughput for a Fig. 10 VR placement).
+//
+// # Contention models
+//
+// The shared uplink has a finite capacity and a pluggable contention
+// discipline:
+//
+//   - "fair-share": egalitarian processor sharing — the n in-flight
+//     transfers each progress at capacity/n (simulated in O(log n) per
+//     event via virtual time). Small face-auth payloads finish quickly
+//     even while multi-megabyte VR frames drain.
+//   - "fifo": transfers serialize in arrival order, each taking the full
+//     capacity at the head of the queue. A large frame ahead of a small
+//     one head-of-line-blocks it.
+//
+// Per-camera backpressure is modelled with QueueDepth: a frame captured
+// while that many offloads are still in flight is dropped and counted.
+//
+// # Determinism and parallelism
+//
+// A run is deterministic in its Scenario: every random draw comes from
+// per-camera *rand.Rand streams derived from Scenario.Seed by index (never
+// the global source), and the event loop breaks ties by sequence number.
+// The same seed produces byte-identical stat tables. Independent scenario
+// points sweep in parallel across GOMAXPROCS via Sweep's worker pool;
+// parallelism never reorders arithmetic within a run, so sweeps stay
+// reproducible too.
+package fleet

@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"camsim/internal/core"
+	"camsim/internal/energy"
+	"camsim/internal/platform"
+	"camsim/internal/vr"
+)
+
+// Scenario describes one fleet simulation: a camera population, a shared
+// uplink, and a duration. See the package comment for the JSON form.
+type Scenario struct {
+	Name     string       `json:"name"`
+	Seed     int64        `json:"seed"`
+	Duration float64      `json:"duration_sec"` // simulated seconds of capture
+	Uplink   UplinkConfig `json:"uplink"`
+	Classes  []Class      `json:"classes"`
+}
+
+// UplinkConfig sizes the shared uplink and names its contention model.
+type UplinkConfig struct {
+	Gbps       float64 `json:"gbps"`
+	Contention string  `json:"contention"` // ContentionFairShare (default) or ContentionFIFO
+}
+
+// BytesPerSecond returns the uplink's payload capacity.
+func (u UplinkConfig) BytesPerSecond() float64 { return u.Gbps * 1e9 / 8 }
+
+// Class is a population of identical cameras.
+type Class struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	FPS     float64 `json:"fps"`     // capture rate per camera
+	Arrival string  `json:"arrival"` // "periodic" (default) or "poisson"
+
+	// FrameBytes is the offload payload per transmitted frame; 0 means the
+	// class never offloads (a fully in-camera decision pipeline).
+	FrameBytes int64 `json:"frame_bytes"`
+	// OffloadProb is the fraction of captured frames that produce an
+	// offload (a progressive-filtering pipeline ships only survivors).
+	// Zero with FrameBytes > 0 is normalized to 1.
+	OffloadProb float64 `json:"offload_prob"`
+	// ComputeSeconds is the in-camera processing time per frame; the
+	// offload enters the uplink that long after capture.
+	ComputeSeconds float64 `json:"compute_sec"`
+	// QueueDepth caps a camera's in-flight offloads; a frame captured at
+	// the cap is dropped (backpressure). Zero is normalized to 4.
+	QueueDepth int `json:"queue_depth"`
+
+	// Per-frame energy model, joules.
+	CaptureJ   float64 `json:"capture_j"`
+	ComputeJ   float64 `json:"compute_j"`
+	TxFixedJ   float64 `json:"tx_fixed_j"`
+	TxPerByteJ float64 `json:"tx_per_byte_j"`
+
+	// HarvestW > 0 marks the class energy-harvesting: each camera owns a
+	// store of StoreJ joules charged at HarvestW watts, and skips frames
+	// the store cannot pay for.
+	HarvestW float64 `json:"harvest_w"`
+	StoreJ   float64 `json:"store_j"`
+}
+
+// Arrival pattern names.
+const (
+	ArrivalPeriodic = "periodic"
+	ArrivalPoisson  = "poisson"
+)
+
+// ParseScenario decodes, normalizes and validates a JSON scenario.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("fleet: decoding scenario: %w", err)
+	}
+	sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// Normalize fills defaulted fields in place: contention model, arrival
+// pattern, queue depth and offload probability.
+func (sc *Scenario) Normalize() {
+	if sc.Uplink.Contention == "" {
+		sc.Uplink.Contention = ContentionFairShare
+	}
+	for i := range sc.Classes {
+		c := &sc.Classes[i]
+		if c.Arrival == "" {
+			c.Arrival = ArrivalPeriodic
+		}
+		if c.QueueDepth == 0 {
+			c.QueueDepth = 4
+		}
+		if c.FrameBytes > 0 && c.OffloadProb == 0 {
+			c.OffloadProb = 1
+		}
+	}
+}
+
+// Validate rejects scenarios the simulator cannot run.
+func (sc *Scenario) Validate() error {
+	if sc.Duration <= 0 {
+		return fmt.Errorf("fleet: scenario %q: duration %v must be positive", sc.Name, sc.Duration)
+	}
+	if sc.Uplink.Gbps <= 0 {
+		return fmt.Errorf("fleet: scenario %q: uplink %v Gbps must be positive", sc.Name, sc.Uplink.Gbps)
+	}
+	if sc.Uplink.Contention != ContentionFairShare && sc.Uplink.Contention != ContentionFIFO {
+		return fmt.Errorf("fleet: scenario %q: unknown contention model %q", sc.Name, sc.Uplink.Contention)
+	}
+	if len(sc.Classes) == 0 {
+		return fmt.Errorf("fleet: scenario %q has no camera classes", sc.Name)
+	}
+	total := 0
+	for _, c := range sc.Classes {
+		if c.Count <= 0 {
+			return fmt.Errorf("fleet: class %q: count %d must be positive", c.Name, c.Count)
+		}
+		if c.FPS <= 0 {
+			return fmt.Errorf("fleet: class %q: fps %v must be positive", c.Name, c.FPS)
+		}
+		if c.Arrival != ArrivalPeriodic && c.Arrival != ArrivalPoisson {
+			return fmt.Errorf("fleet: class %q: unknown arrival pattern %q", c.Name, c.Arrival)
+		}
+		if c.FrameBytes < 0 || c.ComputeSeconds < 0 || c.QueueDepth < 0 {
+			return fmt.Errorf("fleet: class %q: negative frame bytes, compute time or queue depth", c.Name)
+		}
+		if c.OffloadProb < 0 || c.OffloadProb > 1 {
+			return fmt.Errorf("fleet: class %q: offload probability %v outside [0,1]", c.Name, c.OffloadProb)
+		}
+		if c.CaptureJ < 0 || c.ComputeJ < 0 || c.TxFixedJ < 0 || c.TxPerByteJ < 0 {
+			return fmt.Errorf("fleet: class %q: negative energy parameters", c.Name)
+		}
+		if c.HarvestW < 0 || (c.HarvestW > 0 && c.StoreJ <= 0) {
+			return fmt.Errorf("fleet: class %q: harvesting needs positive harvest power and store", c.Name)
+		}
+		total += c.Count
+	}
+	if total == 0 {
+		return fmt.Errorf("fleet: scenario %q has no cameras", sc.Name)
+	}
+	return nil
+}
+
+// Cameras returns the total camera population.
+func (sc *Scenario) Cameras() int {
+	n := 0
+	for _, c := range sc.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// FaceAuthClass models the §III battery-free face-authentication camera as
+// a fleet class. The per-frame energy comes from a core.EnergyPipeline
+// assembled out of the internal/energy device models (streaming motion
+// gate, Viola-Jones accelerator, accelerated NN over the multi-crop
+// sweep); the offload is the 20×20 authentication chip shipped for frames
+// that survive the whole chain, over the backscatter radio, on the
+// harvested supply.
+func FaceAuthClass(count int) Class {
+	const (
+		w, h  = 160, 120 // QVGA-class sensor, as in the E6 trace
+		chipB = 20 * 20  // 8-bit authentication chip payload
+	)
+	sensor := energy.DefaultSensor()
+	stream := energy.DefaultStreamAccel()
+	vjAcc := energy.DefaultVJAccel()
+	radio := energy.BackscatterRadio()
+	harv := energy.DefaultHarvester()
+
+	// Progressive filtering, E6 shape: the motion gate passes ~1 frame in
+	// 5, detection finds a face on ~half of those, and every candidate face
+	// is authenticated (15 crops through the accelerator, ~60 nJ each
+	// including scaling — the cheap end of the chain).
+	pixels := float64(w * h)
+	ep := core.EnergyPipeline{
+		CaptureEnergy: float64(sensor.CaptureEnergy(w, h)),
+		Stages: []core.EnergyStage{
+			{Name: "MD", EnergyPerFrame: pixels * float64(stream.MotionPerPixel), PassRate: 0.2},
+			{Name: "VJ", EnergyPerFrame: float64(vjAcc.DetectEnergy(w*h, 40*int64(w*h)/100)), PassRate: 0.5},
+			{Name: "NN", EnergyPerFrame: 15 * 60e-9, PassRate: 1},
+		},
+	}
+	a, err := ep.Evaluate()
+	if err != nil {
+		panic(err) // constants above are valid by construction
+	}
+	computeJ := a.Total - a.Capture - a.Offload // radio cost is charged per offload below
+	return Class{
+		Name:           "faceauth",
+		Count:          count,
+		FPS:            1,
+		Arrival:        ArrivalPoisson, // visits arrive, frames do not tick in lockstep
+		FrameBytes:     chipB,
+		OffloadProb:    a.OffloadShare,
+		ComputeSeconds: 0.02,
+		QueueDepth:     4,
+		CaptureJ:       a.Capture,
+		ComputeJ:       computeJ, // expected filtering energy per captured frame
+		TxFixedJ:       float64(radio.WakeOverhead),
+		TxPerByteJ:     float64(radio.EnergyPerBit) * 8,
+		HarvestW:       float64(harv.HarvestPower),
+		StoreJ:         float64(harv.UsableEnergy()),
+	}
+}
+
+// VRDevicePowerWatts models the electrical draw of each Fig. 10
+// implementation target while its block runs (ARM cores, discrete GPU,
+// Zynq fabric).
+var VRDevicePowerWatts = map[string]float64{"CPU": 5, "GPU": 60, "FPGA": 10}
+
+// PaperVRPipeline assembles the Fig. 10 VR pipeline (paper byte model ×
+// paper block throughputs) as a core.ThroughputPipeline, scaled to one
+// camera's share of the 16-camera frame-set so a fleet node is a single
+// camera head.
+func PaperVRPipeline() *core.ThroughputPipeline {
+	const rigCameras = 16
+	m := vr.PaperByteModel()
+	tp := platform.PaperThroughput()
+	fps := func(block int, devs ...platform.Device) map[string]float64 {
+		out := map[string]float64{}
+		for _, d := range devs {
+			out[d.String()] = tp.BlockFPS(block, d)
+		}
+		return out
+	}
+	return &core.ThroughputPipeline{
+		SensorBytes: m.Sensor / rigCameras,
+		Stages: []core.Stage{
+			{Name: "B1", OutputBytes: m.B1 / rigCameras, FPS: fps(1, platform.CPU)},
+			{Name: "B2", OutputBytes: m.B2 / rigCameras, FPS: fps(2, platform.CPU)},
+			{Name: "B3", OutputBytes: m.B3 / rigCameras, FPS: fps(3, platform.CPU, platform.GPU, platform.FPGA)},
+			{Name: "B4", OutputBytes: m.B4 / rigCameras, FPS: fps(4, platform.CPU, platform.GPU, platform.FPGA)},
+		},
+	}
+}
+
+// VRClass models one camera head of the §IV VR rig running the given
+// Fig. 10 placement as a fleet class: per-frame compute time and offload
+// payload come from the core cost hook, transmit energy from the WiFi
+// radio, and compute energy from the placement's most power-hungry device
+// running for the frame's compute time. Mains powered.
+func VRClass(count int, pl core.Placement, targetFPS float64) (Class, error) {
+	p := PaperVRPipeline()
+	cost, err := p.Cost(pl)
+	if err != nil {
+		return Class{}, err
+	}
+	radio := energy.WiFiRadio()
+	watts := 2.0 // sensor interface + ISP floor for a sensor-only node
+	name := "vr-S"
+	for i, impl := range pl.Impl {
+		if w, ok := VRDevicePowerWatts[impl]; ok && w > watts {
+			watts = w
+		}
+		// Fig. 10-style compact label: stage name plus device initial.
+		name += p.Stages[i].Name + impl[:1]
+	}
+	return Class{
+		Name:           name,
+		Count:          count,
+		FPS:            targetFPS,
+		Arrival:        ArrivalPeriodic, // genlocked capture, staggered phases
+		FrameBytes:     cost.OffloadBytes,
+		OffloadProb:    1,
+		ComputeSeconds: cost.ComputeSeconds,
+		QueueDepth:     4,
+		CaptureJ:       5e-3, // 4K sensor readout per frame
+		ComputeJ:       watts * cost.ComputeSeconds,
+		TxFixedJ:       float64(radio.WakeOverhead),
+		TxPerByteJ:     float64(radio.EnergyPerBit) * 8,
+	}, nil
+}

@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event kinds: a camera captures a frame; an in-camera-processed frame
+// becomes ready for the uplink. Transfer completions are not events — the
+// loop peeks them off the uplink, whose finish times shift as transfers
+// are admitted.
+const (
+	evCapture = iota
+	evReady
+)
+
+type event struct {
+	t    float64
+	seq  int64 // tie-break: earlier-scheduled events fire first
+	kind int
+	cam  int32
+	// capturedAt is the frame's capture time (evReady), the latency epoch.
+	capturedAt float64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// camera is one simulated device.
+type camera struct {
+	class    int
+	rng      *rand.Rand
+	inflight int
+	stored   float64 // harvested joules in the store (harvesting classes)
+	lastTop  float64 // wall time of the last store top-up
+}
+
+// transfer is one in-flight offload, indexed by transfer id.
+type transfer struct {
+	cam        int32
+	capturedAt float64
+}
+
+// splitmix64 derives well-separated per-camera seeds from the run seed, so
+// a camera's random stream is a function of (seed, index) alone — stable
+// under reordering, class edits elsewhere, or parallel sweeps.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Run executes one scenario to completion: captures stop at
+// Scenario.Duration and the uplink drains. The same normalized scenario
+// always produces the identical Result.
+func Run(sc Scenario) (*Result, error) {
+	// sc arrives by value but Classes shares its backing array with the
+	// caller (and, under Sweep, with sibling scenarios): copy before
+	// Normalize writes defaults into it.
+	sc.Classes = append([]Class(nil), sc.Classes...)
+	sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	up, err := NewUplink(sc.Uplink.Contention, sc.Uplink.BytesPerSecond())
+	if err != nil {
+		return nil, err
+	}
+
+	cams := make([]camera, 0, sc.Cameras())
+	res := newResult(sc)
+	var events eventHeap
+	var seq int64
+	push := func(ev event) {
+		ev.seq = seq
+		seq++
+		heap.Push(&events, ev)
+	}
+	nextCapture := func(c *camera, now float64) float64 {
+		cl := &sc.Classes[c.class]
+		if cl.Arrival == ArrivalPoisson {
+			return now + c.rng.ExpFloat64()/cl.FPS
+		}
+		return now + 1/cl.FPS
+	}
+	for ci := range sc.Classes {
+		cl := &sc.Classes[ci]
+		for k := 0; k < cl.Count; k++ {
+			idx := len(cams)
+			rng := rand.New(rand.NewSource(int64(splitmix64(uint64(sc.Seed)<<20 + uint64(idx)))))
+			c := camera{class: ci, rng: rng, stored: cl.StoreJ}
+			// First capture: a random phase inside one period (periodic) or
+			// one exponential gap (Poisson).
+			var first float64
+			if cl.Arrival == ArrivalPoisson {
+				first = rng.ExpFloat64() / cl.FPS
+			} else {
+				first = rng.Float64() / cl.FPS
+			}
+			cams = append(cams, c)
+			if first < sc.Duration {
+				push(event{t: first, kind: evCapture, cam: int32(idx)})
+			}
+		}
+	}
+
+	var transfers []transfer
+	capture := func(t float64, camIdx int32) {
+		c := &cams[camIdx]
+		cl := &sc.Classes[c.class]
+		st := &res.Classes[c.class]
+		st.Captured++
+
+		offload := cl.FrameBytes > 0 && cl.OffloadProb > 0 && c.rng.Float64() < cl.OffloadProb
+		queueDropped := false
+		if offload && c.inflight >= cl.QueueDepth {
+			// Backpressure: the frame is still processed in-camera, but its
+			// offload is abandoned (no transmit cost below).
+			queueDropped = true
+			offload = false
+		}
+		need := cl.CaptureJ + cl.ComputeJ
+		if offload {
+			need += cl.TxFixedJ + cl.TxPerByteJ*float64(cl.FrameBytes)
+		}
+		if cl.HarvestW > 0 {
+			c.stored += cl.HarvestW * (t - c.lastTop)
+			if c.stored > cl.StoreJ {
+				c.stored = cl.StoreJ
+			}
+			c.lastTop = t
+			if c.stored < need {
+				// The store cannot pay for this frame: skip it entirely and
+				// keep charging. Energy starvation is the binding constraint,
+				// so a frame dropped here is never also counted against the
+				// queue — each drop has exactly one cause.
+				st.DroppedEnergy++
+				return
+			}
+			c.stored -= need
+		}
+		st.EnergyJ += need
+		if queueDropped {
+			st.DroppedQueue++
+		}
+		if offload {
+			c.inflight++
+			push(event{t: t + cl.ComputeSeconds, kind: evReady, cam: camIdx, capturedAt: t})
+		}
+	}
+
+	for len(events) > 0 || up.InFlight() > 0 {
+		tu, uok := up.NextFinish()
+		if uok && (len(events) == 0 || tu <= events[0].t) {
+			id := up.Finish()
+			tr := transfers[id]
+			c := &cams[tr.cam]
+			c.inflight--
+			st := &res.Classes[c.class]
+			st.Offloaded++
+			st.latencies = append(st.latencies, tu-tr.capturedAt)
+			if tu > res.SimEnd {
+				res.SimEnd = tu
+			}
+			continue
+		}
+		ev := heap.Pop(&events).(event)
+		switch ev.kind {
+		case evCapture:
+			capture(ev.t, ev.cam)
+			c := &cams[ev.cam]
+			if nt := nextCapture(c, ev.t); nt < sc.Duration {
+				push(event{t: nt, kind: evCapture, cam: ev.cam})
+			}
+		case evReady:
+			cl := &sc.Classes[cams[ev.cam].class]
+			id := len(transfers)
+			transfers = append(transfers, transfer{cam: ev.cam, capturedAt: ev.capturedAt})
+			up.Start(ev.t, id, float64(cl.FrameBytes))
+		default:
+			return nil, fmt.Errorf("fleet: unknown event kind %d", ev.kind)
+		}
+	}
+
+	if res.SimEnd < sc.Duration {
+		res.SimEnd = sc.Duration
+	}
+	res.UplinkUtilization = up.ServedBytes() / (sc.Uplink.BytesPerSecond() * res.SimEnd)
+	res.finalize()
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClassStats aggregates one camera class over a run (or, for
+// Result.Total, the whole fleet).
+type ClassStats struct {
+	Name    string
+	Cameras int
+
+	Captured      int64 // frames captured (including dropped ones)
+	Offloaded     int64 // offloads completed over the uplink
+	DroppedQueue  int64 // frames dropped by per-camera backpressure
+	DroppedEnergy int64 // frames skipped by an empty harvest store
+	EnergyJ       float64
+
+	// Offload latency percentiles, capture to completed upload, seconds.
+	LatencyP50, LatencyP95, LatencyP99 float64
+
+	latencies []float64
+}
+
+// EnergyPerFrame returns the mean energy per captured frame in joules.
+func (s ClassStats) EnergyPerFrame() float64 {
+	if s.Captured == 0 {
+		return 0
+	}
+	return s.EnergyJ / float64(s.Captured)
+}
+
+// DropRate returns the fraction of captured frames lost to backpressure or
+// energy starvation.
+func (s ClassStats) DropRate() float64 {
+	if s.Captured == 0 {
+		return 0
+	}
+	return float64(s.DroppedQueue+s.DroppedEnergy) / float64(s.Captured)
+}
+
+// Result is the outcome of one simulated scenario.
+type Result struct {
+	Scenario Scenario
+	Classes  []ClassStats
+	Total    ClassStats
+	// SimEnd is when the last offload drained (≥ Scenario.Duration).
+	SimEnd float64
+	// UplinkUtilization is served payload over capacity × SimEnd.
+	UplinkUtilization float64
+}
+
+func newResult(sc Scenario) *Result {
+	res := &Result{Scenario: sc}
+	for _, c := range sc.Classes {
+		res.Classes = append(res.Classes, ClassStats{Name: c.Name, Cameras: c.Count})
+	}
+	return res
+}
+
+// percentile returns the q-quantile (0..1) of sorted by nearest rank.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// finalize computes percentiles and the fleet-wide Total from the
+// per-class accumulators, in class order so results are reproducible.
+func (r *Result) finalize() {
+	r.Total = ClassStats{Name: "fleet"}
+	var all []float64
+	for i := range r.Classes {
+		s := &r.Classes[i]
+		sort.Float64s(s.latencies)
+		s.LatencyP50 = percentile(s.latencies, 0.50)
+		s.LatencyP95 = percentile(s.latencies, 0.95)
+		s.LatencyP99 = percentile(s.latencies, 0.99)
+		all = append(all, s.latencies...)
+
+		r.Total.Cameras += s.Cameras
+		r.Total.Captured += s.Captured
+		r.Total.Offloaded += s.Offloaded
+		r.Total.DroppedQueue += s.DroppedQueue
+		r.Total.DroppedEnergy += s.DroppedEnergy
+		r.Total.EnergyJ += s.EnergyJ
+	}
+	sort.Float64s(all)
+	r.Total.LatencyP50 = percentile(all, 0.50)
+	r.Total.LatencyP95 = percentile(all, 0.95)
+	r.Total.LatencyP99 = percentile(all, 0.99)
+	r.Total.latencies = all
+}
+
+// FormatLatency renders a latency in engineering units, "—" when no
+// sample exists.
+func FormatLatency(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "—"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	}
+	return fmt.Sprintf("%.2fs", sec)
+}
+
+// Table renders the run as a paper-style per-class stat table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %-28s uplink %.1f Gb/s %-10s util %5.1f%%  drained %.2fs\n",
+		r.Scenario.Name, r.Scenario.Uplink.Gbps, r.Scenario.Uplink.Contention,
+		r.UplinkUtilization*100, r.SimEnd)
+	fmt.Fprintf(&b, "  %-22s %6s %9s %9s %7s %7s %8s %8s %8s %10s\n",
+		"class", "cams", "captured", "offload", "dropQ", "dropE", "p50", "p95", "p99", "J/frame")
+	rows := append([]ClassStats{}, r.Classes...)
+	rows = append(rows, r.Total)
+	for _, s := range rows {
+		fmt.Fprintf(&b, "  %-22s %6d %9d %9d %7d %7d %8s %8s %8s %10.3g\n",
+			s.Name, s.Cameras, s.Captured, s.Offloaded, s.DroppedQueue, s.DroppedEnergy,
+			FormatLatency(s.LatencyP50), FormatLatency(s.LatencyP95), FormatLatency(s.LatencyP99),
+			s.EnergyPerFrame())
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Outcome pairs one swept scenario's result with its error, in input
+// order.
+type Outcome struct {
+	Result *Result
+	Err    error
+}
+
+// Sweep runs independent scenarios across a worker pool and returns their
+// outcomes indexed like the input. workers <= 0 uses GOMAXPROCS. Each run
+// is internally deterministic, so the pool parallelizes across points
+// without perturbing any point's numbers.
+func Sweep(scenarios []Scenario, workers int) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	out := make([]Outcome, len(scenarios))
+	if len(scenarios) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Run(scenarios[i])
+				out[i] = Outcome{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

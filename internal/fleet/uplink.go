@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Contention model names.
+const (
+	ContentionFairShare = "fair-share"
+	ContentionFIFO      = "fifo"
+)
+
+// Uplink models the shared uplink: finite payload capacity plus a
+// contention discipline deciding how concurrent offloads share it. The
+// simulator drives it event by event: Start admits a transfer, NextFinish
+// peeks the earliest completion under the current in-flight set, Finish
+// pops it. Start may move an already-reported NextFinish, so the caller
+// must re-peek after every Start.
+type Uplink interface {
+	// Name returns the contention model name.
+	Name() string
+	// Start admits transfer id of the given size at time now. now must not
+	// precede any previously observed event time.
+	Start(now float64, id int, bytes float64)
+	// NextFinish returns the earliest completion time, or ok=false when
+	// nothing is in flight.
+	NextFinish() (t float64, ok bool)
+	// Finish completes and returns the transfer NextFinish reported.
+	Finish() (id int)
+	// InFlight returns the number of admitted, unfinished transfers.
+	InFlight() int
+	// ServedBytes returns the total payload of completed transfers.
+	ServedBytes() float64
+}
+
+// NewUplink builds the named contention model over a capacity in bytes/sec.
+func NewUplink(model string, bytesPerSec float64) (Uplink, error) {
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("fleet: uplink capacity %v must be positive", bytesPerSec)
+	}
+	switch model {
+	case ContentionFairShare:
+		return &psUplink{cap: bytesPerSec}, nil
+	case ContentionFIFO:
+		return &fifoUplink{cap: bytesPerSec}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown contention model %q", model)
+}
+
+// --- FIFO ---
+
+type fifoItem struct {
+	id    int
+	bytes float64
+}
+
+// fifoUplink serializes transfers in arrival order; the head transfer gets
+// the full capacity. A large frame head-of-line-blocks everything behind it.
+type fifoUplink struct {
+	cap        float64
+	queue      []fifoItem
+	headFinish float64 // completion time of queue[0], valid when non-empty
+	served     float64
+}
+
+func (u *fifoUplink) Name() string { return ContentionFIFO }
+
+func (u *fifoUplink) Start(now float64, id int, bytes float64) {
+	if len(u.queue) == 0 {
+		u.headFinish = now + bytes/u.cap
+	}
+	u.queue = append(u.queue, fifoItem{id: id, bytes: bytes})
+}
+
+func (u *fifoUplink) NextFinish() (float64, bool) {
+	if len(u.queue) == 0 {
+		return 0, false
+	}
+	return u.headFinish, true
+}
+
+func (u *fifoUplink) Finish() int {
+	head := u.queue[0]
+	u.queue = u.queue[1:]
+	u.served += head.bytes
+	if len(u.queue) > 0 {
+		// The next transfer was already queued, so its service starts the
+		// instant the head departs.
+		u.headFinish += u.queue[0].bytes / u.cap
+	}
+	return head.id
+}
+
+func (u *fifoUplink) InFlight() int        { return len(u.queue) }
+func (u *fifoUplink) ServedBytes() float64 { return u.served }
+
+// --- fair share (egalitarian processor sharing) ---
+
+type psItem struct {
+	id      int
+	bytes   float64
+	vfinish float64 // virtual service level at which the transfer completes
+	seq     int64   // admission order, for deterministic tie-breaking
+}
+
+type psHeap []psItem
+
+func (h psHeap) Len() int { return len(h) }
+func (h psHeap) Less(i, j int) bool {
+	if h[i].vfinish != h[j].vfinish {
+		return h[i].vfinish < h[j].vfinish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h psHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *psHeap) Push(x any)   { *h = append(*h, x.(psItem)) }
+func (h *psHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// psUplink implements egalitarian processor sharing with virtual time:
+// each of the n in-flight transfers progresses at cap/n, so the virtual
+// service level v advances at dv/dt = cap/n and a transfer admitted at
+// level v0 with B bytes completes when v reaches v0+B. Events cost
+// O(log n) instead of rescaling every in-flight transfer.
+type psUplink struct {
+	cap    float64
+	vnow   float64 // virtual service accrued by every in-flight transfer
+	tlast  float64 // wall time at which vnow was computed
+	h      psHeap
+	seq    int64
+	served float64
+}
+
+func (u *psUplink) Name() string { return ContentionFairShare }
+
+// advance moves the virtual clock to wall time t.
+func (u *psUplink) advance(t float64) {
+	if n := len(u.h); n > 0 && t > u.tlast {
+		u.vnow += (t - u.tlast) * u.cap / float64(n)
+	}
+	u.tlast = t
+}
+
+func (u *psUplink) Start(now float64, id int, bytes float64) {
+	u.advance(now)
+	heap.Push(&u.h, psItem{id: id, bytes: bytes, vfinish: u.vnow + bytes, seq: u.seq})
+	u.seq++
+}
+
+func (u *psUplink) NextFinish() (float64, bool) {
+	if len(u.h) == 0 {
+		return 0, false
+	}
+	remaining := u.h[0].vfinish - u.vnow
+	if remaining < 0 {
+		remaining = 0 // float drift guard
+	}
+	return u.tlast + remaining*float64(len(u.h))/u.cap, true
+}
+
+func (u *psUplink) Finish() int {
+	t, _ := u.NextFinish()
+	u.advance(t)
+	item := heap.Pop(&u.h).(psItem)
+	u.vnow = item.vfinish // pin exactly, absorbing float drift
+	u.served += item.bytes
+	return item.id
+}
+
+func (u *psUplink) InFlight() int        { return len(u.h) }
+func (u *psUplink) ServedBytes() float64 { return u.served }
