@@ -381,6 +381,36 @@ func BenchmarkFleetSweep(b *testing.B) {
 	b.ReportMetric(float64(frames)/float64(b.N), "frames/sweep")
 }
 
+// BenchmarkTopologySweep measures the tiered simulator end to end: the
+// congested two-gateway fleet behind `camsim topo`, swept over the three
+// placement policies (static baseline plus the two adaptive controllers),
+// one full sweep per iteration. Placement switches are accumulated so the
+// adaptive machinery is verifiably exercised, not optimized away.
+func BenchmarkTopologySweep(b *testing.B) {
+	var scenarios []fleet.Scenario
+	for _, pol := range []string{fleet.PolicyStatic, fleet.PolicyLatencyThreshold, fleet.PolicyHysteresis} {
+		sc, err := fleet.TopologyDemoScenario(1, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+	var switches int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range fleet.Sweep(scenarios, 0) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+			switches += o.Result.Total.Switches
+		}
+	}
+	if switches == 0 {
+		b.Fatal("adaptive policies never moved a camera")
+	}
+	b.ReportMetric(float64(switches)/float64(b.N), "moves/sweep")
+}
+
 // BenchmarkE15Compression measures the optional in-camera compression
 // block (the §II extension) on real sensor content.
 func BenchmarkE15Compression(b *testing.B) {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// everything it printed. The reader drains concurrently so output larger
+// than the pipe buffer cannot deadlock the writer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() {
+		// Restore even if fn panics, so a failure here cannot swallow the
+		// rest of the package's output.
+		os.Stdout = old
+		w.Close()
+		r.Close()
+	}()
+	done := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	ferr := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return string(out)
+}
+
+// TestGoldenOutputsAcrossGOMAXPROCS pins the fleet and topology experiment
+// outputs byte-for-byte: a fixed seed must print the identical bytes at
+// GOMAXPROCS 1, 2 and 8 (the sweep worker pool parallelizes across
+// scenario points without perturbing any point's arithmetic), and those
+// bytes must match the checked-in goldens. Regenerate with
+// `go test ./cmd/camsim -run Golden -update`.
+func TestGoldenOutputsAcrossGOMAXPROCS(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func([]string) error
+		args []string
+	}{
+		{"fleet", cmdFleet, []string{"-n", "16", "-duration", "2", "-seed", "1"}},
+		{"topo", cmdTopo, []string{"-duration", "3", "-seed", "1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var first string
+			for _, procs := range []int{1, 2, 8} {
+				prev := runtime.GOMAXPROCS(procs)
+				out := captureStdout(t, func() error { return tc.run(tc.args) })
+				runtime.GOMAXPROCS(prev)
+				if first == "" {
+					first = out
+				} else if out != first {
+					t.Fatalf("output at GOMAXPROCS=%d differs from GOMAXPROCS=1", procs)
+				}
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(first), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(want, []byte(first)) {
+				t.Fatalf("%s output diverged from golden file.\ngot:\n%s\nwant:\n%s", tc.name, first, want)
+			}
+		})
+	}
+}

@@ -28,7 +28,11 @@
 // it sweeps fleet size against VR placement for a mixed face-auth + VR
 // fleet and reports offload-latency percentiles, drops and utilization per
 // class. See `camsim fleet -h` for the knobs (fleet size, uplink Gb/s,
-// fair-share vs FIFO contention, sweep parallelism).
+// fair-share vs FIFO contention, sweep parallelism). `camsim topo` goes a
+// tier further: cameras attach to edge gateways with finite links that
+// share a WAN, and adaptive per-class policies (latency-threshold,
+// hysteresis) move cameras between Fig. 10 placements at runtime as
+// observed offload latency degrades.
 package main
 
 import (
@@ -62,6 +66,7 @@ func commands() []command {
 		{"compress-block", "E15: in-camera compression as an optional block", cmdCompressBlock},
 		{"fa-roc", "E16: authentication threshold sweep (miss vs false-accept)", cmdFAROC},
 		{"fleet", "F1: camera-fleet sweep with shared-uplink contention", cmdFleet},
+		{"topo", "F2: tiered gateway topology with adaptive placement", cmdTopo},
 	}
 }
 

@@ -22,8 +22,8 @@ func TestCommandsRegistered(t *testing.T) {
 		}
 		seen[c.name] = true
 	}
-	if len(seen) != 17 {
-		t.Fatalf("expected 17 experiments, found %d", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("expected 18 experiments, found %d", len(seen))
 	}
 }
 
@@ -39,6 +39,7 @@ func TestFastCommandsRun(t *testing.T) {
 		"stereo-baseline": cmdStereoBaseline,
 		"compress-block":  cmdCompressBlock,
 		"fleet":           cmdFleet,
+		"topo":            cmdTopo,
 	}
 	for name, run := range fast {
 		if err := run(nil); err != nil {
@@ -56,6 +57,9 @@ func TestCommandsRejectBadFlags(t *testing.T) {
 	}
 	if err := cmdFleet([]string{"-n", "2"}); err == nil {
 		t.Fatal("fleet accepted a 2-camera fleet")
+	}
+	if err := cmdTopo([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("topo accepted an unknown flag")
 	}
 }
 

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"camsim/internal/fleet"
+)
+
+// cmdTopo runs F2: the tiered-topology extension of the fleet experiment.
+// Two edge gateways each aggregate adaptive VR camera heads and battery-
+// free face-auth cameras over finite camera→gateway links, and both funnel
+// into a shared WAN. The same congested fleet is run once per placement
+// policy: static (pinned at raw sensor offload), latency-threshold
+// (one-way escalation toward in-camera compute) and hysteresis (two-way
+// with a dead band). The point is the runtime version of the paper's
+// tradeoff: when the network tier is the bottleneck, moving computation
+// into the camera is the only thing that restores latency.
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	duration := fs.Float64("duration", 8, "simulated seconds of capture")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policies := []string{fleet.PolicyStatic, fleet.PolicyLatencyThreshold, fleet.PolicyHysteresis}
+	var scenarios []fleet.Scenario
+	for _, pol := range policies {
+		sc, err := fleet.TopologyDemoScenario(*seed, pol)
+		if err != nil {
+			return err
+		}
+		sc.Duration = *duration
+		scenarios = append(scenarios, sc)
+	}
+	outcomes := fleet.Sweep(scenarios, *workers)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+
+	sc := scenarios[0]
+	fmt.Printf("tiered fleet: %d cameras behind %d gateways, WAN %.1f Gb/s, %gs of capture, seed %d\n",
+		sc.Cameras(), len(sc.Gateways), sc.Uplink.Gbps, *duration, *seed)
+	for _, gw := range sc.Gateways {
+		fmt.Printf("  %s: %.1f Gb/s %s uplink\n", gw.Name, gw.Uplink.Gbps, gw.Uplink.Contention)
+	}
+	fmt.Println()
+
+	fmt.Printf("%-18s %8s %8s %8s %9s %7s %7s %7s %7s\n",
+		"policy", "VR-p50", "VR-p95", "FA-p95", "VR-drop", "moves", "gw-a", "gw-b", "wan")
+	for i, o := range outcomes {
+		r := o.Result
+		vrA, faA := r.Classes[0], r.Classes[1]
+		fmt.Printf("%-18s %8s %8s %8s %8.1f%% %7d %6.1f%% %6.1f%% %6.1f%%\n",
+			policies[i],
+			fleet.FormatLatency(vrA.LatencyP50), fleet.FormatLatency(vrA.LatencyP95),
+			fleet.FormatLatency(faA.LatencyP95),
+			vrA.DropRate()*100, r.Total.Switches,
+			r.Tiers[0].Utilization*100, r.Tiers[1].Utilization*100, r.Tiers[2].Utilization*100)
+	}
+
+	fmt.Println("\nper-tier and per-class detail:")
+	for _, o := range outcomes {
+		fmt.Print(o.Result.Table())
+	}
+	fmt.Println("\ntiered reading of the paper's tradeoff: at raw offload the VR heads")
+	fmt.Println("oversubscribe their gateway links several times over and the static fleet")
+	fmt.Println("drowns in queue drops; the adaptive policies watch offload latency, shift")
+	fmt.Println("the cameras to the full in-camera pipeline placement, and restore both")
+	fmt.Println("VR latency and the gateway tiers — while the face-auth chips ride along")
+	fmt.Println("at millisecond latencies under fair-share either way.")
+	return nil
+}

@@ -6,27 +6,33 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"camsim/internal/faceauth"
 	"camsim/internal/synth"
 )
 
-func main() {
-	frames := flag.Int("frames", 400, "trace length in frames (1 FPS)")
-	seed := flag.Int64("seed", 33, "trace seed")
-	visitRate := flag.Float64("visit-rate", 4, "visits per 100 frames")
-	flag.Parse()
+// run executes the experiment with the given command-line arguments,
+// writing the report to w (split from main for the smoke test).
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("faceauth", flag.ContinueOnError)
+	frames := fs.Int("frames", 400, "trace length in frames (1 FPS)")
+	seed := fs.Int64("seed", 33, "trace seed")
+	visitRate := fs.Float64("visit-rate", 4, "visits per 100 frames")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	fmt.Println("training Viola-Jones cascade and 400-8-1 verification network...")
+	fmt.Fprintln(w, "training Viola-Jones cascade and 400-8-1 verification network...")
 	sys, err := faceauth.Build(faceauth.DefaultBuildOptions())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "faceauth:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("cascade: %d stages %v; held-out NN error %.1f%% (8-bit datapath)\n\n",
+	fmt.Fprintf(w, "cascade: %d stages %v; held-out NN error %.1f%% (8-bit datapath)\n\n",
 		len(sys.Cascade.Stages), sys.Cascade.NumFeaturesPerStage(),
 		sys.TestConfusion.Error()*100)
 
@@ -34,21 +40,32 @@ func main() {
 	cfg.VisitRate = *visitRate
 	tr := synth.NewTrace(*seed, cfg)
 	st := tr.Stats()
-	fmt.Printf("trace: %d frames, %d motion, %d face, %d target\n\n",
+	fmt.Fprintf(w, "trace: %d frames, %d motion, %d face, %d target\n\n",
 		st.Frames, st.MotionFrames, st.FaceFrames, st.TargetFrames)
 
 	rep := sys.RunTrace(tr, faceauth.PipelineConfig{UseMotion: true, UseVJ: true, UseAccel: true})
-	fmt.Printf("pipeline %s:\n", rep.Config.Label())
-	fmt.Printf("  frames past motion gate: %d (%.0f%% filtered)\n",
+	fmt.Fprintf(w, "pipeline %s:\n", rep.Config.Label())
+	fmt.Fprintf(w, "  frames past motion gate: %d (%.0f%% filtered)\n",
 		rep.MotionPassed, 100*(1-float64(rep.MotionPassed)/float64(rep.Frames)))
-	fmt.Printf("  detector fired on:       %d frames; NN inferences: %d\n", rep.VJPassed, rep.NNRuns)
-	fmt.Printf("  true-miss rate:          %.1f%%   false-accept rate: %.2f%%\n",
+	fmt.Fprintf(w, "  detector fired on:       %d frames; NN inferences: %d\n", rep.VJPassed, rep.NNRuns)
+	fmt.Fprintf(w, "  true-miss rate:          %.1f%%   false-accept rate: %.2f%%\n",
 		rep.Confusion.MissRate()*100, rep.Confusion.FalseAcceptRate()*100)
-	fmt.Printf("  energy/frame:            %v (avg power %v at 1 FPS)\n", rep.EnergyPerFrame, rep.AveragePower)
-	fmt.Printf("  sustainable on %v harvest: %.1f FPS\n",
+	fmt.Fprintf(w, "  energy/frame:            %v (avg power %v at 1 FPS)\n", rep.EnergyPerFrame, rep.AveragePower)
+	fmt.Fprintf(w, "  sustainable on %v harvest: %.1f FPS\n",
 		sys.Harvester.HarvestPower, rep.SustainableFPS)
 
 	base := sys.RunTrace(tr, faceauth.PipelineConfig{OffloadRaw: true})
-	fmt.Printf("\nvs raw offload over %s: %v/frame (%.1fx the in-camera pipeline)\n",
+	fmt.Fprintf(w, "\nvs raw offload over %s: %v/frame (%.1fx the in-camera pipeline)\n",
 		sys.Radio.Name, base.EnergyPerFrame, float64(base.EnergyPerFrame)/float64(rep.EnergyPerFrame))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h already printed the usage; not a failure
+		}
+		fmt.Fprintln(os.Stderr, "faceauth:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The command prints a free-form report; this smoke test pins down that it
+// runs to completion on a short trace and that the report keeps its shape
+// (training summary, trace stats, pipeline energy, offload comparison).
+func TestRunOutputShape(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-frames", "60", "-seed", "33"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"cascade:",
+		"trace: 60 frames",
+		"pipeline MD+VJ+NN(accel):",
+		"energy/frame:",
+		"sustainable on",
+		"vs raw offload over",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("accepted an unknown flag")
+	}
+}

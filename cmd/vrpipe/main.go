@@ -7,8 +7,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
@@ -21,24 +23,28 @@ import (
 	"camsim/internal/vr"
 )
 
-func main() {
-	cams := flag.Int("cams", 8, "cameras in the rig (even)")
-	viewW := flag.Int("width", 192, "camera view width")
-	viewH := flag.Int("height", 96, "camera view height")
-	seed := flag.Int64("seed", 5, "scene seed")
-	outDir := flag.String("out", "", "optional directory for PGM dumps of the outputs")
-	flag.Parse()
+// run executes the pipeline with the given command-line arguments, writing
+// the report to w (split from main for the smoke test).
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vrpipe", flag.ContinueOnError)
+	cams := fs.Int("cams", 8, "cameras in the rig (even)")
+	viewW := fs.Int("width", 192, "camera view width")
+	viewH := fs.Int("height", 96, "camera view height")
+	seed := fs.Int64("seed", 5, "scene seed")
+	outDir := fs.String("out", "", "optional directory for PGM dumps of the outputs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	r := rig.NewRig(rand.New(rand.NewSource(*seed)), *cams, *viewW, *viewH, 0.75, 3)
-	fmt.Printf("rig: %d cameras, %dx%d views, max disparity %d px, panorama %d px wide\n",
+	fmt.Fprintf(w, "rig: %d cameras, %dx%d views, max disparity %d px, panorama %d px wide\n",
 		r.Cameras, r.ViewW, r.ViewH, r.MaxDisparity(), r.PanoramaWidth())
 
 	p := vr.NewPipeline(r)
 	start := time.Now()
 	res, err := p.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vrpipe:", err)
-		os.Exit(1)
+		return err
 	}
 	elapsed := time.Since(start)
 
@@ -52,22 +58,22 @@ func main() {
 
 	// Stitch quality vs the reference panorama.
 	ref := r.ReferencePanorama()
-	w := ref.W
-	if res.Panorama.W < w {
-		w = res.Panorama.W
+	pw := ref.W
+	if res.Panorama.W < pw {
+		pw = res.Panorama.W
 	}
-	ssim := quality.SSIM(ref.SubImage(0, 0, w, ref.H), res.Panorama.SubImage(0, 0, w, res.Panorama.H))
+	ssim := quality.SSIM(ref.SubImage(0, 0, pw, ref.H), res.Panorama.SubImage(0, 0, pw, res.Panorama.H))
 
-	fmt.Printf("\nfull-rig frame processed in %v (working resolution)\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("depth MAE vs ground truth: %.2f px; panorama SSIM vs reference: %.3f\n", mae, ssim)
-	fmt.Printf("stage bytes: sensor %d, B1 %d, B2 %d, B3 %d, B4 %d\n",
+	fmt.Fprintf(w, "\nfull-rig frame processed in %v (working resolution)\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "depth MAE vs ground truth: %.2f px; panorama SSIM vs reference: %.3f\n", mae, ssim)
+	fmt.Fprintf(w, "stage bytes: sensor %d, B1 %d, B2 %d, B3 %d, B4 %d\n",
 		res.Bytes.Sensor, res.Bytes.B1, res.Bytes.B2, res.Bytes.B3, res.Bytes.B4)
 
 	// Full-scale deployment projection.
 	m := vr.PaperByteModel()
 	tp := platform.PaperThroughput()
 	link := platform.Ethernet25G
-	fmt.Printf("\nfull-scale (16x4K) deployment on %s:\n", link.Name)
+	fmt.Fprintf(w, "\nfull-scale (16x4K) deployment on %s:\n", link.Name)
 	for _, d := range []platform.Device{platform.CPU, platform.GPU, platform.FPGA} {
 		compute := tp.BlockFPS(3, d) // B3 dominates
 		comm := link.FPS(m.B4)
@@ -79,24 +85,44 @@ func main() {
 		if compute >= 30 && comm >= 30 {
 			verdict = "REAL TIME"
 		}
-		fmt.Printf("  B3 on %-4s: compute %6.2f FPS, upload %6.2f FPS -> %6.2f FPS  %s\n",
+		fmt.Fprintf(w, "  B3 on %-4s: compute %6.2f FPS, upload %6.2f FPS -> %6.2f FPS  %s\n",
 			d, compute, comm, total, verdict)
 	}
 
 	if *outDir != "" {
-		dump := func(name string, g *img.Gray) {
+		dump := func(name string, g *img.Gray) error {
 			path := *outDir + "/" + name + ".pgm"
 			c := g.Clone()
 			c.Normalize()
 			if err := img.SavePGM(path, c); err != nil {
-				fmt.Fprintln(os.Stderr, "vrpipe: save:", err)
-				os.Exit(1)
+				return fmt.Errorf("save: %w", err)
 			}
-			fmt.Println("wrote", path)
+			fmt.Fprintln(w, "wrote", path)
+			return nil
 		}
-		dump("panorama", res.Panorama)
-		dump("left_eye", res.LeftEye)
-		dump("right_eye", res.RightEye)
-		dump("depth_pair0", res.Disparities[0])
+		for _, d := range []struct {
+			name string
+			img  *img.Gray
+		}{
+			{"panorama", res.Panorama},
+			{"left_eye", res.LeftEye},
+			{"right_eye", res.RightEye},
+			{"depth_pair0", res.Disparities[0]},
+		} {
+			if err := dump(d.name, d.img); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h already printed the usage; not a failure
+		}
+		fmt.Fprintln(os.Stderr, "vrpipe:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The command prints a free-form report; this smoke test pins down that a
+// small rig runs to completion and that the report keeps its shape (rig
+// geometry, quality metrics, stage bytes, full-scale projection).
+func TestRunOutputShape(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-cams", "4", "-width", "64", "-height", "32"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"rig: 4 cameras, 64x32 views",
+		"depth MAE vs ground truth:",
+		"stage bytes: sensor",
+		"full-scale (16x4K) deployment",
+		"B3 on FPGA",
+		"REAL TIME",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesPGMDumps(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-cams", "4", "-width", "64", "-height", "32", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"panorama", "left_eye", "right_eye", "depth_pair0"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".pgm")); err != nil {
+			t.Fatalf("missing dump %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Fatal("accepted an unknown flag")
+	}
+}

@@ -124,6 +124,33 @@ func TestEvaluateErrors(t *testing.T) {
 	}
 }
 
+func TestCostTableMatchesCostHook(t *testing.T) {
+	p := fig10Pipeline()
+	pls := p.Enumerate([]string{"CPU", "GPU", "FPGA"})
+	table, err := p.CostTable(pls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != len(pls) {
+		t.Fatalf("table has %d rows for %d placements", len(table), len(pls))
+	}
+	for i, e := range table {
+		cost, err := p.Cost(pls[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Cost != cost {
+			t.Fatalf("row %d diverges from Cost: %+v vs %+v", i, e.Cost, cost)
+		}
+		if e.Label != pls[i].Label(p) {
+			t.Fatalf("row %d label %q for placement %q", i, e.Label, pls[i].Label(p))
+		}
+	}
+	if _, err := p.CostTable([]Placement{{InCamera: 99}}); err == nil {
+		t.Fatal("accepted an invalid placement")
+	}
+}
+
 func TestEnumerateCountsAndDeterminism(t *testing.T) {
 	p := fig10Pipeline()
 	got := p.Enumerate([]string{"CPU", "GPU", "FPGA"})

@@ -197,6 +197,31 @@ func (p *ThroughputPipeline) Cost(pl Placement) (FrameCost, error) {
 	return c, nil
 }
 
+// CostEntry is one row of a placement cost table: a placement, its Fig.
+// 10-style label, and its link-independent per-frame cost.
+type CostEntry struct {
+	Label     string
+	Placement Placement
+	Cost      FrameCost
+}
+
+// CostTable evaluates every placement into a cost table, preserving input
+// order. It is the lookup structure a runtime placement controller (e.g.
+// internal/fleet's adaptive policies) switches between: each row trades
+// in-camera compute time against offload payload, and the controller picks
+// a row per camera as observed network conditions move.
+func (p *ThroughputPipeline) CostTable(pls []Placement) ([]CostEntry, error) {
+	out := make([]CostEntry, 0, len(pls))
+	for _, pl := range pls {
+		c, err := p.Cost(pl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CostEntry{Label: pl.Label(p), Placement: pl, Cost: c})
+	}
+	return out, nil
+}
+
 // scanCompute validates a placement and returns the compute rate of its
 // slowest in-camera stage (MaxFPS-capped for a sensor-only placement) with
 // that stage's index, or -1 when no stage limits it. Shared by Evaluate

@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"camsim/internal/core"
+)
+
+// twoTierScenario is a small hand-built tiered scenario: one adaptive
+// class behind a gateway plus a flat class attached straight to the WAN.
+func twoTierScenario(seed int64, kind string, start int) Scenario {
+	return Scenario{
+		Name:     "test-2tier",
+		Seed:     seed,
+		Duration: 6,
+		Uplink:   UplinkConfig{Gbps: 0.1, Contention: ContentionFairShare},
+		Gateways: []Gateway{
+			{Name: "edge", Uplink: UplinkConfig{Gbps: 0.05, Contention: ContentionFairShare}},
+		},
+		Classes: []Class{
+			{
+				// At "raw" the 8 cameras demand 16 MB/s of a 6.25 MB/s edge
+				// link (2.5x oversubscribed — congested but still draining);
+				// at "edge-lite" they fit with a ~40 ms offload latency.
+				Name: "adaptive", Count: 8, FPS: 10, Arrival: ArrivalPeriodic,
+				Gateway: "edge", QueueDepth: 3,
+				CaptureJ: 1e-3, TxFixedJ: 1e-4, TxPerByteJ: 4e-8,
+				Placements: []PlacementCost{
+					{Name: "raw", FrameBytes: 200_000, ComputeSeconds: 0.001, ComputeJ: 2e-3},
+					{Name: "edge-lite", FrameBytes: 20_000, ComputeSeconds: 0.03, ComputeJ: 0.3},
+				},
+				Policy: PolicyConfig{
+					Kind: kind, IntervalSec: 0.5, HighSec: 0.5, LowSec: 0.1,
+					MoveFraction: 0.5, Start: start,
+				},
+			},
+			{
+				Name: "direct", Count: 20, FPS: 2, Arrival: ArrivalPoisson,
+				FrameBytes: 1_000, OffloadProb: 0.8, ComputeSeconds: 0.005,
+				CaptureJ: 3e-6, ComputeJ: 1e-6, TxFixedJ: 2e-6, TxPerByteJ: 5e-10,
+			},
+		},
+	}
+}
+
+func TestTieredTopologyRunsAndReportsTiers(t *testing.T) {
+	res, err := Run(twoTierScenario(3, PolicyStatic, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiers) != 2 {
+		t.Fatalf("expected 2 tiers, got %+v", res.Tiers)
+	}
+	if res.Tiers[0].Name != "edge" || res.Tiers[1].Name != "wan" {
+		t.Fatalf("tier order wrong: %+v", res.Tiers)
+	}
+	// Everything the gateway serves crosses the WAN too, and only the
+	// direct class bypasses the gateway, so WAN bytes ≥ gateway bytes.
+	if res.Tiers[1].ServedBytes < res.Tiers[0].ServedBytes {
+		t.Fatalf("WAN served %v < gateway served %v", res.Tiers[1].ServedBytes, res.Tiers[0].ServedBytes)
+	}
+	if res.UplinkUtilization != res.Tiers[1].Utilization {
+		t.Fatalf("UplinkUtilization %v != WAN tier %v", res.UplinkUtilization, res.Tiers[1].Utilization)
+	}
+	for _, ti := range res.Tiers {
+		if ti.Utilization < 0 || ti.Utilization > 1+1e-9 {
+			t.Fatalf("tier %s utilization %v outside [0,1]", ti.Name, ti.Utilization)
+		}
+	}
+	// Offload accounting still conserves through two hops.
+	s := res.Classes[0]
+	if s.Offloaded+s.DroppedQueue+s.DroppedEnergy != s.Captured {
+		t.Fatalf("two-hop accounting leak: %+v", s)
+	}
+	if s.Switches != 0 || res.Classes[0].PlacementCounts[0] != 8 {
+		t.Fatalf("static policy moved cameras: %+v", s)
+	}
+}
+
+func TestFlatScenarioHasSingleWANTier(t *testing.T) {
+	res, err := Run(mixedScenario(42, ContentionFairShare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiers) != 1 || res.Tiers[0].Name != "wan" {
+		t.Fatalf("flat scenario tiers: %+v", res.Tiers)
+	}
+	if res.UplinkUtilization != res.Tiers[0].Utilization {
+		t.Fatalf("utilization mismatch: %v vs %v", res.UplinkUtilization, res.Tiers[0].Utilization)
+	}
+	// The flat table keeps its original shape: no tier block is rendered
+	// for a single-link scenario.
+	if strings.Contains(res.Table(), "tier ") {
+		t.Fatalf("flat table grew a tier block:\n%s", res.Table())
+	}
+}
+
+func TestLatencyThresholdEscalatesUnderCongestion(t *testing.T) {
+	static, err := Run(twoTierScenario(3, PolicyStatic, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Run(twoTierScenario(3, PolicyLatencyThreshold, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := adaptive.Classes[0]
+	if as.Switches == 0 {
+		t.Fatalf("congested threshold policy never moved a camera: %+v", as)
+	}
+	if got := as.PlacementCounts[1]; got != 8 {
+		t.Fatalf("expected all 8 cameras at the in-camera placement, got %v", as.PlacementCounts)
+	}
+	if as.LatencyP95 >= static.Classes[0].LatencyP95 {
+		t.Fatalf("adaptive p95 %v not below static p95 %v", as.LatencyP95, static.Classes[0].LatencyP95)
+	}
+}
+
+func TestHysteresisMovesBothDirections(t *testing.T) {
+	// Start fully at the cheap in-camera placement on an idle network: the
+	// controller steps cameras back toward raw offload, congests the edge
+	// link, and must then escalate back. Both directions show up as more
+	// total moves than a one-way migration could produce.
+	res, err := Run(twoTierScenario(3, PolicyHysteresis, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Classes[0]
+	if s.Switches == 0 {
+		t.Fatalf("hysteresis never moved: %+v", s)
+	}
+	if s.Switches <= 8 {
+		t.Fatalf("expected moves in both directions (> 8 total), got %d", s.Switches)
+	}
+	if res.Total.Switches != s.Switches {
+		t.Fatalf("Total.Switches %d != class switches %d", res.Total.Switches, s.Switches)
+	}
+}
+
+func TestTopologyDemoLatencyThresholdBeatsStatic(t *testing.T) {
+	// The acceptance scenario: a congested two-gateway fleet where the
+	// latency-threshold policy shifts the VR cameras toward in-camera
+	// compute, with strictly lower p95 offload latency than static — and
+	// byte-identical reproduction per seed.
+	run := func(policy string) *Result {
+		sc, err := TopologyDemoScenario(1, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	static, adaptive := run(PolicyStatic), run(PolicyLatencyThreshold)
+	for _, i := range []int{0, 2} { // the two VR classes
+		sp, ap := static.Classes[i], adaptive.Classes[i]
+		if ap.LatencyP95 >= sp.LatencyP95 {
+			t.Fatalf("%s: adaptive p95 %v not strictly below static %v", ap.Name, ap.LatencyP95, sp.LatencyP95)
+		}
+		if ap.Switches == 0 || ap.PlacementCounts[len(ap.PlacementCounts)-1] == 0 {
+			t.Fatalf("%s: no cameras shifted in-camera: %+v", ap.Name, ap)
+		}
+	}
+	again := run(PolicyLatencyThreshold)
+	if adaptive.Table() != again.Table() {
+		t.Fatalf("same seed produced different tables:\n%s\nvs\n%s", adaptive.Table(), again.Table())
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	base := twoTierScenario(1, PolicyStatic, 0)
+
+	bad := base
+	bad.Classes = append([]Class(nil), base.Classes...)
+	bad.Classes[0].Gateway = "nonexistent"
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted a class on an unknown gateway")
+	}
+
+	bad = base
+	bad.Gateways = []Gateway{
+		{Name: "edge", Uplink: UplinkConfig{Gbps: 1}},
+		{Name: "edge", Uplink: UplinkConfig{Gbps: 1}},
+	}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted duplicate gateway names")
+	}
+
+	bad = base
+	bad.Gateways = []Gateway{{Name: "edge", Uplink: UplinkConfig{Gbps: -1}}}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted a negative-capacity gateway link")
+	}
+
+	bad = base
+	bad.Classes = append([]Class(nil), base.Classes...)
+	bad.Classes[0].Policy.Kind = "oracle"
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted an unknown policy kind")
+	}
+
+	bad = base
+	bad.Classes = append([]Class(nil), base.Classes...)
+	bad.Classes[0].Policy.Start = 7
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted a start index outside the placements table")
+	}
+
+	bad = base
+	bad.Classes = append([]Class(nil), base.Classes...)
+	bad.Classes[0].Placements = nil
+	bad.Classes[0].Policy = PolicyConfig{Kind: PolicyLatencyThreshold, HighSec: 1}
+	bad.Classes[0].FrameBytes = 100
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted an adaptive policy without a placements table")
+	}
+
+	bad = base
+	bad.Classes = append([]Class(nil), base.Classes...)
+	bad.Classes[0].Policy = PolicyConfig{Kind: PolicyLatencyThreshold}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("accepted a threshold policy without high_sec")
+	}
+}
+
+func TestVRAdaptiveClassOrdersCostTable(t *testing.T) {
+	pls := []core.Placement{
+		{InCamera: 4, Impl: []string{"CPU", "CPU", "FPGA", "FPGA"}},
+		{}, // raw — given out of order on purpose
+	}
+	cl, err := VRAdaptiveClass(3, pls, 30, PolicyConfig{Kind: PolicyStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Placements) != 2 {
+		t.Fatalf("placements: %+v", cl.Placements)
+	}
+	if cl.Placements[0].FrameBytes <= cl.Placements[1].FrameBytes {
+		t.Fatalf("table not ordered most-offload first: %+v", cl.Placements)
+	}
+	if cl.Placements[0].Name != "S~" {
+		t.Fatalf("raw placement label %q", cl.Placements[0].Name)
+	}
+	// The rows must agree with the core cost hook they were built from.
+	p := PaperVRPipeline()
+	cost, err := p.Cost(pls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Placements[1].FrameBytes != cost.OffloadBytes || cl.Placements[1].ComputeSeconds != cost.ComputeSeconds {
+		t.Fatalf("placement row diverges from core cost table: %+v vs %+v", cl.Placements[1], cost)
+	}
+	if _, err := VRAdaptiveClass(1, nil, 30, PolicyConfig{}); err == nil {
+		t.Fatal("accepted an empty placement list")
+	}
+}

@@ -1,11 +1,16 @@
 // Package fleet scales the paper's single-camera computation-communication
-// models to populations of cameras contending for one shared uplink. It is
+// models to populations of cameras contending for a shared network. It is
 // the bridge from the per-device analyses of internal/core (placement cost),
 // internal/energy (radios, harvesters) and the two case studies
 // (internal/faceauth, internal/vr) to fleet-level questions: how many
 // cameras does a given uplink support, which placement keeps offload
 // latency bounded as the fleet grows, and what does contention do to
 // harvest-constrained devices sharing the air with bandwidth-hungry ones.
+// The network is either one shared uplink (the flat model) or a tiered
+// topology — cameras attach to edge gateways over finite camera→gateway
+// links and the gateways share a finite WAN link — and classes can carry a
+// runtime placement cost table that an adaptive per-class controller walks
+// as observed conditions change.
 //
 // # Scenario format
 //
@@ -39,6 +44,48 @@
 // core.ThroughputPipeline.Cost plus vr.PaperByteModel and
 // platform.PaperThroughput for a Fig. 10 VR placement).
 //
+// # Tiered topology
+//
+// A "gateways" section makes the network two-tier: classes name the
+// gateway their cameras attach to ("gateway"), offloads cross the finite
+// camera→gateway link first and the shared WAN link (the top-level
+// "uplink") second, and each tier runs its own contention discipline.
+// Classes without a gateway attach directly to the WAN. Per-tier served
+// bytes and utilization come back in Result.Tiers.
+//
+//	"uplink": {"gbps": 4, "contention": "fair-share"},
+//	"gateways": [
+//	  {"name": "gw-a", "uplink": {"gbps": 2, "contention": "fair-share"}},
+//	  {"name": "gw-b", "uplink": {"gbps": 2, "contention": "fifo"}}
+//	],
+//
+// # Adaptive placement
+//
+// A class may carry a runtime cost table ("placements", ordered from
+// most-offload to most-in-camera — each row a Fig. 10-style placement's
+// frame bytes, compute seconds and compute joules) plus a "policy":
+//
+//	"placements": [
+//	  {"name": "raw",       "frame_bytes": 12400000, "compute_sec": 0.0001},
+//	  {"name": "in-camera", "frame_bytes": 1122000,  "compute_sec": 0.0316,
+//	   "compute_j": 0.316}
+//	],
+//	"policy": {"kind": "latency-threshold", "interval_sec": 0.5,
+//	           "high_sec": 0.2, "move_fraction": 0.5}
+//
+// Every IntervalSec a per-class controller inspects the offload latencies
+// and queue drops observed since its last decision and moves a
+// MoveFraction batch of cameras one table step: "latency-threshold"
+// escalates one way toward in-camera compute when the window p95 exceeds
+// HighSec (or anything was queue-dropped); "hysteresis" also steps back
+// toward offload when the window p95 falls below LowSec, holding inside
+// the dead band; "static" (the default) never moves. Which cameras move
+// is drawn from a controller stream seeded by (Scenario.Seed, class), so
+// adaptive runs replay byte-identically. VRAdaptiveClass builds such a
+// class from core.ThroughputPipeline.CostTable over a set of Fig. 10
+// placements, and TopologyDemoScenario assembles the congested
+// two-gateway fleet behind `camsim topo` and BenchmarkTopologySweep.
+//
 // # Contention models
 //
 // The shared uplink has a finite capacity and a pluggable contention
@@ -58,9 +105,12 @@
 // # Determinism and parallelism
 //
 // A run is deterministic in its Scenario: every random draw comes from
-// per-camera *rand.Rand streams derived from Scenario.Seed by index (never
-// the global source), and the event loop breaks ties by sequence number.
-// The same seed produces byte-identical stat tables. Independent scenario
+// per-camera (and per-controller) *rand.Rand streams derived from
+// Scenario.Seed by index (never the global source), the event loop breaks
+// ties by sequence number, and simultaneous completions across tiers
+// resolve in tier order. The same seed produces byte-identical stat
+// tables — `go test ./cmd/camsim -run Golden` pins this against
+// checked-in goldens at GOMAXPROCS 1, 2 and 8. Independent scenario
 // points sweep in parallel across GOMAXPROCS via Sweep's worker pool;
 // parallelism never reorders arithmetic within a run, so sweeps stay
 // reproducible too.

@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// Seed corpus: the examples/fleet-sweep flat scenario, the tiered
+// topology + policy format, and a few near-miss inputs.
+var fuzzSeeds = []string{
+	// flat mixed fleet (examples/fleet-sweep)
+	`{
+	  "name": "corridor-mixed", "seed": 1, "duration_sec": 20,
+	  "uplink": {"gbps": 1, "contention": "fair-share"},
+	  "classes": [
+	    {"name": "faceauth-door", "count": 120, "fps": 1, "arrival": "poisson",
+	     "frame_bytes": 400, "offload_prob": 0.1, "compute_sec": 0.02,
+	     "capture_j": 3.3e-6, "compute_j": 3e-7,
+	     "tx_fixed_j": 2e-6, "tx_per_byte_j": 4.8e-10,
+	     "harvest_w": 2e-4, "store_j": 0.07},
+	    {"name": "vr-lobby", "count": 12, "fps": 30,
+	     "frame_bytes": 1122000, "compute_sec": 0.0316,
+	     "capture_j": 5e-3, "compute_j": 0.316,
+	     "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8}
+	  ]
+	}`,
+	// tiered topology with an adaptive placement table
+	`{
+	  "name": "two-gw", "seed": 7, "duration_sec": 8,
+	  "uplink": {"gbps": 4, "contention": "fair-share"},
+	  "gateways": [
+	    {"name": "gw-a", "uplink": {"gbps": 2, "contention": "fair-share"}},
+	    {"name": "gw-b", "uplink": {"gbps": 2, "contention": "fifo"}}
+	  ],
+	  "classes": [
+	    {"name": "vr-a", "count": 4, "fps": 30, "gateway": "gw-a",
+	     "capture_j": 5e-3, "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8,
+	     "placements": [
+	       {"name": "S~", "frame_bytes": 12361551, "compute_sec": 0.0001},
+	       {"name": "full", "frame_bytes": 1122000, "compute_sec": 0.0316, "compute_j": 0.316}
+	     ],
+	     "policy": {"kind": "latency-threshold", "interval_sec": 0.5,
+	                "high_sec": 0.2, "move_fraction": 0.5}},
+	    {"name": "fa-b", "count": 60, "fps": 1, "arrival": "poisson",
+	     "gateway": "gw-b", "frame_bytes": 400, "offload_prob": 0.05,
+	     "compute_sec": 0.02, "harvest_w": 2e-4, "store_j": 0.07}
+	  ]
+	}`,
+	// hysteresis policy
+	`{"duration_sec": 2, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 2, "fps": 5,
+	    "placements": [{"frame_bytes": 1000}, {"frame_bytes": 10}],
+	    "policy": {"kind": "hysteresis", "high_sec": 0.5}}]}`,
+	// invalid inputs the decoder must reject gracefully
+	`{"duration_sec": -1}`,
+	`{"duration_sec": 2, "uplink": {"gbps": 1}, "gateways": [{"name": ""}], "classes": []}`,
+	`not json at all`,
+	`{"classes": [{"count": 1e999}]}`,
+}
+
+// FuzzScenarioDecode feeds arbitrary bytes to the scenario decoder:
+// whatever the input, ParseScenario must either return an error or a
+// scenario that validates, normalizes idempotently, and survives a
+// marshal/re-parse round trip — and must never panic.
+func FuzzScenarioDecode(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("parsed scenario fails re-validation: %v", err)
+		}
+		if sc.Cameras() <= 0 {
+			t.Fatalf("valid scenario with %d cameras", sc.Cameras())
+		}
+		// Normalize must be idempotent. Deep-copy the slices first — a
+		// plain struct copy would alias the backing arrays and hide any
+		// second-pass mutation. JSON cannot produce NaN, so DeepEqual's
+		// NaN != NaN quirk cannot misfire here. Gateways compares by
+		// elements because the copy turns a non-nil empty slice into nil.
+		norm := sc
+		norm.Classes = append([]Class(nil), sc.Classes...)
+		norm.Gateways = append([]Gateway(nil), sc.Gateways...)
+		norm.Normalize()
+		gwSame := len(norm.Gateways) == 0 && len(sc.Gateways) == 0 ||
+			reflect.DeepEqual(norm.Gateways, sc.Gateways)
+		if norm.Uplink != sc.Uplink || !gwSame || !reflect.DeepEqual(norm.Classes, sc.Classes) {
+			t.Fatalf("Normalize not idempotent:\n%+v\nvs\n%+v", norm, sc)
+		}
+		// A parsed scenario must survive a JSON round trip.
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("valid scenario does not re-marshal: %v", err)
+		}
+		if _, err := ParseScenario(out); err != nil {
+			t.Fatalf("re-marshaled scenario does not re-parse: %v\njson: %s", err, out)
+		}
+	})
+}

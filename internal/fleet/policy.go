@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// controller is the per-class adaptive-placement state: the observation
+// window since the last decision and the seeded stream every decision
+// draws from.
+type controller struct {
+	class    int
+	rng      *rand.Rand
+	winLat   []float64 // offload latencies completed in the window
+	winDrops int64     // queue drops in the window
+	moves    int64     // camera moves decided so far
+}
+
+// newControllers builds one controller per adaptive class (nil entries for
+// static or table-less classes). Controller streams are derived from the
+// scenario seed and the class index — disjoint from the per-camera streams,
+// which hash (seed, camera index) without the class tag below.
+func newControllers(sc *Scenario) []*controller {
+	ctls := make([]*controller, len(sc.Classes))
+	for ci := range sc.Classes {
+		if !sc.Classes[ci].adaptive() {
+			continue
+		}
+		h := splitmix64(uint64(sc.Seed)<<20 ^ (0xc0117801 + uint64(ci)<<32))
+		ctls[ci] = &controller{
+			class: ci,
+			rng:   rand.New(rand.NewSource(int64(h))),
+		}
+	}
+	return ctls
+}
+
+// observe records one completed offload latency.
+func (c *controller) observe(lat float64) {
+	c.winLat = append(c.winLat, lat)
+}
+
+// decide maps the window onto a placement step: +1 toward in-camera
+// compute, -1 toward offload, 0 to hold. The window is consumed.
+func (c *controller) decide(p PolicyConfig) int {
+	lat := c.winLat
+	drops := c.winDrops
+	c.winLat = c.winLat[:0]
+	c.winDrops = 0
+
+	var p95 float64
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		p95 = percentile(lat, 0.95)
+	}
+	congested := drops > 0 || (len(lat) > 0 && p95 > p.HighSec)
+	switch p.Kind {
+	case PolicyLatencyThreshold:
+		// One-way escalation: congestion pushes cameras toward in-camera
+		// compute and they stay there. Simple, monotone, flap-free.
+		if congested {
+			return 1
+		}
+	case PolicyHysteresis:
+		// Two thresholds with a dead band: step toward in-camera above
+		// HighSec, back toward offload when the network is demonstrably
+		// idle (completions observed, all cheap, nothing dropped).
+		if congested {
+			return 1
+		}
+		if len(lat) > 0 && p95 < p.LowSec {
+			return -1
+		}
+	}
+	return 0
+}
+
+// move shifts a MoveFraction-sized batch of the class's cameras one step
+// in the decided direction, choosing which cameras from the controller's
+// seeded stream. Returns the number of cameras moved.
+func (c *controller) move(cl *Class, cams []camera, members []int32, dir int) int {
+	last := len(cl.Placements) - 1
+	var candidates []int32
+	for _, idx := range members {
+		p := cams[idx].placement + dir
+		if p >= 0 && p <= last {
+			candidates = append(candidates, idx)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+	k := int(cl.Policy.MoveFraction*float64(len(members)) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	// Partial Fisher-Yates over the candidate list: the first k slots end
+	// up holding a uniform k-subset, in an order fixed by the seed.
+	for i := 0; i < k; i++ {
+		j := i + c.rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+		cams[candidates[i]].placement += dir
+	}
+	c.moves += int64(k)
+	return k
+}

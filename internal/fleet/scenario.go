@@ -3,6 +3,7 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"camsim/internal/core"
 	"camsim/internal/energy"
@@ -10,20 +11,46 @@ import (
 	"camsim/internal/vr"
 )
 
-// Scenario describes one fleet simulation: a camera population, a shared
-// uplink, and a duration. See the package comment for the JSON form.
+// Scenario describes one fleet simulation: a camera population, a network
+// (either one shared uplink or a tiered gateway topology), and a duration.
+// See the package comment for the JSON form.
 type Scenario struct {
-	Name     string       `json:"name"`
-	Seed     int64        `json:"seed"`
-	Duration float64      `json:"duration_sec"` // simulated seconds of capture
-	Uplink   UplinkConfig `json:"uplink"`
-	Classes  []Class      `json:"classes"`
+	Name     string  `json:"name"`
+	Seed     int64   `json:"seed"`
+	Duration float64 `json:"duration_sec"` // simulated seconds of capture
+	// Uplink is the top-tier link. With no Gateways it is the single
+	// shared uplink of the flat model; with Gateways it is the WAN link
+	// every gateway's traffic funnels into.
+	Uplink UplinkConfig `json:"uplink"`
+	// Gateways, when non-empty, makes the network tiered: each class
+	// attaches its cameras to one gateway (Class.Gateway), offloads cross
+	// the finite camera→gateway link first and the shared WAN second, and
+	// each tier runs its own contention discipline.
+	Gateways []Gateway `json:"gateways,omitempty"`
+	Classes  []Class   `json:"classes"`
 }
 
-// UplinkConfig sizes the shared uplink and names its contention model.
+// UplinkConfig sizes one shared link and names its contention model.
 type UplinkConfig struct {
 	Gbps       float64 `json:"gbps"`
 	Contention string  `json:"contention"` // ContentionFairShare (default) or ContentionFIFO
+}
+
+// Gateway is one edge aggregation point: the cameras attached to it share
+// its camera→gateway uplink before their traffic enters the WAN tier.
+type Gateway struct {
+	Name   string       `json:"name"`
+	Uplink UplinkConfig `json:"uplink"`
+}
+
+// GatewayIndex returns the position of the named gateway, or -1.
+func (sc *Scenario) GatewayIndex(name string) int {
+	for i := range sc.Gateways {
+		if sc.Gateways[i].Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // BytesPerSecond returns the uplink's payload capacity.
@@ -61,6 +88,68 @@ type Class struct {
 	// the store cannot pay for.
 	HarvestW float64 `json:"harvest_w"`
 	StoreJ   float64 `json:"store_j"`
+
+	// Gateway attaches the class's cameras to the named gateway in a
+	// tiered scenario; empty attaches them directly to the top-tier link.
+	Gateway string `json:"gateway,omitempty"`
+
+	// Placements, when non-empty, is the class's runtime cost table:
+	// each camera holds a current placement index and uses that row's
+	// frame bytes / compute time / compute energy instead of the
+	// class-level FrameBytes, ComputeSeconds and ComputeJ. Order the rows
+	// from most-offload (index 0) to most-in-camera (last): the adaptive
+	// policies step indices up under congestion and down when idle.
+	Placements []PlacementCost `json:"placements,omitempty"`
+	// Policy controls how cameras move through Placements at runtime.
+	Policy PolicyConfig `json:"policy,omitempty"`
+}
+
+// PlacementCost is one row of a class's runtime cost table — the fleet
+// mirror of core.CostEntry, carrying the per-frame numbers the simulator
+// charges while a camera holds this placement.
+type PlacementCost struct {
+	Name           string  `json:"name"`
+	FrameBytes     int64   `json:"frame_bytes"`
+	ComputeSeconds float64 `json:"compute_sec"`
+	ComputeJ       float64 `json:"compute_j"`
+}
+
+// PolicyConfig is a class's adaptive-placement policy: every IntervalSec
+// of simulated time a per-class controller looks at the offload latencies
+// and queue drops observed since its last decision and moves a fraction of
+// the class's cameras along the Placements table.
+type PolicyConfig struct {
+	// Kind selects the decision rule: PolicyStatic (default, never moves),
+	// PolicyLatencyThreshold (one-way escalation toward in-camera compute
+	// when the window p95 exceeds HighSec or frames were queue-dropped) or
+	// PolicyHysteresis (two thresholds: above HighSec step toward
+	// in-camera, below LowSec step back toward offload, hold in between).
+	Kind string `json:"kind,omitempty"`
+	// IntervalSec is the control period; 0 is normalized to 1.
+	IntervalSec float64 `json:"interval_sec,omitempty"`
+	// HighSec is the congestion threshold on window p95 offload latency.
+	HighSec float64 `json:"high_sec,omitempty"`
+	// LowSec is the idle threshold (hysteresis only); 0 is normalized to
+	// HighSec/4.
+	LowSec float64 `json:"low_sec,omitempty"`
+	// MoveFraction is the fraction of the class moved per decision; 0 is
+	// normalized to 0.25. Which cameras move is drawn from the scenario's
+	// seeded controller stream.
+	MoveFraction float64 `json:"move_fraction,omitempty"`
+	// Start is the initial placement index of every camera in the class.
+	Start int `json:"start,omitempty"`
+}
+
+// Placement policy names.
+const (
+	PolicyStatic           = "static"
+	PolicyLatencyThreshold = "latency-threshold"
+	PolicyHysteresis       = "hysteresis"
+)
+
+// adaptive reports whether the class runs a placement controller.
+func (c *Class) adaptive() bool {
+	return len(c.Placements) > 0 && c.Policy.Kind != PolicyStatic
 }
 
 // Arrival pattern names.
@@ -82,11 +171,17 @@ func ParseScenario(data []byte) (Scenario, error) {
 	return sc, nil
 }
 
-// Normalize fills defaulted fields in place: contention model, arrival
-// pattern, queue depth and offload probability.
+// Normalize fills defaulted fields in place: contention models (every
+// tier), arrival pattern, queue depth, offload probability and the
+// adaptive-policy knobs. It is idempotent.
 func (sc *Scenario) Normalize() {
 	if sc.Uplink.Contention == "" {
 		sc.Uplink.Contention = ContentionFairShare
+	}
+	for i := range sc.Gateways {
+		if sc.Gateways[i].Uplink.Contention == "" {
+			sc.Gateways[i].Uplink.Contention = ContentionFairShare
+		}
 	}
 	for i := range sc.Classes {
 		c := &sc.Classes[i]
@@ -96,22 +191,56 @@ func (sc *Scenario) Normalize() {
 		if c.QueueDepth == 0 {
 			c.QueueDepth = 4
 		}
-		if c.FrameBytes > 0 && c.OffloadProb == 0 {
+		if (c.FrameBytes > 0 || len(c.Placements) > 0) && c.OffloadProb == 0 {
 			c.OffloadProb = 1
+		}
+		if len(c.Placements) > 0 {
+			p := &c.Policy
+			if p.Kind == "" {
+				p.Kind = PolicyStatic
+			}
+			if p.IntervalSec == 0 {
+				p.IntervalSec = 1
+			}
+			if p.MoveFraction == 0 {
+				p.MoveFraction = 0.25
+			}
+			if p.Kind == PolicyHysteresis && p.LowSec == 0 {
+				p.LowSec = p.HighSec / 4
+			}
 		}
 	}
 }
 
+// validateUplink checks one tier's link configuration.
+func validateUplink(u UplinkConfig, tier string) error {
+	if !(u.Gbps > 0) || math.IsInf(u.Gbps, 0) {
+		return fmt.Errorf("fleet: %s: uplink %v Gbps must be positive and finite", tier, u.Gbps)
+	}
+	if u.Contention != ContentionFairShare && u.Contention != ContentionFIFO {
+		return fmt.Errorf("fleet: %s: unknown contention model %q", tier, u.Contention)
+	}
+	return nil
+}
+
 // Validate rejects scenarios the simulator cannot run.
 func (sc *Scenario) Validate() error {
-	if sc.Duration <= 0 {
-		return fmt.Errorf("fleet: scenario %q: duration %v must be positive", sc.Name, sc.Duration)
+	if !(sc.Duration > 0) || math.IsInf(sc.Duration, 0) {
+		return fmt.Errorf("fleet: scenario %q: duration %v must be positive and finite", sc.Name, sc.Duration)
 	}
-	if sc.Uplink.Gbps <= 0 {
-		return fmt.Errorf("fleet: scenario %q: uplink %v Gbps must be positive", sc.Name, sc.Uplink.Gbps)
+	if err := validateUplink(sc.Uplink, fmt.Sprintf("scenario %q", sc.Name)); err != nil {
+		return err
 	}
-	if sc.Uplink.Contention != ContentionFairShare && sc.Uplink.Contention != ContentionFIFO {
-		return fmt.Errorf("fleet: scenario %q: unknown contention model %q", sc.Name, sc.Uplink.Contention)
+	for i, gw := range sc.Gateways {
+		if gw.Name == "" {
+			return fmt.Errorf("fleet: scenario %q: gateway %d has no name", sc.Name, i)
+		}
+		if sc.GatewayIndex(gw.Name) != i {
+			return fmt.Errorf("fleet: scenario %q: duplicate gateway %q", sc.Name, gw.Name)
+		}
+		if err := validateUplink(gw.Uplink, fmt.Sprintf("gateway %q", gw.Name)); err != nil {
+			return err
+		}
 	}
 	if len(sc.Classes) == 0 {
 		return fmt.Errorf("fleet: scenario %q has no camera classes", sc.Name)
@@ -139,10 +268,59 @@ func (sc *Scenario) Validate() error {
 		if c.HarvestW < 0 || (c.HarvestW > 0 && c.StoreJ <= 0) {
 			return fmt.Errorf("fleet: class %q: harvesting needs positive harvest power and store", c.Name)
 		}
+		if c.Gateway != "" && sc.GatewayIndex(c.Gateway) < 0 {
+			return fmt.Errorf("fleet: class %q: unknown gateway %q", c.Name, c.Gateway)
+		}
+		if err := c.validatePlacements(); err != nil {
+			return err
+		}
 		total += c.Count
 	}
 	if total == 0 {
 		return fmt.Errorf("fleet: scenario %q has no cameras", sc.Name)
+	}
+	return nil
+}
+
+// validatePlacements checks the class's runtime cost table and policy.
+func (c *Class) validatePlacements() error {
+	p := &c.Policy
+	if len(c.Placements) == 0 {
+		if p.Kind != "" && p.Kind != PolicyStatic {
+			return fmt.Errorf("fleet: class %q: policy %q without a placements table", c.Name, p.Kind)
+		}
+		return nil
+	}
+	for i, pc := range c.Placements {
+		if pc.FrameBytes <= 0 {
+			return fmt.Errorf("fleet: class %q: placement %d (%s) frame bytes %d must be positive",
+				c.Name, i, pc.Name, pc.FrameBytes)
+		}
+		if pc.ComputeSeconds < 0 || pc.ComputeJ < 0 || math.IsNaN(pc.ComputeSeconds) || math.IsNaN(pc.ComputeJ) {
+			return fmt.Errorf("fleet: class %q: placement %d (%s) has negative compute cost",
+				c.Name, i, pc.Name)
+		}
+	}
+	switch p.Kind {
+	case PolicyStatic:
+	case PolicyLatencyThreshold, PolicyHysteresis:
+		if !(p.HighSec > 0) || math.IsInf(p.HighSec, 0) {
+			return fmt.Errorf("fleet: class %q: policy %q needs a positive finite high_sec", c.Name, p.Kind)
+		}
+		if !(p.LowSec >= 0) || p.LowSec > p.HighSec {
+			return fmt.Errorf("fleet: class %q: low_sec %v outside [0, high_sec %v]", c.Name, p.LowSec, p.HighSec)
+		}
+	default:
+		return fmt.Errorf("fleet: class %q: unknown placement policy %q", c.Name, p.Kind)
+	}
+	if !(p.IntervalSec > 0) || math.IsInf(p.IntervalSec, 0) {
+		return fmt.Errorf("fleet: class %q: policy interval %v must be positive and finite", c.Name, p.IntervalSec)
+	}
+	if !(p.MoveFraction > 0) || p.MoveFraction > 1 {
+		return fmt.Errorf("fleet: class %q: move fraction %v outside (0,1]", c.Name, p.MoveFraction)
+	}
+	if p.Start < 0 || p.Start >= len(c.Placements) {
+		return fmt.Errorf("fleet: class %q: start placement %d outside table of %d", c.Name, p.Start, len(c.Placements))
 	}
 	return nil
 }

@@ -7,21 +7,26 @@ import (
 )
 
 // event kinds: a camera captures a frame; an in-camera-processed frame
-// becomes ready for the uplink. Transfer completions are not events — the
-// loop peeks them off the uplink, whose finish times shift as transfers
+// becomes ready for its first-hop link; an adaptive class's controller
+// makes a placement decision. Transfer completions are not events — the
+// loop peeks them off the links, whose finish times shift as transfers
 // are admitted.
 const (
 	evCapture = iota
 	evReady
+	evControl
 )
 
 type event struct {
 	t    float64
 	seq  int64 // tie-break: earlier-scheduled events fire first
 	kind int
-	cam  int32
+	cam  int32 // camera index (evCapture, evReady) or class index (evControl)
 	// capturedAt is the frame's capture time (evReady), the latency epoch.
 	capturedAt float64
+	// bytes is the offload payload, fixed at capture time (evReady) so a
+	// placement switch mid-flight cannot retroactively resize a frame.
+	bytes float64
 }
 
 type eventHeap []event
@@ -39,17 +44,20 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h 
 
 // camera is one simulated device.
 type camera struct {
-	class    int
-	rng      *rand.Rand
-	inflight int
-	stored   float64 // harvested joules in the store (harvesting classes)
-	lastTop  float64 // wall time of the last store top-up
+	class     int
+	rng       *rand.Rand
+	inflight  int
+	placement int     // current index into the class's Placements table
+	stored    float64 // harvested joules in the store (harvesting classes)
+	lastTop   float64 // wall time of the last store top-up
 }
 
-// transfer is one in-flight offload, indexed by transfer id.
+// transfer is one in-flight offload, indexed by transfer id. The same id
+// rides the camera→gateway link and then the WAN link.
 type transfer struct {
 	cam        int32
 	capturedAt float64
+	bytes      float64
 }
 
 // splitmix64 derives well-separated per-camera seeds from the run seed, so
@@ -63,23 +71,49 @@ func splitmix64(x uint64) uint64 {
 }
 
 // Run executes one scenario to completion: captures stop at
-// Scenario.Duration and the uplink drains. The same normalized scenario
+// Scenario.Duration and every tier drains. The same normalized scenario
 // always produces the identical Result.
 func Run(sc Scenario) (*Result, error) {
-	// sc arrives by value but Classes shares its backing array with the
-	// caller (and, under Sweep, with sibling scenarios): copy before
-	// Normalize writes defaults into it.
+	// sc arrives by value but Classes/Gateways share backing arrays with
+	// the caller (and, under Sweep, with sibling scenarios): copy before
+	// Normalize writes defaults into them.
 	sc.Classes = append([]Class(nil), sc.Classes...)
+	sc.Gateways = append([]Gateway(nil), sc.Gateways...)
 	sc.Normalize()
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	up, err := NewUplink(sc.Uplink.Contention, sc.Uplink.BytesPerSecond())
+
+	// Links in tier order: gateways first, the top-tier (WAN) link last.
+	// With no gateways the topology degenerates to the flat shared-uplink
+	// model and wan indexes the only link.
+	wan := len(sc.Gateways)
+	links := make([]Uplink, wan+1)
+	for i, gw := range sc.Gateways {
+		up, err := NewUplink(gw.Uplink.Contention, gw.Uplink.BytesPerSecond())
+		if err != nil {
+			return nil, err
+		}
+		links[i] = up
+	}
+	wanUp, err := NewUplink(sc.Uplink.Contention, sc.Uplink.BytesPerSecond())
 	if err != nil {
 		return nil, err
 	}
+	links[wan] = wanUp
+
+	// firstHop maps each class to the link its cameras transmit on.
+	firstHop := make([]int, len(sc.Classes))
+	for ci := range sc.Classes {
+		firstHop[ci] = wan
+		if gw := sc.Classes[ci].Gateway; gw != "" {
+			firstHop[ci] = sc.GatewayIndex(gw)
+		}
+	}
 
 	cams := make([]camera, 0, sc.Cameras())
+	classCams := make([][]int32, len(sc.Classes))
+	ctls := newControllers(&sc)
 	res := newResult(sc)
 	var events eventHeap
 	var seq int64
@@ -100,7 +134,7 @@ func Run(sc Scenario) (*Result, error) {
 		for k := 0; k < cl.Count; k++ {
 			idx := len(cams)
 			rng := rand.New(rand.NewSource(int64(splitmix64(uint64(sc.Seed)<<20 + uint64(idx)))))
-			c := camera{class: ci, rng: rng, stored: cl.StoreJ}
+			c := camera{class: ci, rng: rng, stored: cl.StoreJ, placement: cl.Policy.Start}
 			// First capture: a random phase inside one period (periodic) or
 			// one exponential gap (Poisson).
 			var first float64
@@ -110,9 +144,13 @@ func Run(sc Scenario) (*Result, error) {
 				first = rng.Float64() / cl.FPS
 			}
 			cams = append(cams, c)
+			classCams[ci] = append(classCams[ci], int32(idx))
 			if first < sc.Duration {
 				push(event{t: first, kind: evCapture, cam: int32(idx)})
 			}
+		}
+		if ctls[ci] != nil && cl.Policy.IntervalSec < sc.Duration {
+			push(event{t: cl.Policy.IntervalSec, kind: evControl, cam: int32(ci)})
 		}
 	}
 
@@ -123,7 +161,19 @@ func Run(sc Scenario) (*Result, error) {
 		st := &res.Classes[c.class]
 		st.Captured++
 
-		offload := cl.FrameBytes > 0 && cl.OffloadProb > 0 && c.rng.Float64() < cl.OffloadProb
+		// Per-frame costs come from the camera's current placement when the
+		// class carries a runtime cost table, else from the class fields.
+		frameBytes := float64(cl.FrameBytes)
+		computeSec := cl.ComputeSeconds
+		computeJ := cl.ComputeJ
+		if len(cl.Placements) > 0 {
+			pc := &cl.Placements[c.placement]
+			frameBytes = float64(pc.FrameBytes)
+			computeSec = pc.ComputeSeconds
+			computeJ = pc.ComputeJ
+		}
+
+		offload := frameBytes > 0 && cl.OffloadProb > 0 && c.rng.Float64() < cl.OffloadProb
 		queueDropped := false
 		if offload && c.inflight >= cl.QueueDepth {
 			// Backpressure: the frame is still processed in-camera, but its
@@ -131,9 +181,9 @@ func Run(sc Scenario) (*Result, error) {
 			queueDropped = true
 			offload = false
 		}
-		need := cl.CaptureJ + cl.ComputeJ
+		need := cl.CaptureJ + computeJ
 		if offload {
-			need += cl.TxFixedJ + cl.TxPerByteJ*float64(cl.FrameBytes)
+			need += cl.TxFixedJ + cl.TxPerByteJ*frameBytes
 		}
 		if cl.HarvestW > 0 {
 			c.stored += cl.HarvestW * (t - c.lastTop)
@@ -154,25 +204,53 @@ func Run(sc Scenario) (*Result, error) {
 		st.EnergyJ += need
 		if queueDropped {
 			st.DroppedQueue++
+			if ctl := ctls[c.class]; ctl != nil {
+				ctl.winDrops++
+			}
 		}
 		if offload {
 			c.inflight++
-			push(event{t: t + cl.ComputeSeconds, kind: evReady, cam: camIdx, capturedAt: t})
+			push(event{t: t + computeSec, kind: evReady, cam: camIdx, capturedAt: t, bytes: frameBytes})
 		}
 	}
 
-	for len(events) > 0 || up.InFlight() > 0 {
-		tu, uok := up.NextFinish()
-		if uok && (len(events) == 0 || tu <= events[0].t) {
-			id := up.Finish()
+	inFlight := func() int {
+		n := 0
+		for _, up := range links {
+			n += up.InFlight()
+		}
+		return n
+	}
+
+	for len(events) > 0 || inFlight() > 0 {
+		// Earliest link completion across the tiers; ties resolve to the
+		// lowest link index (gateways before WAN), deterministically.
+		li, lt := -1, 0.0
+		for i, up := range links {
+			if t, ok := up.NextFinish(); ok && (li < 0 || t < lt) {
+				li, lt = i, t
+			}
+		}
+		if li >= 0 && (len(events) == 0 || lt <= events[0].t) {
+			id := links[li].Finish()
 			tr := transfers[id]
+			if li != wan {
+				// First hop done: the frame leaves the gateway and enters
+				// the shared WAN tier at the instant it drains.
+				links[wan].Start(lt, id, tr.bytes)
+				continue
+			}
 			c := &cams[tr.cam]
 			c.inflight--
 			st := &res.Classes[c.class]
 			st.Offloaded++
-			st.latencies = append(st.latencies, tu-tr.capturedAt)
-			if tu > res.SimEnd {
-				res.SimEnd = tu
+			lat := lt - tr.capturedAt
+			st.latencies = append(st.latencies, lat)
+			if ctl := ctls[c.class]; ctl != nil {
+				ctl.observe(lat)
+			}
+			if lt > res.SimEnd {
+				res.SimEnd = lt
 			}
 			continue
 		}
@@ -185,10 +263,19 @@ func Run(sc Scenario) (*Result, error) {
 				push(event{t: nt, kind: evCapture, cam: ev.cam})
 			}
 		case evReady:
-			cl := &sc.Classes[cams[ev.cam].class]
 			id := len(transfers)
-			transfers = append(transfers, transfer{cam: ev.cam, capturedAt: ev.capturedAt})
-			up.Start(ev.t, id, float64(cl.FrameBytes))
+			transfers = append(transfers, transfer{cam: ev.cam, capturedAt: ev.capturedAt, bytes: ev.bytes})
+			links[firstHop[cams[ev.cam].class]].Start(ev.t, id, ev.bytes)
+		case evControl:
+			ci := int(ev.cam)
+			cl := &sc.Classes[ci]
+			ctl := ctls[ci]
+			if dir := ctl.decide(cl.Policy); dir != 0 {
+				ctl.move(cl, cams, classCams[ci], dir)
+			}
+			if nt := ev.t + cl.Policy.IntervalSec; nt < sc.Duration {
+				push(event{t: nt, kind: evControl, cam: ev.cam})
+			}
 		default:
 			return nil, fmt.Errorf("fleet: unknown event kind %d", ev.kind)
 		}
@@ -197,7 +284,37 @@ func Run(sc Scenario) (*Result, error) {
 	if res.SimEnd < sc.Duration {
 		res.SimEnd = sc.Duration
 	}
-	res.UplinkUtilization = up.ServedBytes() / (sc.Uplink.BytesPerSecond() * res.SimEnd)
+	for i, gw := range sc.Gateways {
+		res.Tiers = append(res.Tiers, TierStats{
+			Name:        gw.Name,
+			Gbps:        gw.Uplink.Gbps,
+			Contention:  gw.Uplink.Contention,
+			ServedBytes: links[i].ServedBytes(),
+			Utilization: links[i].ServedBytes() / (gw.Uplink.BytesPerSecond() * res.SimEnd),
+		})
+	}
+	res.Tiers = append(res.Tiers, TierStats{
+		Name:        "wan",
+		Gbps:        sc.Uplink.Gbps,
+		Contention:  sc.Uplink.Contention,
+		ServedBytes: links[wan].ServedBytes(),
+		Utilization: links[wan].ServedBytes() / (sc.Uplink.BytesPerSecond() * res.SimEnd),
+	})
+	res.UplinkUtilization = res.Tiers[wan].Utilization
+	for ci := range sc.Classes {
+		cl := &sc.Classes[ci]
+		if len(cl.Placements) == 0 {
+			continue
+		}
+		hist := make([]int, len(cl.Placements))
+		for _, idx := range classCams[ci] {
+			hist[cams[idx].placement]++
+		}
+		res.Classes[ci].PlacementCounts = hist
+		if ctls[ci] != nil {
+			res.Classes[ci].Switches = ctls[ci].moves
+		}
+	}
 	res.finalize()
 	return res, nil
 }

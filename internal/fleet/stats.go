@@ -18,8 +18,16 @@ type ClassStats struct {
 	DroppedEnergy int64 // frames skipped by an empty harvest store
 	EnergyJ       float64
 
-	// Offload latency percentiles, capture to completed upload, seconds.
+	// Offload latency percentiles, capture to completed upload (through
+	// every tier), seconds.
 	LatencyP50, LatencyP95, LatencyP99 float64
+
+	// Switches counts individual camera placement moves decided by the
+	// class's adaptive controller (0 for static or table-less classes).
+	Switches int64
+	// PlacementCounts is the final population per placement index, set
+	// only for classes carrying a runtime cost table.
+	PlacementCounts []int
 
 	latencies []float64
 }
@@ -41,14 +49,29 @@ func (s ClassStats) DropRate() float64 {
 	return float64(s.DroppedQueue+s.DroppedEnergy) / float64(s.Captured)
 }
 
+// TierStats is the per-link accounting of one network tier: each gateway
+// link, then the top-tier (WAN) link, in scenario order.
+type TierStats struct {
+	Name        string
+	Gbps        float64
+	Contention  string
+	ServedBytes float64
+	// Utilization is served payload over capacity × SimEnd.
+	Utilization float64
+}
+
 // Result is the outcome of one simulated scenario.
 type Result struct {
 	Scenario Scenario
 	Classes  []ClassStats
 	Total    ClassStats
+	// Tiers holds per-link stats: gateways in scenario order, then the
+	// top-tier link named "wan". A flat scenario has exactly one entry.
+	Tiers []TierStats
 	// SimEnd is when the last offload drained (≥ Scenario.Duration).
 	SimEnd float64
-	// UplinkUtilization is served payload over capacity × SimEnd.
+	// UplinkUtilization is the top-tier link's utilization (the only
+	// link's, in a flat scenario) — served payload over capacity × SimEnd.
 	UplinkUtilization float64
 }
 
@@ -88,6 +111,7 @@ func (r *Result) finalize() {
 		r.Total.DroppedQueue += s.DroppedQueue
 		r.Total.DroppedEnergy += s.DroppedEnergy
 		r.Total.EnergyJ += s.EnergyJ
+		r.Total.Switches += s.Switches
 	}
 	sort.Float64s(all)
 	r.Total.LatencyP50 = percentile(all, 0.50)
@@ -125,6 +149,27 @@ func (r *Result) Table() string {
 			s.Name, s.Cameras, s.Captured, s.Offloaded, s.DroppedQueue, s.DroppedEnergy,
 			FormatLatency(s.LatencyP50), FormatLatency(s.LatencyP95), FormatLatency(s.LatencyP99),
 			s.EnergyPerFrame())
+	}
+	if len(r.Tiers) > 1 {
+		for _, ti := range r.Tiers {
+			fmt.Fprintf(&b, "  tier %-17s %5.1f Gb/s %-10s util %5.1f%%\n",
+				ti.Name, ti.Gbps, ti.Contention, ti.Utilization*100)
+		}
+	}
+	for i, s := range r.Classes {
+		if len(s.PlacementCounts) == 0 {
+			continue
+		}
+		cl := &r.Scenario.Classes[i]
+		fmt.Fprintf(&b, "  policy %-15s %-17s moves %4d  final", s.Name, cl.Policy.Kind, s.Switches)
+		for k, n := range s.PlacementCounts {
+			name := cl.Placements[k].Name
+			if name == "" {
+				name = fmt.Sprintf("p%d", k)
+			}
+			fmt.Fprintf(&b, " %s:%d", name, n)
+		}
+		fmt.Fprintln(&b)
 	}
 	return b.String()
 }

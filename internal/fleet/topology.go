@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"camsim/internal/core"
+	"camsim/internal/energy"
+)
+
+// compactPlacementName renders a Fig. 10-style short label for a
+// placement: "S~" for raw sensor offload, else stage names tagged with the
+// implementation initial ("SB1CB2CB3FB4F~").
+func compactPlacementName(p *core.ThroughputPipeline, pl core.Placement) string {
+	if pl.InCamera == 0 {
+		return "S~"
+	}
+	s := "S"
+	for i := 0; i < pl.InCamera; i++ {
+		s += p.Stages[i].Name + pl.Impl[i][:1]
+	}
+	return s + "~"
+}
+
+// VRAdaptiveClass builds a VR camera-head class that can switch between
+// the given Fig. 10 placements at runtime: the core cost table supplies
+// each placement's per-frame compute time and offload payload, rows are
+// ordered from most-offload to most-in-camera (decreasing payload) as the
+// fleet placement index convention requires, and compute energy charges
+// the placement's most power-hungry device for the frame's compute time.
+// policy decides how cameras move through the table.
+func VRAdaptiveClass(count int, pls []core.Placement, targetFPS float64, policy PolicyConfig) (Class, error) {
+	if len(pls) == 0 {
+		return Class{}, fmt.Errorf("fleet: adaptive VR class needs at least one placement")
+	}
+	p := PaperVRPipeline()
+	entries, err := p.CostTable(pls)
+	if err != nil {
+		return Class{}, err
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Cost.OffloadBytes > entries[j].Cost.OffloadBytes
+	})
+	radio := energy.WiFiRadio()
+	pcs := make([]PlacementCost, 0, len(entries))
+	for _, e := range entries {
+		watts := 2.0 // sensor interface + ISP floor for a sensor-only node
+		for _, impl := range e.Placement.Impl {
+			if w, ok := VRDevicePowerWatts[impl]; ok && w > watts {
+				watts = w
+			}
+		}
+		pcs = append(pcs, PlacementCost{
+			Name:           compactPlacementName(p, e.Placement),
+			FrameBytes:     e.Cost.OffloadBytes,
+			ComputeSeconds: e.Cost.ComputeSeconds,
+			ComputeJ:       watts * e.Cost.ComputeSeconds,
+		})
+	}
+	return Class{
+		Name:        "vr-adaptive",
+		Count:       count,
+		FPS:         targetFPS,
+		Arrival:     ArrivalPeriodic, // genlocked capture, staggered phases
+		OffloadProb: 1,
+		QueueDepth:  4,
+		CaptureJ:    5e-3, // 4K sensor readout per frame
+		TxFixedJ:    float64(radio.WakeOverhead),
+		TxPerByteJ:  float64(radio.EnergyPerBit) * 8,
+		Placements:  pcs,
+		Policy:      policy,
+	}, nil
+}
+
+// TopologyDemoScenario builds the congested two-gateway fleet behind the
+// `camsim topo` experiment, BenchmarkTopologySweep and the adaptive-policy
+// tests: each gateway aggregates adaptive VR camera heads (starting at raw
+// sensor offload, able to fall back to the full in-camera pipeline) plus a
+// population of battery-free face-auth cameras, and both gateway links
+// funnel into a shared WAN. At raw offload the VR demand oversubscribes
+// the gateway links several times over; at full in-camera compute it fits.
+// policy names the VR classes' adaptation rule: PolicyStatic pins them at
+// raw offload, PolicyLatencyThreshold and PolicyHysteresis adapt.
+func TopologyDemoScenario(seed int64, policy string) (Scenario, error) {
+	pls := []core.Placement{
+		{}, // raw sensor offload
+		{InCamera: 4, Impl: []string{"CPU", "CPU", "FPGA", "FPGA"}}, // full in-camera pipeline
+	}
+	pol := PolicyConfig{
+		Kind:         policy,
+		IntervalSec:  0.5,
+		HighSec:      0.2,
+		LowSec:       0.01,
+		MoveFraction: 0.5,
+	}
+	sc := Scenario{
+		Name:     "topo-2gw/" + policy,
+		Seed:     seed,
+		Duration: 8,
+		Uplink:   UplinkConfig{Gbps: 4, Contention: ContentionFairShare},
+		Gateways: []Gateway{
+			{Name: "gw-a", Uplink: UplinkConfig{Gbps: 2, Contention: ContentionFairShare}},
+			{Name: "gw-b", Uplink: UplinkConfig{Gbps: 2, Contention: ContentionFairShare}},
+		},
+	}
+	for _, gw := range []string{"gw-a", "gw-b"} {
+		vr, err := VRAdaptiveClass(4, pls, 30, pol)
+		if err != nil {
+			return Scenario{}, err
+		}
+		vr.Name = "vr-" + gw
+		vr.Gateway = gw
+		fa := FaceAuthClass(60)
+		fa.Name = "fa-" + gw
+		fa.Gateway = gw
+		sc.Classes = append(sc.Classes, vr, fa)
+	}
+	return sc, nil
+}
