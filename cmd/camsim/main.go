@@ -32,7 +32,9 @@
 // tier further: cameras attach to edge gateways with finite links that
 // share a WAN, and adaptive per-class policies (latency-threshold,
 // hysteresis) move cameras between Fig. 10 placements at runtime as
-// observed offload latency degrades.
+// observed offload latency degrades. `camsim topo -depth n` deepens the
+// network into an n-tier camera→gateway→metro→core chain where every hop
+// adds transmission plus one-way propagation delay to offload latency.
 package main
 
 import (

@@ -1,0 +1,112 @@
+// Deep-topology: drive the internal/fleet simulator over an
+// arbitrary-depth tier tree described in JSON — camera → gateway → metro →
+// core — and watch how propagation delay reshapes the paper's
+// computation-communication tradeoff.
+//
+// The "tiers" scenario form generalizes the two-tier "gateways" form: each
+// tier names its parent (the one with no parent is the root link out of
+// the network), carries its own uplink capacity and contention discipline,
+// and a one-way propagation_sec delay. A class attaches its cameras to a
+// tier by name ("tier"); every offload then rides each link from the
+// attach point to the root, paying transmission plus propagation at every
+// hop. The walkthrough below runs the same fleet twice — VR heads pinned
+// at raw sensor offload, then free to adapt — and separates what
+// adaptation can win back (queueing on congested links) from what it never
+// can (the ~12 ms of accumulated propagation between a gateway camera and
+// the cloud).
+package main
+
+import (
+	"fmt"
+
+	"camsim/internal/fleet"
+)
+
+const scenarioJSON = `{
+  "name": "metro-chain",
+  "seed": 1,
+  "duration_sec": 10,
+  "tiers": [
+    {"name": "gw-east",  "parent": "metro", "uplink": {"gbps": 2, "contention": "fair-share"}, "propagation_sec": 0.0002},
+    {"name": "gw-west",  "parent": "metro", "uplink": {"gbps": 2, "contention": "fair-share"}, "propagation_sec": 0.0002},
+    {"name": "metro",    "parent": "core",  "uplink": {"gbps": 4, "contention": "fair-share"}, "propagation_sec": 0.002},
+    {"name": "core",                        "uplink": {"gbps": 8, "contention": "fair-share"}, "propagation_sec": 0.01}
+  ],
+  "classes": [
+    {"name": "vr-east", "count": 4, "fps": 30, "tier": "gw-east",
+     "capture_j": 5e-3, "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8,
+     "placements": [
+       {"name": "raw", "frame_bytes": 12400000, "compute_sec": 0.0001, "compute_j": 0.0002},
+       {"name": "in-camera", "frame_bytes": 1122000, "compute_sec": 0.0316, "compute_j": 0.316}
+     ],
+     "policy": {"kind": "latency-threshold", "interval_sec": 0.5,
+                "high_sec": 0.2, "move_fraction": 0.5}},
+    {"name": "fa-east", "count": 80, "fps": 1, "arrival": "poisson",
+     "tier": "gw-east", "frame_bytes": 400, "offload_prob": 0.1,
+     "compute_sec": 0.02, "capture_j": 3.3e-6, "compute_j": 3e-7,
+     "tx_fixed_j": 2e-6, "tx_per_byte_j": 4.8e-10,
+     "harvest_w": 2e-4, "store_j": 0.07},
+    {"name": "vr-west", "count": 4, "fps": 30, "tier": "gw-west",
+     "capture_j": 5e-3, "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8,
+     "placements": [
+       {"name": "raw", "frame_bytes": 12400000, "compute_sec": 0.0001, "compute_j": 0.0002},
+       {"name": "in-camera", "frame_bytes": 1122000, "compute_sec": 0.0316, "compute_j": 0.316}
+     ],
+     "policy": {"kind": "latency-threshold", "interval_sec": 0.5,
+                "high_sec": 0.2, "move_fraction": 0.5}},
+    {"name": "fa-west", "count": 80, "fps": 1, "arrival": "poisson",
+     "tier": "gw-west", "frame_bytes": 400, "offload_prob": 0.1,
+     "compute_sec": 0.02, "capture_j": 3.3e-6, "compute_j": 3e-7,
+     "tx_fixed_j": 2e-6, "tx_per_byte_j": 4.8e-10,
+     "harvest_w": 2e-4, "store_j": 0.07}
+  ]
+}`
+
+func main() {
+	base, err := fleet.ParseScenario([]byte(scenarioJSON))
+	if err != nil {
+		panic(err)
+	}
+
+	// The same deep-tier population with the VR classes pinned (static)
+	// and adapting (latency-threshold), swept across the worker pool.
+	var scenarios []fleet.Scenario
+	for _, kind := range []string{fleet.PolicyStatic, fleet.PolicyLatencyThreshold} {
+		sc := base
+		sc.Name = base.Name + "/" + kind
+		sc.Classes = append([]fleet.Class(nil), base.Classes...)
+		for i := range sc.Classes {
+			if len(sc.Classes[i].Placements) > 0 {
+				sc.Classes[i].Policy.Kind = kind
+			}
+		}
+		scenarios = append(scenarios, sc)
+	}
+	results := fleet.Sweep(scenarios, 0)
+	for _, o := range results {
+		if o.Err != nil {
+			panic(o.Err)
+		}
+		fmt.Print(o.Result.Table())
+		fmt.Println()
+	}
+
+	// Hop-delay accounting: how much of the fleet's time in the network
+	// was pure propagation, tier by tier.
+	adapted := results[1].Result
+	fmt.Println("hop-delay accounting (adaptive run):")
+	for _, ti := range adapted.Tiers {
+		if ti.PropagationSec == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %6d transfers x %8s one-way = %8.2fs total propagation\n",
+			ti.Name, ti.Transfers, fleet.FormatLatency(ti.PropagationSec), ti.PropDelayTotal())
+	}
+
+	fmt.Println()
+	fmt.Println("pinned at raw offload the VR heads drown their gateway tier; adapting to")
+	fmt.Println("in-camera compute drains the queues — but the face-auth p50 never dips")
+	fmt.Println("below ~32ms: 20ms of in-camera processing plus the 12.2ms the chain's")
+	fmt.Println("propagation adds on the way to the cloud. Placement moves computation,")
+	fmt.Println("not distance.")
+}

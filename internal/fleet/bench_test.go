@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// deepFleetScenario spreads cams cameras across 32 leaf gateways feeding 8
+// metro tiers and one core link (41 links in all) — the 10k-camera
+// deep-topology stress shape. Simple fixed-payload classes keep the event
+// loop itself the measured quantity.
+func deepFleetScenario(cams int) Scenario {
+	sc := Scenario{
+		Name:     fmt.Sprintf("deep-bench-%d", cams),
+		Seed:     1,
+		Duration: 4,
+	}
+	const gws, metros = 32, 8
+	for m := 1; m <= metros; m++ {
+		sc.Tiers = append(sc.Tiers, Tier{
+			Name:           fmt.Sprintf("metro-%d", m),
+			Parent:         "core",
+			Uplink:         UplinkConfig{Gbps: 4, Contention: ContentionFairShare},
+			PropagationSec: 0.002,
+		})
+	}
+	sc.Tiers = append(sc.Tiers, Tier{
+		Name:           "core",
+		Uplink:         UplinkConfig{Gbps: 8, Contention: ContentionFairShare},
+		PropagationSec: 0.01,
+	})
+	per := cams / gws
+	for g := 0; g < gws; g++ {
+		name := fmt.Sprintf("gw-%d", g)
+		sc.Tiers = append(sc.Tiers, Tier{
+			Name:           name,
+			Parent:         fmt.Sprintf("metro-%d", g%metros+1),
+			Uplink:         UplinkConfig{Gbps: 2, Contention: ContentionFairShare},
+			PropagationSec: 0.0002,
+		})
+		sc.Classes = append(sc.Classes, Class{
+			Name: "cams-" + name, Count: per, FPS: 2, Arrival: ArrivalPoisson,
+			Tier: name, FrameBytes: 4000, OffloadProb: 1, ComputeSeconds: 0.005,
+			QueueDepth: 4, CaptureJ: 1e-4, ComputeJ: 1e-4, TxFixedJ: 1e-5, TxPerByteJ: 1e-9,
+		})
+	}
+	return sc
+}
+
+// BenchmarkDeepTopology measures one full 10k-camera deep-topology run per
+// iteration, comparing the heap-backed link-completion index (the
+// production path) against the O(links)-scan baseline it replaced. Both
+// variants produce byte-identical results
+// (TestIndexedCompletionMatchesScanBaseline); only the completion lookup
+// differs. Baseline numbers live in BENCH_topology.json at the repo root.
+func BenchmarkDeepTopology(b *testing.B) {
+	sc := deepFleetScenario(10_000)
+	for _, mode := range []struct {
+		name    string
+		indexed bool
+	}{{"indexed", true}, {"scan", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var frames int64
+			for i := 0; i < b.N; i++ {
+				res, err := run(sc, mode.indexed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += res.Total.Captured
+			}
+			b.ReportMetric(float64(frames)/float64(b.N), "frames/run")
+		})
+	}
+}

@@ -6,11 +6,12 @@
 // cameras does a given uplink support, which placement keeps offload
 // latency bounded as the fleet grows, and what does contention do to
 // harvest-constrained devices sharing the air with bandwidth-hungry ones.
-// The network is either one shared uplink (the flat model) or a tiered
-// topology — cameras attach to edge gateways over finite camera→gateway
-// links and the gateways share a finite WAN link — and classes can carry a
-// runtime placement cost table that an adaptive per-class controller walks
-// as observed conditions change.
+// The network is one shared uplink (the flat model), a two-tier gateway
+// topology, or an arbitrary-depth tier tree — cameras attach to a named
+// tier and their offloads climb every link from there to the root, paying
+// transmission plus one-way propagation delay at each hop — and classes
+// can carry a runtime placement cost table that an adaptive per-class
+// controller walks as observed conditions change.
 //
 // # Scenario format
 //
@@ -58,6 +59,32 @@
 //	  {"name": "gw-a", "uplink": {"gbps": 2, "contention": "fair-share"}},
 //	  {"name": "gw-b", "uplink": {"gbps": 2, "contention": "fifo"}}
 //	],
+//
+// # Tier trees
+//
+// A "tiers" section generalizes the network to an arbitrary-depth tree
+// (camera → gateway → metro → core): each tier names its parent — exactly
+// one, the root, leaves it empty — and carries its own uplink plus a
+// one-way "propagation_sec" delay. Classes attach by tier name ("tier";
+// empty attaches at the root), and a transfer rides every link from its
+// attach point to the root, accruing per-hop transmission and propagation
+// time; completion latency is capture to arrival in the cloud, one root
+// propagation delay after the root link drains.
+//
+//	"tiers": [
+//	  {"name": "gw-a",  "parent": "metro", "uplink": {"gbps": 2}, "propagation_sec": 0.0002},
+//	  {"name": "gw-b",  "parent": "metro", "uplink": {"gbps": 2}, "propagation_sec": 0.0002},
+//	  {"name": "metro", "parent": "core",  "uplink": {"gbps": 4}, "propagation_sec": 0.002},
+//	  {"name": "core",                     "uplink": {"gbps": 8}, "propagation_sec": 0.01}
+//	],
+//
+// "tiers" is mutually exclusive with "gateways"; the flat and gateway
+// forms are themselves resolved into depth-1 and depth-2 trees (root
+// named "wan"), so the tree is the one runtime model. Per-tier stats come
+// back in Result.Tiers — served bytes, completed transfers, utilization,
+// depth and the hop-delay total Transfers × PropagationSec — and
+// Result.TierNamed finds a tier by name. DeepTopologyScenario builds the
+// gateway→metro→core demo chain behind `camsim topo -depth`.
 //
 // # Adaptive placement
 //

@@ -284,6 +284,61 @@ func TestCoreCostHookMatchesEvaluate(t *testing.T) {
 	}
 }
 
+func TestPerCameraSeedsCollisionFree(t *testing.T) {
+	// The old derivation shifted the seed left by 20 bits before mixing:
+	// the top 20 seed bits vanished, and (seed, idx) and (seed, idx+2^20)
+	// collided outright. Two full splitmix64 rounds must keep every
+	// combination distinct — including camera indexes at and beyond 2^20
+	// and seeds differing only in their high bits.
+	seeds := []int64{0, 1, 42, 1 << 44, (1 << 44) + 1, -1}
+	idxs := []int{0, 1, 1000, 1 << 20, (1 << 20) + 1, 1 << 21}
+	seen := map[int64][2]any{}
+	for _, s := range seeds {
+		for _, i := range idxs {
+			h := cameraSeed(s, i)
+			if prev, dup := seen[h]; dup {
+				t.Fatalf("cameraSeed(%d,%d) == cameraSeed(%v,%v) == %d", s, i, prev[0], prev[1], h)
+			}
+			seen[h] = [2]any{s, i}
+		}
+	}
+	// And the old failure mode specifically: same seed, indexes 2^20 apart.
+	if cameraSeed(7, 3) == cameraSeed(7, 3+1<<20) {
+		t.Fatal("camera indexes 2^20 apart still collide")
+	}
+}
+
+func TestFIFOQueueBoundedOverLongRun(t *testing.T) {
+	// Regression for the queue = queue[1:] backing-array leak: with a
+	// bounded backlog, the ring must stay near the peak concurrency no
+	// matter how many transfers pass through (the old code retained every
+	// popped head for the life of the run).
+	up, err := NewUplink(ContentionFIFO, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := up.(*fifoUplink)
+	now := 0.0
+	const transfers = 200_000
+	for i := 0; i < transfers; i++ {
+		up.Start(now, i, 100)
+		if up.InFlight() >= 8 {
+			ft, _ := up.NextFinish()
+			up.Finish()
+			now = ft
+		}
+	}
+	for up.InFlight() > 0 {
+		up.Finish()
+	}
+	if len(fifo.ring) > 16 {
+		t.Fatalf("ring grew to %d slots for a backlog that never exceeded 8", len(fifo.ring))
+	}
+	if up.ServedBytes() != transfers*100 {
+		t.Fatalf("served %v bytes, want %v", up.ServedBytes(), transfers*100)
+	}
+}
+
 // TestSweepParallelMatchesSerial exercises the worker pool (under -race in
 // CI) and pins sweep outputs to serial runs.
 func TestSweepParallelMatchesSerial(t *testing.T) {

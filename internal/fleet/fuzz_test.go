@@ -52,11 +52,44 @@ var fuzzSeeds = []string{
 	  "classes": [{"name": "c", "count": 2, "fps": 5,
 	    "placements": [{"frame_bytes": 1000}, {"frame_bytes": 10}],
 	    "policy": {"kind": "hysteresis", "high_sec": 0.5}}]}`,
+	// arbitrary-depth tier tree with per-hop propagation delay
+	`{
+	  "name": "deep", "seed": 5, "duration_sec": 4,
+	  "tiers": [
+	    {"name": "gw-a", "parent": "metro", "uplink": {"gbps": 2}, "propagation_sec": 0.0002},
+	    {"name": "gw-b", "parent": "metro", "uplink": {"gbps": 2, "contention": "fifo"}, "propagation_sec": 0.0002},
+	    {"name": "metro", "parent": "core", "uplink": {"gbps": 4}, "propagation_sec": 0.002},
+	    {"name": "core", "uplink": {"gbps": 8}, "propagation_sec": 0.01}
+	  ],
+	  "classes": [
+	    {"name": "vr-a", "count": 3, "fps": 30, "tier": "gw-a",
+	     "frame_bytes": 1122000, "compute_sec": 0.03,
+	     "capture_j": 5e-3, "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8},
+	    {"name": "fa-b", "count": 40, "fps": 1, "arrival": "poisson",
+	     "tier": "gw-b", "frame_bytes": 400, "offload_prob": 0.05,
+	     "compute_sec": 0.02, "harvest_w": 2e-4, "store_j": 0.07},
+	    {"name": "direct", "count": 5, "fps": 2, "frame_bytes": 10000}
+	  ]
+	}`,
 	// invalid inputs the decoder must reject gracefully
 	`{"duration_sec": -1}`,
 	`{"duration_sec": 2, "uplink": {"gbps": 1}, "gateways": [{"name": ""}], "classes": []}`,
 	`not json at all`,
 	`{"classes": [{"count": 1e999}]}`,
+	// tier trees the topology resolver must reject: no root, a parent
+	// cycle, a duplicate name, mixing tiers with gateways, negative delay
+	`{"duration_sec": 1, "tiers": [{"name": "a", "parent": "b", "uplink": {"gbps": 1}},
+	  {"name": "b", "parent": "a", "uplink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}},
+	  {"name": "a", "uplink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "tiers": [{"name": "a", "uplink": {"gbps": 1}}],
+	  "gateways": [{"name": "g", "uplink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}, "propagation_sec": -0.1}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
 }
 
 // FuzzScenarioDecode feeds arbitrary bytes to the scenario decoder:
@@ -81,15 +114,18 @@ func FuzzScenarioDecode(f *testing.F) {
 		// Normalize must be idempotent. Deep-copy the slices first — a
 		// plain struct copy would alias the backing arrays and hide any
 		// second-pass mutation. JSON cannot produce NaN, so DeepEqual's
-		// NaN != NaN quirk cannot misfire here. Gateways compares by
-		// elements because the copy turns a non-nil empty slice into nil.
+		// NaN != NaN quirk cannot misfire here. Gateways and Tiers compare
+		// by elements because the copy turns a non-nil empty slice into nil.
 		norm := sc
 		norm.Classes = append([]Class(nil), sc.Classes...)
 		norm.Gateways = append([]Gateway(nil), sc.Gateways...)
+		norm.Tiers = append([]Tier(nil), sc.Tiers...)
 		norm.Normalize()
 		gwSame := len(norm.Gateways) == 0 && len(sc.Gateways) == 0 ||
 			reflect.DeepEqual(norm.Gateways, sc.Gateways)
-		if norm.Uplink != sc.Uplink || !gwSame || !reflect.DeepEqual(norm.Classes, sc.Classes) {
+		tiersSame := len(norm.Tiers) == 0 && len(sc.Tiers) == 0 ||
+			reflect.DeepEqual(norm.Tiers, sc.Tiers)
+		if norm.Uplink != sc.Uplink || !gwSame || !tiersSame || !reflect.DeepEqual(norm.Classes, sc.Classes) {
 			t.Fatalf("Normalize not idempotent:\n%+v\nvs\n%+v", norm, sc)
 		}
 		// A parsed scenario must survive a JSON round trip.

@@ -1,0 +1,63 @@
+package fleet
+
+import "container/heap"
+
+// linkIndex finds the earliest next completion across a fixed set of links
+// in O(log links) per event, replacing the O(links) scan that dominated
+// deep-topology runs. It is a lazily invalidated min-heap: every Start or
+// Finish on link li bumps li's version and pushes a fresh (finish time,
+// li, version) entry; peek discards entries whose version is stale. Each
+// link therefore has at most one live entry — the one reflecting its
+// current NextFinish — and ties on time resolve to the lowest link index,
+// matching the scan baseline bit for bit.
+type linkIndex struct {
+	links []Uplink
+	ver   []uint64
+	h     liHeap
+}
+
+type liEntry struct {
+	t   float64
+	li  int
+	ver uint64
+}
+
+type liHeap []liEntry
+
+func (h liHeap) Len() int { return len(h) }
+func (h liHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].li < h[j].li
+}
+func (h liHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *liHeap) Push(x any)   { *h = append(*h, x.(liEntry)) }
+func (h *liHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func newLinkIndex(links []Uplink) *linkIndex {
+	return &linkIndex{links: links, ver: make([]uint64, len(links))}
+}
+
+// invalidate must be called after any Start or Finish on links[li]: both
+// can move the link's earliest completion (fair share rescales every
+// in-flight transfer on admission).
+func (x *linkIndex) invalidate(li int) {
+	x.ver[li]++
+	if t, ok := x.links[li].NextFinish(); ok {
+		heap.Push(&x.h, liEntry{t: t, li: li, ver: x.ver[li]})
+	}
+}
+
+// peek returns the link with the earliest completion and that time, or
+// ok=false when nothing is in flight anywhere.
+func (x *linkIndex) peek() (li int, t float64, ok bool) {
+	for len(x.h) > 0 {
+		e := x.h[0]
+		if e.ver == x.ver[e.li] {
+			return e.li, e.t, true
+		}
+		heap.Pop(&x.h)
+	}
+	return -1, 0, false
+}

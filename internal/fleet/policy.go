@@ -18,15 +18,16 @@ type controller struct {
 
 // newControllers builds one controller per adaptive class (nil entries for
 // static or table-less classes). Controller streams are derived from the
-// scenario seed and the class index — disjoint from the per-camera streams,
-// which hash (seed, camera index) without the class tag below.
+// scenario seed and the class index through two splitmix64 rounds — the
+// same full-width mixing as the per-camera streams, kept disjoint from
+// them by the controller tag folded into the seed round.
 func newControllers(sc *Scenario) []*controller {
 	ctls := make([]*controller, len(sc.Classes))
 	for ci := range sc.Classes {
 		if !sc.Classes[ci].adaptive() {
 			continue
 		}
-		h := splitmix64(uint64(sc.Seed)<<20 ^ (0xc0117801 + uint64(ci)<<32))
+		h := splitmix64(splitmix64(uint64(sc.Seed)^0xc0117801) + uint64(ci))
 		ctls[ci] = &controller{
 			class: ci,
 			rng:   rand.New(rand.NewSource(int64(h))),

@@ -27,7 +27,14 @@ type Scenario struct {
 	// the finite camera→gateway link first and the shared WAN second, and
 	// each tier runs its own contention discipline.
 	Gateways []Gateway `json:"gateways,omitempty"`
-	Classes  []Class   `json:"classes"`
+	// Tiers, when non-empty, describes an arbitrary-depth tier tree
+	// instead: each tier names its parent (one root leaves it empty),
+	// carries its own uplink and a one-way propagation delay, and a
+	// transfer rides every link from its class's attach point (Class.Tier)
+	// to the root. Mutually exclusive with Gateways; the flat and gateway
+	// forms are themselves normalized into depth-1 and depth-2 trees.
+	Tiers   []Tier  `json:"tiers,omitempty"`
+	Classes []Class `json:"classes"`
 }
 
 // UplinkConfig sizes one shared link and names its contention model.
@@ -92,6 +99,10 @@ type Class struct {
 	// Gateway attaches the class's cameras to the named gateway in a
 	// tiered scenario; empty attaches them directly to the top-tier link.
 	Gateway string `json:"gateway,omitempty"`
+	// Tier attaches the class's cameras to the named node of a tier-tree
+	// scenario (Scenario.Tiers); empty attaches them at the root. Gateway
+	// is accepted as a synonym for the legacy two-tier form.
+	Tier string `json:"tier,omitempty"`
 
 	// Placements, when non-empty, is the class's runtime cost table:
 	// each camera holds a current placement index and uses that row's
@@ -175,6 +186,10 @@ func ParseScenario(data []byte) (Scenario, error) {
 // tier), arrival pattern, queue depth, offload probability and the
 // adaptive-policy knobs. It is idempotent.
 func (sc *Scenario) Normalize() {
+	// Whether the scenario declared any top-level uplink at all, before
+	// defaults obscure it: a declared uplink is never overwritten by the
+	// tier-tree mirror below (Validate rejects a disagreement instead).
+	uplinkDeclared := sc.Uplink != (UplinkConfig{})
 	if sc.Uplink.Contention == "" {
 		sc.Uplink.Contention = ContentionFairShare
 	}
@@ -182,6 +197,22 @@ func (sc *Scenario) Normalize() {
 		if sc.Gateways[i].Uplink.Contention == "" {
 			sc.Gateways[i].Uplink.Contention = ContentionFairShare
 		}
+	}
+	root := -1
+	for i := range sc.Tiers {
+		if sc.Tiers[i].Uplink.Contention == "" {
+			sc.Tiers[i].Uplink.Contention = ContentionFairShare
+		}
+		if sc.Tiers[i].Parent == "" && root < 0 {
+			root = i
+		}
+	}
+	if root >= 0 && !uplinkDeclared {
+		// The tier tree is authoritative: mirror the root link into an
+		// undeclared top-level Uplink so legacy display paths (Table
+		// headers) and the flat-model accessors keep reporting the real
+		// top tier.
+		sc.Uplink = sc.Tiers[root].Uplink
 	}
 	for i := range sc.Classes {
 		c := &sc.Classes[i]
@@ -224,12 +255,18 @@ func validateUplink(u UplinkConfig, tier string) error {
 }
 
 // Validate rejects scenarios the simulator cannot run.
-func (sc *Scenario) Validate() error {
+func (sc *Scenario) Validate() error { return sc.validate(nil) }
+
+// validate is Validate over an optionally pre-resolved tier tree: Run
+// resolves the topology once and shares it, everyone else passes nil.
+func (sc *Scenario) validate(nodes []tierNode) error {
 	if !(sc.Duration > 0) || math.IsInf(sc.Duration, 0) {
 		return fmt.Errorf("fleet: scenario %q: duration %v must be positive and finite", sc.Name, sc.Duration)
 	}
-	if err := validateUplink(sc.Uplink, fmt.Sprintf("scenario %q", sc.Name)); err != nil {
-		return err
+	if len(sc.Tiers) == 0 {
+		if err := validateUplink(sc.Uplink, fmt.Sprintf("scenario %q", sc.Name)); err != nil {
+			return err
+		}
 	}
 	for i, gw := range sc.Gateways {
 		if gw.Name == "" {
@@ -241,6 +278,15 @@ func (sc *Scenario) Validate() error {
 		if err := validateUplink(gw.Uplink, fmt.Sprintf("gateway %q", gw.Name)); err != nil {
 			return err
 		}
+	}
+	if nodes == nil {
+		var err error
+		if nodes, _, err = sc.topology(); err != nil {
+			return err
+		}
+	}
+	if err := sc.validateTopologyNodes(nodes); err != nil {
+		return err
 	}
 	if len(sc.Classes) == 0 {
 		return fmt.Errorf("fleet: scenario %q has no camera classes", sc.Name)
@@ -267,9 +313,6 @@ func (sc *Scenario) Validate() error {
 		}
 		if c.HarvestW < 0 || (c.HarvestW > 0 && c.StoreJ <= 0) {
 			return fmt.Errorf("fleet: class %q: harvesting needs positive harvest power and store", c.Name)
-		}
-		if c.Gateway != "" && sc.GatewayIndex(c.Gateway) < 0 {
-			return fmt.Errorf("fleet: class %q: unknown gateway %q", c.Name, c.Gateway)
 		}
 		if err := c.validatePlacements(); err != nil {
 			return err

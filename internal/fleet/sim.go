@@ -7,13 +7,17 @@ import (
 )
 
 // event kinds: a camera captures a frame; an in-camera-processed frame
-// becomes ready for its first-hop link; an adaptive class's controller
-// makes a placement decision. Transfer completions are not events — the
-// loop peeks them off the links, whose finish times shift as transfers
-// are admitted.
+// becomes ready for its first-hop link; a transfer finishes propagating
+// between tiers and enters the next link; a transfer clears the root
+// hop's propagation and arrives in the cloud; an adaptive class's
+// controller makes a placement decision. Link completions themselves are
+// not events — the loop peeks them off the links, whose finish times
+// shift as transfers are admitted.
 const (
 	evCapture = iota
 	evReady
+	evHop
+	evArrive
 	evControl
 )
 
@@ -27,6 +31,11 @@ type event struct {
 	// bytes is the offload payload, fixed at capture time (evReady) so a
 	// placement switch mid-flight cannot retroactively resize a frame.
 	bytes float64
+	// tr and link carry a propagating transfer: at t, transfer tr arrives
+	// at tier link and starts transmission there (evHop), or lands in the
+	// cloud (evArrive, link unused).
+	tr   int
+	link int32
 }
 
 type eventHeap []event
@@ -53,16 +62,14 @@ type camera struct {
 }
 
 // transfer is one in-flight offload, indexed by transfer id. The same id
-// rides the camera→gateway link and then the WAN link.
+// rides every link from the class's attach tier up to the root.
 type transfer struct {
 	cam        int32
 	capturedAt float64
 	bytes      float64
 }
 
-// splitmix64 derives well-separated per-camera seeds from the run seed, so
-// a camera's random stream is a function of (seed, index) alone — stable
-// under reordering, class edits elsewhere, or parallel sweeps.
+// splitmix64 is one round of the splitmix64 mixer.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -70,45 +77,119 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// cameraSeed derives a well-separated per-camera seed, so a camera's random
+// stream is a function of (seed, index) alone — stable under reordering,
+// class edits elsewhere, or parallel sweeps. Two full mixing rounds keep
+// every seed bit live: the earlier seed<<20+idx pre-mix discarded the
+// seed's top 20 bits and collided outright for camera indexes ≥ 2^20.
+func cameraSeed(seed int64, idx int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) + uint64(idx)))
+}
+
 // Run executes one scenario to completion: captures stop at
 // Scenario.Duration and every tier drains. The same normalized scenario
 // always produces the identical Result.
-func Run(sc Scenario) (*Result, error) {
-	// sc arrives by value but Classes/Gateways share backing arrays with
-	// the caller (and, under Sweep, with sibling scenarios): copy before
-	// Normalize writes defaults into them.
+func Run(sc Scenario) (*Result, error) { return run(sc, true) }
+
+// run is Run with the link-completion lookup selectable: indexed (the
+// production path — a lazily invalidated heap finds the earliest completion
+// in O(log tiers)) or the O(tiers)-scan baseline kept for the
+// BenchmarkDeepTopology comparison and equivalence tests.
+func run(sc Scenario, indexed bool) (*Result, error) {
+	// sc arrives by value but Classes/Gateways/Tiers share backing arrays
+	// with the caller (and, under Sweep, with sibling scenarios): copy
+	// before Normalize writes defaults into them.
 	sc.Classes = append([]Class(nil), sc.Classes...)
 	sc.Gateways = append([]Gateway(nil), sc.Gateways...)
+	sc.Tiers = append([]Tier(nil), sc.Tiers...)
 	sc.Normalize()
-	if err := sc.Validate(); err != nil {
+
+	// The resolved tier tree, one link per node; every offload rides the
+	// chain of links from its class's attach node to the root, paying
+	// transmission plus one-way propagation at each hop. Resolved once,
+	// shared with validation.
+	nodes, root, err := sc.topology()
+	if err != nil {
 		return nil, err
 	}
-
-	// Links in tier order: gateways first, the top-tier (WAN) link last.
-	// With no gateways the topology degenerates to the flat shared-uplink
-	// model and wan indexes the only link.
-	wan := len(sc.Gateways)
-	links := make([]Uplink, wan+1)
-	for i, gw := range sc.Gateways {
-		up, err := NewUplink(gw.Uplink.Contention, gw.Uplink.BytesPerSecond())
+	if err := sc.validate(nodes); err != nil {
+		return nil, err
+	}
+	links := make([]Uplink, len(nodes))
+	tierIdx := make(map[string]int, len(nodes))
+	for i, nd := range nodes {
+		up, err := NewUplink(nd.Uplink.Contention, nd.Uplink.BytesPerSecond())
 		if err != nil {
 			return nil, err
 		}
 		links[i] = up
+		tierIdx[nd.Name] = i
 	}
-	wanUp, err := NewUplink(sc.Uplink.Contention, sc.Uplink.BytesPerSecond())
-	if err != nil {
-		return nil, err
-	}
-	links[wan] = wanUp
 
 	// firstHop maps each class to the link its cameras transmit on.
 	firstHop := make([]int, len(sc.Classes))
 	for ci := range sc.Classes {
-		firstHop[ci] = wan
-		if gw := sc.Classes[ci].Gateway; gw != "" {
-			firstHop[ci] = sc.GatewayIndex(gw)
+		firstHop[ci] = root
+		if at := sc.Classes[ci].attach(); at != "" {
+			firstHop[ci] = tierIdx[at]
 		}
+	}
+
+	// netInFlight counts transfers resident in any link (one transfer
+	// crossing k tiers counts once per currently occupied link), replacing
+	// the per-iteration rescan of every tier. Transfers mid-propagation
+	// between links sit in the event heap instead, so the loop condition
+	// still sees them.
+	netInFlight := 0
+	linkTransfers := make([]int64, len(links))
+	var lidx *linkIndex
+	if indexed {
+		lidx = newLinkIndex(links)
+	}
+	startLink := func(li int, now float64, id int, bytes float64) {
+		links[li].Start(now, id, bytes)
+		netInFlight++
+		if lidx != nil {
+			lidx.invalidate(li)
+		}
+	}
+	finishLink := func(li int) int {
+		id := links[li].Finish()
+		netInFlight--
+		linkTransfers[li]++
+		if lidx != nil {
+			lidx.invalidate(li)
+		}
+		return id
+	}
+	// nextLinkFinish returns the earliest completion across the tiers;
+	// ties resolve to the lowest link index (leaves before the root),
+	// deterministically, under both lookup strategies.
+	nextLinkFinish := func() (int, float64, bool) {
+		if lidx != nil {
+			return lidx.peek()
+		}
+		li, lt := -1, 0.0
+		for i, up := range links {
+			if t, ok := up.NextFinish(); ok && (li < 0 || t < lt) {
+				li, lt = i, t
+			}
+		}
+		return li, lt, li >= 0
+	}
+	// anyInFlight gates the event loop. The baseline reproduces the old
+	// per-iteration rescan of every tier; the indexed path reads the
+	// running counter.
+	anyInFlight := func() bool {
+		if lidx != nil {
+			return netInFlight > 0
+		}
+		for _, up := range links {
+			if up.InFlight() > 0 {
+				return true
+			}
+		}
+		return false
 	}
 
 	cams := make([]camera, 0, sc.Cameras())
@@ -133,7 +214,7 @@ func Run(sc Scenario) (*Result, error) {
 		cl := &sc.Classes[ci]
 		for k := 0; k < cl.Count; k++ {
 			idx := len(cams)
-			rng := rand.New(rand.NewSource(int64(splitmix64(uint64(sc.Seed)<<20 + uint64(idx)))))
+			rng := rand.New(rand.NewSource(cameraSeed(sc.Seed, idx)))
 			c := camera{class: ci, rng: rng, stored: cl.StoreJ, placement: cl.Policy.Start}
 			// First capture: a random phase inside one period (periodic) or
 			// one exponential gap (Poisson).
@@ -155,6 +236,25 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	var transfers []transfer
+	// complete lands transfer id in the cloud at time arrive: only then
+	// does the camera's queue slot free, the latency sample exist, and the
+	// adaptive controller see it — never before the frame has actually
+	// arrived.
+	complete := func(arrive float64, id int) {
+		tr := transfers[id]
+		c := &cams[tr.cam]
+		c.inflight--
+		st := &res.Classes[c.class]
+		st.Offloaded++
+		lat := arrive - tr.capturedAt
+		st.latencies = append(st.latencies, lat)
+		if ctl := ctls[c.class]; ctl != nil {
+			ctl.observe(lat)
+		}
+		if arrive > res.SimEnd {
+			res.SimEnd = arrive
+		}
+	}
 	capture := func(t float64, camIdx int32) {
 		c := &cams[camIdx]
 		cl := &sc.Classes[c.class]
@@ -214,43 +314,31 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 
-	inFlight := func() int {
-		n := 0
-		for _, up := range links {
-			n += up.InFlight()
-		}
-		return n
-	}
-
-	for len(events) > 0 || inFlight() > 0 {
-		// Earliest link completion across the tiers; ties resolve to the
-		// lowest link index (gateways before WAN), deterministically.
-		li, lt := -1, 0.0
-		for i, up := range links {
-			if t, ok := up.NextFinish(); ok && (li < 0 || t < lt) {
-				li, lt = i, t
-			}
-		}
-		if li >= 0 && (len(events) == 0 || lt <= events[0].t) {
-			id := links[li].Finish()
+	for len(events) > 0 || anyInFlight() {
+		if li, lt, ok := nextLinkFinish(); ok && (len(events) == 0 || lt <= events[0].t) {
+			id := finishLink(li)
 			tr := transfers[id]
-			if li != wan {
-				// First hop done: the frame leaves the gateway and enters
-				// the shared WAN tier at the instant it drains.
-				links[wan].Start(lt, id, tr.bytes)
+			nd := &nodes[li]
+			if li != root {
+				// This hop's transmission is done: the frame arrives at the
+				// parent tier one propagation delay later. With no delay it
+				// enters the parent link at the instant it drains,
+				// preserving the legacy two-tier event order exactly.
+				if nd.PropagationSec == 0 {
+					startLink(nd.parent, lt, id, tr.bytes)
+				} else {
+					push(event{t: lt + nd.PropagationSec, kind: evHop, tr: id, link: int32(nd.parent)})
+				}
 				continue
 			}
-			c := &cams[tr.cam]
-			c.inflight--
-			st := &res.Classes[c.class]
-			st.Offloaded++
-			lat := lt - tr.capturedAt
-			st.latencies = append(st.latencies, lat)
-			if ctl := ctls[c.class]; ctl != nil {
-				ctl.observe(lat)
-			}
-			if lt > res.SimEnd {
-				res.SimEnd = lt
+			// Root transmission done: the frame still propagates the root
+			// hop before it lands in the cloud, which is when its
+			// capture-to-arrival latency stops accruing and its completion
+			// becomes observable (queue slot, controller telemetry).
+			if nd.PropagationSec == 0 {
+				complete(lt, id)
+			} else {
+				push(event{t: lt + nd.PropagationSec, kind: evArrive, tr: id})
 			}
 			continue
 		}
@@ -265,7 +353,11 @@ func Run(sc Scenario) (*Result, error) {
 		case evReady:
 			id := len(transfers)
 			transfers = append(transfers, transfer{cam: ev.cam, capturedAt: ev.capturedAt, bytes: ev.bytes})
-			links[firstHop[cams[ev.cam].class]].Start(ev.t, id, ev.bytes)
+			startLink(firstHop[cams[ev.cam].class], ev.t, id, ev.bytes)
+		case evHop:
+			startLink(int(ev.link), ev.t, ev.tr, transfers[ev.tr].bytes)
+		case evArrive:
+			complete(ev.t, ev.tr)
 		case evControl:
 			ci := int(ev.cam)
 			cl := &sc.Classes[ci]
@@ -284,23 +376,24 @@ func Run(sc Scenario) (*Result, error) {
 	if res.SimEnd < sc.Duration {
 		res.SimEnd = sc.Duration
 	}
-	for i, gw := range sc.Gateways {
+	for i, nd := range nodes {
 		res.Tiers = append(res.Tiers, TierStats{
-			Name:        gw.Name,
-			Gbps:        gw.Uplink.Gbps,
-			Contention:  gw.Uplink.Contention,
-			ServedBytes: links[i].ServedBytes(),
-			Utilization: links[i].ServedBytes() / (gw.Uplink.BytesPerSecond() * res.SimEnd),
+			Name:           nd.Name,
+			Parent:         nd.Parent,
+			Depth:          nd.depth,
+			Gbps:           nd.Uplink.Gbps,
+			Contention:     nd.Uplink.Contention,
+			PropagationSec: nd.PropagationSec,
+			ServedBytes:    links[i].ServedBytes(),
+			Transfers:      linkTransfers[i],
+			Utilization:    utilization(links[i].ServedBytes(), nd.Uplink.BytesPerSecond(), res.SimEnd),
 		})
 	}
-	res.Tiers = append(res.Tiers, TierStats{
-		Name:        "wan",
-		Gbps:        sc.Uplink.Gbps,
-		Contention:  sc.Uplink.Contention,
-		ServedBytes: links[wan].ServedBytes(),
-		Utilization: links[wan].ServedBytes() / (sc.Uplink.BytesPerSecond() * res.SimEnd),
-	})
-	res.UplinkUtilization = res.Tiers[wan].Utilization
+	// The top-tier utilization is the root tier's, found by name: tier
+	// order is stable today, but the name is the contract.
+	if rt := res.TierNamed(nodes[root].Name); rt != nil {
+		res.UplinkUtilization = rt.Utilization
+	}
 	for ci := range sc.Classes {
 		cl := &sc.Classes[ci]
 		if len(cl.Placements) == 0 {

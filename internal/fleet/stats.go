@@ -49,15 +49,49 @@ func (s ClassStats) DropRate() float64 {
 	return float64(s.DroppedQueue+s.DroppedEnergy) / float64(s.Captured)
 }
 
-// TierStats is the per-link accounting of one network tier: each gateway
-// link, then the top-tier (WAN) link, in scenario order.
+// TierStats is the per-link accounting of one network tier, in resolved
+// tree order (declaration order; for the legacy gateway form, each gateway
+// link then the top-tier "wan" link).
 type TierStats struct {
-	Name        string
-	Gbps        float64
-	Contention  string
-	ServedBytes float64
+	Name string
+	// Parent names the tier this link feeds into; empty at the root.
+	Parent string
+	// Depth is the tier's hop distance below the root link (root = 0).
+	Depth      int
+	Gbps       float64
+	Contention string
+	// PropagationSec is the link's configured one-way propagation delay.
+	PropagationSec float64
+	ServedBytes    float64
+	// Transfers counts completed transmissions on this link.
+	Transfers int64
 	// Utilization is served payload over capacity × SimEnd.
 	Utilization float64
+}
+
+// Label renders the tier's display name: "name->parent" below the root,
+// the bare name at it.
+func (t TierStats) Label() string {
+	if t.Parent == "" {
+		return t.Name
+	}
+	return t.Name + "->" + t.Parent
+}
+
+// PropDelayTotal returns the total propagation time accrued at this hop:
+// every completed transmission paid the link's one-way delay once.
+func (t TierStats) PropDelayTotal() float64 {
+	return float64(t.Transfers) * t.PropagationSec
+}
+
+// utilization is served payload over capacity × elapsed time, guarded so a
+// degenerate run (zero elapsed time or capacity) reports 0 instead of
+// NaN/Inf.
+func utilization(servedBytes, bytesPerSec, elapsed float64) float64 {
+	if elapsed <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	return servedBytes / (bytesPerSec * elapsed)
 }
 
 // Result is the outcome of one simulated scenario.
@@ -73,6 +107,18 @@ type Result struct {
 	// UplinkUtilization is the top-tier link's utilization (the only
 	// link's, in a flat scenario) — served payload over capacity × SimEnd.
 	UplinkUtilization float64
+}
+
+// TierNamed returns the stats of the named tier, or nil. The root tier of
+// a flat or gateway scenario is named "wan"; tier-tree scenarios use their
+// declared names.
+func (r *Result) TierNamed(name string) *TierStats {
+	for i := range r.Tiers {
+		if r.Tiers[i].Name == name {
+			return &r.Tiers[i]
+		}
+	}
+	return nil
 }
 
 func newResult(sc Scenario) *Result {
@@ -152,8 +198,12 @@ func (r *Result) Table() string {
 	}
 	if len(r.Tiers) > 1 {
 		for _, ti := range r.Tiers {
-			fmt.Fprintf(&b, "  tier %-17s %5.1f Gb/s %-10s util %5.1f%%\n",
-				ti.Name, ti.Gbps, ti.Contention, ti.Utilization*100)
+			fmt.Fprintf(&b, "  tier %-22s %5.1f Gb/s %-10s util %5.1f%%  xfers %d",
+				ti.Label(), ti.Gbps, ti.Contention, ti.Utilization*100, ti.Transfers)
+			if ti.PropagationSec > 0 {
+				fmt.Fprintf(&b, "  prop %s", FormatLatency(ti.PropagationSec))
+			}
+			fmt.Fprintln(&b)
 		}
 	}
 	for i, s := range r.Classes {

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tier is one node of an arbitrary-depth tier tree: an aggregation point
+// whose Uplink carries traffic one hop toward the cloud. Parent names the
+// tier this one's uplink feeds into; exactly one tier (the root) leaves it
+// empty, and its uplink is the final hop out of the simulated network.
+// PropagationSec is the one-way propagation delay of the uplink: a transfer
+// finishing transmission on this tier's link arrives at the parent (or, from
+// the root, at the cloud) that much later.
+type Tier struct {
+	Name           string       `json:"name"`
+	Parent         string       `json:"parent,omitempty"`
+	Uplink         UplinkConfig `json:"uplink"`
+	PropagationSec float64      `json:"propagation_sec,omitempty"`
+}
+
+// tierNode is one resolved node of a scenario's tier tree, produced by
+// Scenario.topology: the declared Tier plus its parent's index and its hop
+// distance from the root.
+type tierNode struct {
+	Tier
+	parent int // index into the node slice, -1 at the root
+	depth  int // hops below the root link; the root is 0
+}
+
+// topology resolves the scenario's network into its tier tree. The three
+// scenario forms normalize as follows:
+//
+//   - "tiers" present: the declared tree, in declaration order.
+//   - "gateways" present: a depth-2 tree — each gateway a leaf, the
+//     top-level "uplink" its shared root, named "wan".
+//   - neither: the single root link "wan" (the flat model).
+//
+// Node order is declaration order with the synthesized root last, so link
+// indices — and therefore simultaneous-completion tie-breaks — are stable
+// across releases for the legacy forms. Returns the nodes, the root's
+// index, and the first validation error.
+func (sc *Scenario) topology() ([]tierNode, int, error) {
+	if len(sc.Tiers) == 0 {
+		nodes := make([]tierNode, 0, len(sc.Gateways)+1)
+		root := len(sc.Gateways)
+		for _, gw := range sc.Gateways {
+			nodes = append(nodes, tierNode{
+				Tier:   Tier{Name: gw.Name, Parent: rootTierName, Uplink: gw.Uplink},
+				parent: root,
+				depth:  1,
+			})
+		}
+		nodes = append(nodes, tierNode{
+			Tier:   Tier{Name: rootTierName, Uplink: sc.Uplink},
+			parent: -1,
+		})
+		for _, gw := range sc.Gateways {
+			if gw.Name == rootTierName {
+				return nil, 0, fmt.Errorf("fleet: scenario %q: gateway name %q is reserved for the top tier",
+					sc.Name, rootTierName)
+			}
+		}
+		return nodes, root, nil
+	}
+
+	if len(sc.Gateways) > 0 {
+		return nil, 0, fmt.Errorf("fleet: scenario %q: tiers and gateways are mutually exclusive", sc.Name)
+	}
+	nodes := make([]tierNode, len(sc.Tiers))
+	index := make(map[string]int, len(sc.Tiers))
+	root := -1
+	for i, ti := range sc.Tiers {
+		if ti.Name == "" {
+			return nil, 0, fmt.Errorf("fleet: scenario %q: tier %d has no name", sc.Name, i)
+		}
+		if _, dup := index[ti.Name]; dup {
+			return nil, 0, fmt.Errorf("fleet: scenario %q: duplicate tier %q", sc.Name, ti.Name)
+		}
+		index[ti.Name] = i
+		nodes[i] = tierNode{Tier: ti, parent: -1}
+		if ti.Parent == "" {
+			if root >= 0 {
+				return nil, 0, fmt.Errorf("fleet: scenario %q: tiers %q and %q both claim the root (empty parent)",
+					sc.Name, nodes[root].Name, ti.Name)
+			}
+			root = i
+		}
+	}
+	if root < 0 {
+		return nil, 0, fmt.Errorf("fleet: scenario %q: no root tier (every tier names a parent)", sc.Name)
+	}
+	for i := range nodes {
+		if i == root {
+			continue
+		}
+		pi, ok := index[nodes[i].Parent]
+		if !ok {
+			return nil, 0, fmt.Errorf("fleet: tier %q: unknown parent %q", nodes[i].Name, nodes[i].Parent)
+		}
+		if pi == i {
+			return nil, 0, fmt.Errorf("fleet: tier %q is its own parent", nodes[i].Name)
+		}
+		nodes[i].parent = pi
+	}
+	// Depth doubles as the cycle check: a chain longer than the node count
+	// can only mean the parent pointers loop.
+	for i := range nodes {
+		depth, at := 0, i
+		for nodes[at].parent >= 0 {
+			at = nodes[at].parent
+			if depth++; depth > len(nodes) {
+				return nil, 0, fmt.Errorf("fleet: tier %q: parent chain does not reach a root (cycle)", nodes[i].Name)
+			}
+		}
+		nodes[i].depth = depth
+	}
+	return nodes, root, nil
+}
+
+// rootTierName names the synthesized top tier of the flat and gateway
+// scenario forms (and the stat entry legacy callers look up).
+const rootTierName = "wan"
+
+// validateTopologyNodes checks a resolved tree's links and delays plus
+// every class's attach point. The caller resolves nodes via topology(), so
+// Run shares one resolution between validation and the simulation.
+func (sc *Scenario) validateTopologyNodes(nodes []tierNode) error {
+	names := make(map[string]bool, len(nodes))
+	for _, nd := range nodes {
+		// Classes may attach to any declared tier, but in the legacy
+		// flat/gateway forms the synthesized root is not a valid attach
+		// name — "gateway": "wan" stays the typo it always was (empty
+		// already means the root).
+		if len(sc.Tiers) > 0 || nd.parent >= 0 {
+			names[nd.Name] = true
+		}
+		if err := validateUplink(nd.Uplink, fmt.Sprintf("tier %q", nd.Name)); err != nil {
+			return err
+		}
+		if !(nd.PropagationSec >= 0) || math.IsInf(nd.PropagationSec, 0) {
+			return fmt.Errorf("fleet: tier %q: propagation %v sec must be finite and non-negative",
+				nd.Name, nd.PropagationSec)
+		}
+		if len(sc.Tiers) > 0 && nd.parent < 0 &&
+			sc.Uplink != (UplinkConfig{}) && sc.Uplink != nd.Uplink {
+			// A zero-value Uplink is simply undeclared (Validate must also
+			// work before Normalize mirrors the root into it); anything
+			// else that disagrees with the root means the scenario declared
+			// both — reject rather than silently prefer one, mirroring the
+			// tiers/gateways exclusion.
+			return fmt.Errorf("fleet: scenario %q: top-level uplink conflicts with root tier %q; omit \"uplink\" when \"tiers\" is given",
+				sc.Name, nd.Name)
+		}
+	}
+	for _, c := range sc.Classes {
+		if c.Tier != "" && c.Gateway != "" && c.Tier != c.Gateway {
+			return fmt.Errorf("fleet: class %q: tier %q and gateway %q disagree", c.Name, c.Tier, c.Gateway)
+		}
+		if at := c.attach(); at != "" && !names[at] {
+			return fmt.Errorf("fleet: class %q: unknown tier %q", c.Name, at)
+		}
+	}
+	return nil
+}
+
+// attach returns the name of the tier the class's cameras transmit on
+// first; empty means the root.
+func (c *Class) attach() string {
+	if c.Tier != "" {
+		return c.Tier
+	}
+	return c.Gateway
+}

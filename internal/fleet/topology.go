@@ -117,3 +117,80 @@ func TopologyDemoScenario(seed int64, policy string) (Scenario, error) {
 	}
 	return sc, nil
 }
+
+// DeepTopologyScenario builds the camera→gateway→metro→core chain behind
+// `camsim topo -depth`: depth network tiers separate a leaf camera from
+// the cloud (depth ≥ 2). Two leaf gateways ("gw-a", "gw-b", 2 Gb/s, 0.2 ms
+// of propagation) each aggregate the same adaptive-VR + face-auth
+// population as TopologyDemoScenario; their traffic climbs depth-2 metro
+// tiers ("metro-1"…, 4 Gb/s, 2 ms) and finally the core link ("core",
+// 8 Gb/s, 10 ms) out of the network. Every hop adds transmission plus
+// propagation to the offload latency, so even the uncongested adaptive
+// fleet cannot beat the accumulated propagation floor (12.2 ms at depth
+// 3, another 2 ms per extra metro tier) — the paper's tradeoff with the
+// speed of light on the communication side of the scale.
+func DeepTopologyScenario(seed int64, depth int, policy string) (Scenario, error) {
+	if depth < 2 {
+		return Scenario{}, fmt.Errorf("fleet: deep topology needs depth ≥ 2, got %d", depth)
+	}
+	pls := []core.Placement{
+		{}, // raw sensor offload
+		{InCamera: 4, Impl: []string{"CPU", "CPU", "FPGA", "FPGA"}}, // full in-camera pipeline
+	}
+	pol := PolicyConfig{
+		Kind:         policy,
+		IntervalSec:  0.5,
+		HighSec:      0.2,
+		LowSec:       0.01,
+		MoveFraction: 0.5,
+	}
+	sc := Scenario{
+		Name:     fmt.Sprintf("topo-deep%d/%s", depth, policy),
+		Seed:     seed,
+		Duration: 8,
+	}
+	// Leaves first, root last, so simultaneous completions resolve
+	// edge-before-core like the two-tier demo.
+	leafParent := "core"
+	if depth > 2 {
+		leafParent = "metro-1"
+	}
+	for _, gw := range []string{"gw-a", "gw-b"} {
+		sc.Tiers = append(sc.Tiers, Tier{
+			Name:           gw,
+			Parent:         leafParent,
+			Uplink:         UplinkConfig{Gbps: 2, Contention: ContentionFairShare},
+			PropagationSec: 0.0002,
+		})
+	}
+	for m := 1; m <= depth-2; m++ {
+		parent := fmt.Sprintf("metro-%d", m+1)
+		if m == depth-2 {
+			parent = "core"
+		}
+		sc.Tiers = append(sc.Tiers, Tier{
+			Name:           fmt.Sprintf("metro-%d", m),
+			Parent:         parent,
+			Uplink:         UplinkConfig{Gbps: 4, Contention: ContentionFairShare},
+			PropagationSec: 0.002,
+		})
+	}
+	sc.Tiers = append(sc.Tiers, Tier{
+		Name:           "core",
+		Uplink:         UplinkConfig{Gbps: 8, Contention: ContentionFairShare},
+		PropagationSec: 0.01,
+	})
+	for _, gw := range []string{"gw-a", "gw-b"} {
+		vr, err := VRAdaptiveClass(4, pls, 30, pol)
+		if err != nil {
+			return Scenario{}, err
+		}
+		vr.Name = "vr-" + gw
+		vr.Tier = gw
+		fa := FaceAuthClass(60)
+		fa.Name = "fa-" + gw
+		fa.Tier = gw
+		sc.Classes = append(sc.Classes, vr, fa)
+	}
+	return sc, nil
+}

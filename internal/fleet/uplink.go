@@ -57,42 +57,65 @@ type fifoItem struct {
 
 // fifoUplink serializes transfers in arrival order; the head transfer gets
 // the full capacity. A large frame head-of-line-blocks everything behind it.
+//
+// The queue is a ring buffer sized by the peak concurrent backlog: the
+// earlier queue = queue[1:] pop pinned every already-served head in the
+// backing array for the life of the run, leaking one fifoItem per transfer.
 type fifoUplink struct {
 	cap        float64
-	queue      []fifoItem
-	headFinish float64 // completion time of queue[0], valid when non-empty
+	ring       []fifoItem // circular: n live items starting at head
+	head, n    int
+	headFinish float64 // completion time of the head item, valid when n > 0
 	served     float64
 }
 
 func (u *fifoUplink) Name() string { return ContentionFIFO }
 
+func (u *fifoUplink) push(it fifoItem) {
+	if u.n == len(u.ring) {
+		grown := make([]fifoItem, max(4, 2*len(u.ring)))
+		for i := 0; i < u.n; i++ {
+			grown[i] = u.ring[(u.head+i)%len(u.ring)]
+		}
+		u.ring, u.head = grown, 0
+	}
+	u.ring[(u.head+u.n)%len(u.ring)] = it
+	u.n++
+}
+
+func (u *fifoUplink) pop() fifoItem {
+	it := u.ring[u.head]
+	u.head = (u.head + 1) % len(u.ring)
+	u.n--
+	return it
+}
+
 func (u *fifoUplink) Start(now float64, id int, bytes float64) {
-	if len(u.queue) == 0 {
+	if u.n == 0 {
 		u.headFinish = now + bytes/u.cap
 	}
-	u.queue = append(u.queue, fifoItem{id: id, bytes: bytes})
+	u.push(fifoItem{id: id, bytes: bytes})
 }
 
 func (u *fifoUplink) NextFinish() (float64, bool) {
-	if len(u.queue) == 0 {
+	if u.n == 0 {
 		return 0, false
 	}
 	return u.headFinish, true
 }
 
 func (u *fifoUplink) Finish() int {
-	head := u.queue[0]
-	u.queue = u.queue[1:]
+	head := u.pop()
 	u.served += head.bytes
-	if len(u.queue) > 0 {
+	if u.n > 0 {
 		// The next transfer was already queued, so its service starts the
 		// instant the head departs.
-		u.headFinish += u.queue[0].bytes / u.cap
+		u.headFinish += u.ring[u.head].bytes / u.cap
 	}
 	return head.id
 }
 
-func (u *fifoUplink) InFlight() int        { return len(u.queue) }
+func (u *fifoUplink) InFlight() int        { return u.n }
 func (u *fifoUplink) ServedBytes() float64 { return u.served }
 
 // --- fair share (egalitarian processor sharing) ---
