@@ -1,0 +1,159 @@
+// Command benchgate is the CI bench-regression gate: it parses `go test
+// -bench` output, compares each variant's best ns/op against the recorded
+// baseline in BENCH_topology.json, and exits non-zero when any variant
+// regressed by more than the allowed fraction.
+//
+// Usage:
+//
+//	go test -run='^$' -bench BenchmarkDeepTopology -benchtime=3x -count=3 \
+//	    ./internal/fleet | tee bench.out
+//	go run ./cmd/benchgate -bench bench.out -baseline BENCH_topology.json
+//
+// The best (minimum) ns/op across the -count repetitions is compared, not
+// the mean: CI runners are noisy upward — a process getting descheduled
+// slows an iteration, nothing speeds one up — so the minimum is the
+// lowest-noise estimate of the true cost.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the BENCH_topology.json schema (the fields the
+// gate needs; the file carries more context for humans).
+type baselineFile struct {
+	Benchmark string                    `json:"benchmark"`
+	Results   map[string]baselineResult `json:"results"`
+}
+
+type baselineResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// parseBench extracts per-variant best ns/op from `go test -bench`
+// output. A line looks like:
+//
+//	BenchmarkDeepTopology/indexed-8   3   376112306 ns/op   79768 frames/run
+//
+// The variant is the path segment after the benchmark name, with the
+// trailing -GOMAXPROCS suffix stripped; a benchmark with no sub-benchmarks
+// gets the variant "" .
+func parseBench(r io.Reader, benchmark string) (map[string]float64, error) {
+	best := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], benchmark) {
+			continue
+		}
+		ns := -1.0
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		variant := strings.TrimPrefix(fields[0], benchmark)
+		variant = strings.TrimPrefix(variant, "/")
+		// Strip only a trailing -GOMAXPROCS suffix (absent at
+		// GOMAXPROCS=1): a hyphen inside the variant name itself must
+		// survive.
+		if i := strings.LastIndex(variant, "-"); i >= 0 && i < len(variant)-1 {
+			if _, err := strconv.Atoi(variant[i+1:]); err == nil {
+				variant = variant[:i]
+			}
+		}
+		if cur, ok := best[variant]; !ok || ns < cur {
+			best[variant] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+// gate compares measured variants against the baseline and returns one
+// line per variant plus an error naming every regression beyond
+// maxRegress (a fraction: 0.30 allows +30%).
+func gate(baseline baselineFile, measured map[string]float64, maxRegress float64) ([]string, error) {
+	variants := make([]string, 0, len(baseline.Results))
+	for v := range baseline.Results {
+		variants = append(variants, v)
+	}
+	sort.Strings(variants)
+	var report []string
+	var failures []string
+	for _, variant := range variants {
+		base := baseline.Results[variant]
+		got, ok := measured[variant]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not measured", variant))
+			continue
+		}
+		ratio := got / base.NsPerOp
+		line := fmt.Sprintf("%-10s baseline %12.0f ns/op  measured %12.0f ns/op  ratio %.2fx (limit %.2fx)",
+			variant, base.NsPerOp, got, ratio, 1+maxRegress)
+		report = append(report, line)
+		if ratio > 1+maxRegress {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx over baseline (limit %.2fx)",
+				variant, ratio, 1+maxRegress))
+		}
+	}
+	if len(failures) > 0 {
+		return report, fmt.Errorf("bench regression: %s", strings.Join(failures, "; "))
+	}
+	return report, nil
+}
+
+func run(benchPath, baselinePath string, maxRegress float64, out io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline baselineFile
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("benchgate: %s: %w", baselinePath, err)
+	}
+	if baseline.Benchmark == "" || len(baseline.Results) == 0 {
+		return fmt.Errorf("benchgate: %s carries no baseline results", baselinePath)
+	}
+	f, err := os.Open(benchPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	measured, err := parseBench(f, baseline.Benchmark)
+	if err != nil {
+		return err
+	}
+	report, gateErr := gate(baseline, measured, maxRegress)
+	fmt.Fprintf(out, "benchgate: %s vs %s\n", baseline.Benchmark, baselinePath)
+	for _, line := range report {
+		fmt.Fprintln(out, "  "+line)
+	}
+	return gateErr
+}
+
+func main() {
+	bench := flag.String("bench", "bench.out", "go test -bench output to check")
+	baseline := flag.String("baseline", "BENCH_topology.json", "recorded baseline JSON")
+	maxRegress := flag.Float64("max-regress", 0.30, "allowed ns/op regression fraction over baseline")
+	flag.Parse()
+	if err := run(*bench, *baseline, *maxRegress, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

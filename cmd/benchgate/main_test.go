@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: camsim/internal/fleet
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkDeepTopology/indexed-8         	       3	 376112306 ns/op	 79768 frames/run
+BenchmarkDeepTopology/indexed-8         	       3	 391220101 ns/op	 79768 frames/run
+BenchmarkDeepTopology/indexed-8         	       3	 380000000 ns/op	 79768 frames/run
+BenchmarkDeepTopology/scan-8            	       3	 442383848 ns/op	 79768 frames/run
+BenchmarkDeepTopology/scan-8            	       3	 460000000 ns/op	 79768 frames/run
+PASS
+`
+
+func testBaseline() baselineFile {
+	return baselineFile{
+		Benchmark: "BenchmarkDeepTopology",
+		Results: map[string]baselineResult{
+			"indexed": {NsPerOp: 376112306},
+			"scan":    {NsPerOp: 442383848},
+		},
+	}
+}
+
+func TestParseBenchTakesBestPerVariant(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench), "BenchmarkDeepTopology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("variants: %v", got)
+	}
+	if got["indexed"] != 376112306 {
+		t.Fatalf("indexed best %v, want the minimum across -count runs", got["indexed"])
+	}
+	if got["scan"] != 442383848 {
+		t.Fatalf("scan best %v", got["scan"])
+	}
+}
+
+func TestGatePassesWithinLimit(t *testing.T) {
+	measured := map[string]float64{"indexed": 376112306 * 1.25, "scan": 442383848}
+	report, err := gate(testBaseline(), measured, 0.30)
+	if err != nil {
+		t.Fatalf("within-limit run failed: %v\n%v", err, report)
+	}
+	if len(report) != 2 {
+		t.Fatalf("report: %v", report)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	measured := map[string]float64{"indexed": 376112306 * 1.5, "scan": 442383848}
+	if _, err := gate(testBaseline(), measured, 0.30); err == nil {
+		t.Fatal("a 1.5x regression passed the 30% gate")
+	} else if !strings.Contains(err.Error(), "indexed") {
+		t.Fatalf("regression error does not name the variant: %v", err)
+	}
+}
+
+func TestParseBenchKeepsHyphenatedVariants(t *testing.T) {
+	// Only a trailing -GOMAXPROCS suffix is stripped; at GOMAXPROCS=1 go
+	// test appends none, and hyphens inside a variant name must survive.
+	out := "BenchmarkX/in-camera-8   1   100 ns/op\nBenchmarkX/in-camera   1   90 ns/op\n"
+	got, err := parseBench(strings.NewReader(out), "BenchmarkX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["in-camera"] != 90 {
+		t.Fatalf("hyphenated variant mangled: %v", got)
+	}
+}
+
+func TestGateFailsOnMissingVariant(t *testing.T) {
+	if _, err := gate(testBaseline(), map[string]float64{"indexed": 1}, 0.30); err == nil {
+		t.Fatal("missing scan variant passed the gate")
+	}
+}

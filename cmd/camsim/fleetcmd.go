@@ -23,8 +23,12 @@ func cmdFleet(args []string) error {
 	contention := fs.String("contention", fleet.ContentionFairShare,
 		"uplink contention model: fair-share or fifo")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	scenario := fs.String("scenario", "", "run one JSON scenario file instead of the built-in sweep (other flags ignored)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenario != "" {
+		return runScenarioFile(*scenario)
 	}
 	// The sweep's smallest point is n/4 cameras, a quarter of them VR, so
 	// both classes need n ≥ 16 to be non-empty.

@@ -60,6 +60,7 @@ func TestGoldenOutputsAcrossGOMAXPROCS(t *testing.T) {
 		{"fleet", cmdFleet, []string{"-n", "16", "-duration", "2", "-seed", "1"}},
 		{"topo", cmdTopo, []string{"-duration", "3", "-seed", "1"}},
 		{"topo-depth", cmdTopo, []string{"-duration", "3", "-seed", "1", "-depth", "3"}},
+		{"topo-global", cmdTopo, []string{"-duration", "6", "-seed", "1", "-global"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -35,6 +35,13 @@
 // observed offload latency degrades. `camsim topo -depth n` deepens the
 // network into an n-tier camera→gateway→metro→core chain where every hop
 // adds transmission plus one-way propagation delay to offload latency.
+// `camsim topo -global` flips to the energy axis: an uncongested fleet
+// where per-link forwarding costs make raw offload expensive, compared
+// across no energy policy, the per-class energy-latency policy, and the
+// global controller that sheds watts only down to a fleet-wide power
+// budget. Both `fleet` and `topo` also accept `-scenario file.json` to
+// run a JSON scenario from disk (strictly decoded — unknown fields are
+// rejected).
 package main
 
 import (

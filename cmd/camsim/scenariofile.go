@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"camsim/internal/fleet"
+)
+
+// runScenarioFile loads one JSON fleet.Scenario from disk, runs it, and
+// prints its stat table — the file-driven face of `camsim fleet` and
+// `camsim topo` (-scenario). Decoding is strict: unknown fields are
+// rejected rather than silently ignored, so a typoed knob fails loudly.
+func runScenarioFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sc, err := fleet.ParseScenario(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	res, err := fleet.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario file %s: %d cameras across %d tiers, seed %d\n\n",
+		path, sc.Cameras(), len(res.Tiers), sc.Seed)
+	fmt.Print(res.Table())
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"camsim/internal/fleet"
+)
+
+// exampleScenario is the checked-in JSON the energy-placement example (and
+// this test) drive through the -scenario loader.
+const exampleScenario = "../../examples/energy-placement/scenario.json"
+
+// TestScenarioFileRoundTrip pins the file-driven scenario surface: the
+// examples/ JSON must parse, survive a marshal → re-parse round trip
+// unchanged (so every new field — tiers' tx_per_byte_j, the
+// energy-latency policy knobs, the global section — is actually wired
+// through the codec), and run to the same table as the original.
+func TestScenarioFileRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(exampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fleet.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Global == nil || len(sc.Tiers) == 0 {
+		t.Fatalf("example scenario lost its energy sections: %+v", sc)
+	}
+	out, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := fleet.ParseScenario(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\njson: %s", err, out)
+	}
+	if !reflect.DeepEqual(sc, again) {
+		t.Fatalf("round trip changed the scenario:\n%+v\nvs\n%+v", sc, again)
+	}
+	r1, err := fleet.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fleet.Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() {
+		t.Fatalf("round-tripped scenario runs differently:\n%s\nvs\n%s", r1.Table(), r2.Table())
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	out := captureStdout(t, func() error { return runScenarioFile(filepath.FromSlash(exampleScenario)) })
+	for _, want := range []string{"warehouse-energy", "global budget 26.0W", "energy camera"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario-file output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runScenarioFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("accepted a missing scenario file")
+	}
+}
+
+// TestScenarioFileRejectsUnknownFields pins strict decoding: a typoed
+// knob in a scenario file must fail, not silently run without it.
+func TestScenarioFileRejectsUnknownFields(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{
+	  "name": "typo", "duration_sec": 1,
+	  "uplink": {"gbps": 1}, "budget_watts": 10,
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runScenarioFile(bad)
+	if err == nil || !strings.Contains(err.Error(), "budget_watts") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}

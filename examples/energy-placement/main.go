@@ -1,0 +1,76 @@
+// Energy-placement: the energy-aware side of the computation-communication
+// tradeoff, driven from a JSON scenario file (the same format `camsim topo
+// -scenario` loads).
+//
+// Two warehouse gateways each carry a pair of VR camera heads and a
+// population of battery-free face-auth cameras, with every network link
+// priced in forwarding joules per byte ("tx_per_byte_j" on the tier). The
+// links are half idle, so no latency policy would ever move a camera — but
+// the raw-offload placement ships ~12 MB per frame through the camera
+// radio and two forwarding hops, and the watts add up. The scenario's
+// "global" section runs the fleet-wide energy-aware controller: each
+// epoch it prices every placement row in joules per frame, projects the
+// fleet's placement power, and greedily moves cameras to the in-camera
+// pipeline until the projection fits the 26 W budget — and no further, so
+// the cameras that fit keep the fast raw placement.
+//
+// The same scenario is also run with the budget stripped, as the
+// do-nothing baseline, and with each VR class's local energy-latency
+// policy given a positive energy weight (energy_weight is 0 in the file),
+// as the greedy per-class alternative that cannot see the fleet.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+
+	"camsim/internal/fleet"
+)
+
+//go:embed scenario.json
+var scenarioJSON []byte
+
+func main() {
+	base, err := fleet.ParseScenario(scenarioJSON)
+	if err != nil {
+		panic(err)
+	}
+
+	baseline := base
+	baseline.Name = base.Name + "/no-budget"
+	baseline.Global = nil
+
+	local := base
+	local.Name = base.Name + "/local-greedy"
+	local.Global = nil
+	local.Classes = append([]fleet.Class(nil), base.Classes...)
+	for i := range local.Classes {
+		if len(local.Classes[i].Placements) > 0 {
+			local.Classes[i].Policy.EnergyWeight = 1
+		}
+	}
+
+	scenarios := []fleet.Scenario{baseline, local, base}
+	outcomes := fleet.Sweep(scenarios, 0)
+	fmt.Printf("%-28s %9s %9s %8s %8s\n", "scenario", "proj-W", "avg-W", "VR-p50", "moves")
+	for i, o := range outcomes {
+		if o.Err != nil {
+			panic(o.Err)
+		}
+		r := o.Result
+		fmt.Printf("%-28s %9.1f %9.1f %8s %8d\n", scenarios[i].Name,
+			r.Energy.ProjectedW, r.Energy.AvgPowerW,
+			fleet.FormatLatency(r.Classes[0].LatencyP50), r.Total.Switches)
+	}
+	fmt.Println()
+	for _, o := range outcomes {
+		fmt.Print(o.Result.Table())
+		fmt.Println()
+	}
+
+	fmt.Println("with no budget the fleet burns ~35 W shipping raw sensor frames; the")
+	fmt.Println("per-class greedy policy drops to the all-in-camera floor (~16 W) and gives")
+	fmt.Println("every frame the 31.6 ms compute latency; the global controller lands the")
+	fmt.Println("fleet just under its 26 W budget and stops, keeping the remaining heads on")
+	fmt.Println("the fast raw placement — energy spent exactly where latency buys the most.")
+}

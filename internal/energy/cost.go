@@ -1,0 +1,32 @@
+package energy
+
+// Per-frame cost helpers: the plain-float form of the device models that
+// higher layers (internal/fleet) charge per simulated frame. The typed
+// Energy/Power API stays the analysis surface; these helpers are the
+// bridge into simulators that account in raw float64 joules.
+
+// TxFixedJ returns the radio's per-transmission fixed cost
+// (synchronization, preamble) in joules.
+func (r RadioModel) TxFixedJ() float64 { return float64(r.WakeOverhead) }
+
+// TxPerByteJ returns the radio's marginal transmit cost per payload byte
+// in joules.
+func (r RadioModel) TxPerByteJ() float64 { return float64(r.EnergyPerBit) * 8 }
+
+// FrameEnergy returns the expected joules per captured frame of a camera
+// that pays captureJ to capture and computeJ to process every frame, and —
+// for the offloadProb fraction of frames that ship — txFixedJ plus
+// txPerByteJ for each of the payload's bytes. This is the steady-state
+// per-frame model the fleet simulator charges and the placement
+// controllers score.
+func FrameEnergy(captureJ, computeJ, txFixedJ, txPerByteJ float64, bytes int64, offloadProb float64) float64 {
+	return captureJ + computeJ + offloadProb*(txFixedJ+txPerByteJ*float64(bytes))
+}
+
+// ForwardPerByteJ is a per-byte energy model for network equipment
+// forwarding a payload one hop (switch fabric plus line drivers). The
+// default is a wired-aggregation figure, 2 nJ/bit — 16 nJ per byte;
+// radio backhauls cost more. Tier trees attach a per-link value
+// (fleet.Tier.TxPerByteJ), so a placement's energy score grows with
+// every hop its bytes cross.
+const ForwardPerByteJ = 2e-9 * 8

@@ -1,0 +1,40 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// The plain-float helpers must agree with the typed radio model they
+// re-export: a transmission's fixed-plus-per-byte decomposition sums back
+// to TransmitEnergy for every radio.
+func TestTxCostMatchesTransmitEnergy(t *testing.T) {
+	for _, r := range []RadioModel{BackscatterRadio(), ActiveRadio(), WiFiRadio()} {
+		const bytes = 12345
+		got := r.TxFixedJ() + r.TxPerByteJ()*bytes
+		want := float64(r.TransmitEnergy(bytes))
+		if math.Abs(got-want) > 1e-18 {
+			t.Fatalf("%s: fixed+perByte %v != TransmitEnergy %v", r.Name, got, want)
+		}
+	}
+}
+
+func TestFrameEnergy(t *testing.T) {
+	// Never offloading charges capture and compute only.
+	if got := FrameEnergy(1e-3, 2e-3, 1, 1, 1000, 0); got != 3e-3 {
+		t.Fatalf("onload-only frame energy %v", got)
+	}
+	// Always offloading charges the full transmit cost.
+	want := 1e-3 + 2e-3 + (1e-4 + 5e-9*1000)
+	if got := FrameEnergy(1e-3, 2e-3, 1e-4, 5e-9, 1000, 1); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("offload frame energy %v, want %v", got, want)
+	}
+	// A fractional offload probability scales only the transmit term.
+	half := FrameEnergy(1e-3, 2e-3, 1e-4, 5e-9, 1000, 0.5)
+	if math.Abs(half-(3e-3+0.5*(1e-4+5e-9*1000))) > 1e-18 {
+		t.Fatalf("half-offload frame energy %v", half)
+	}
+	if ForwardPerByteJ <= 0 {
+		t.Fatal("forwarding model must cost something")
+	}
+}

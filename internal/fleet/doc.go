@@ -15,7 +15,10 @@
 //
 // # Scenario format
 //
-// A simulation run is described by a Scenario, decodable from JSON:
+// A simulation run is described by a Scenario, decodable from JSON.
+// ParseScenario is strict — an unknown field is an error, so a typoed
+// knob cannot silently run as if absent — and `camsim fleet -scenario
+// file.json` (or `camsim topo -scenario`) runs such a file directly:
 //
 //	{
 //	  "name": "mixed-1000",
@@ -86,7 +89,7 @@
 // Result.TierNamed finds a tier by name. DeepTopologyScenario builds the
 // gateway→metro→core demo chain behind `camsim topo -depth`.
 //
-// # Adaptive placement
+// # Placement policies
 //
 // A class may carry a runtime cost table ("placements", ordered from
 // most-offload to most-in-camera — each row a Fig. 10-style placement's
@@ -106,12 +109,62 @@
 // escalates one way toward in-camera compute when the window p95 exceeds
 // HighSec (or anything was queue-dropped); "hysteresis" also steps back
 // toward offload when the window p95 falls below LowSec, holding inside
-// the dead band; "static" (the default) never moves. Which cameras move
-// is drawn from a controller stream seeded by (Scenario.Seed, class), so
-// adaptive runs replay byte-identically. VRAdaptiveClass builds such a
-// class from core.ThroughputPipeline.CostTable over a set of Fig. 10
-// placements, and TopologyDemoScenario assembles the congested
-// two-gateway fleet behind `camsim topo` and BenchmarkTopologySweep.
+// the dead band; "energy-latency" (below) also weighs per-frame energy;
+// "static" (the default) never moves. Which cameras move is drawn from a
+// controller stream seeded by (Scenario.Seed, class), so adaptive runs
+// replay byte-identically. VRAdaptiveClass builds such a class from
+// core.ThroughputPipeline.CostTable over a set of Fig. 10 placements, and
+// TopologyDemoScenario assembles the congested two-gateway fleet behind
+// `camsim topo` and BenchmarkTopologySweep.
+//
+// # Energy models
+//
+// Energy is the second axis of every placement decision. Each placement
+// row is priced in expected joules per captured frame
+// (Class.PlacementEnergyPerFrame, built on energy.FrameEnergy): capture,
+// the row's compute joules, and — for the offloading fraction of frames —
+// the camera radio's fixed-plus-per-byte transmit cost. Tier-tree links
+// additionally carry "tx_per_byte_j", the network-side forwarding energy
+// per byte (energy.ForwardPerByteJ is a wired-aggregation default); a
+// row's energy charges its bytes the summed per-byte cost of every hop
+// between the class's attach tier and the root, so a deep path makes
+// offloading proportionally more expensive. Results surface the axis in
+// Result.Energy (camera joules actually charged, per-link forwarding
+// joules from observed served bytes, average power, and the fleet's
+// projected placement power) and per tier in TierStats.ForwardJ.
+//
+// The "energy-latency" policy spends that model locally: congestion keeps
+// the latency-threshold rule verbatim, and otherwise the controller
+// compares the two adjacent rows, moving when "energy_weight" (seconds of
+// latency one joule per frame is worth) times the mean per-frame saving
+// beats the latency the step risks re-adding — the observed p95 for a
+// step toward offload, nothing for a step toward in-camera. An
+// energy_weight of 0 therefore reproduces latency-threshold exactly.
+//
+// # Global controller
+//
+// A scenario-level "global" section runs the fleet-wide energy-aware
+// controller above the per-class policies:
+//
+//	"global": {"epoch_sec": 1, "budget_w": 26, "high_sec": 0.5,
+//	           "move_fraction": 0.5}
+//
+// On every epoch tick it sees all classes' window stats across every
+// tier and projects the fleet's placement power — each camera's
+// per-frame energy at its current row times its capture rate. Congested
+// classes (window p95 over HighSec, or queue drops) first get up to
+// MoveFraction of their cameras stepped toward in-camera compute,
+// admitted only while the projection stays under BudgetW. Then, while
+// the projection exceeds the budget, a greedy knapsack sheds watts:
+// repeatedly take the (class, direction) step with the largest marginal
+// per-frame saving — ties to the class with the most p95 headroom —
+// moving cameras one at a time until the fleet fits, stopping at the
+// budget line rather than overshooting to the energy floor. Decisions
+// land in Result.Global (per-epoch projected power before/after and
+// every move with its reason), draw from their own seeded stream, and
+// replay byte-identically. EnergyDemoScenario builds the uncongested
+// demo behind `camsim topo -global`, where the budget — not latency — is
+// what moves cameras.
 //
 // # Contention models
 //

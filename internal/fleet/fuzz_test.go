@@ -90,6 +90,43 @@ var fuzzSeeds = []string{
 	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
 	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}, "propagation_sec": -0.1}],
 	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
+	// energy-aware placement: per-link forwarding energy, the
+	// energy-latency policy and the global budget controller
+	`{
+	  "name": "energy", "seed": 9, "duration_sec": 4,
+	  "tiers": [
+	    {"name": "gw", "parent": "core", "uplink": {"gbps": 4}, "propagation_sec": 0.0002, "tx_per_byte_j": 2e-8},
+	    {"name": "core", "uplink": {"gbps": 8}, "propagation_sec": 0.002, "tx_per_byte_j": 1e-8}
+	  ],
+	  "global": {"epoch_sec": 1, "budget_w": 25, "high_sec": 0.5, "move_fraction": 0.5},
+	  "classes": [
+	    {"name": "vr", "count": 2, "fps": 10, "tier": "gw",
+	     "capture_j": 5e-3, "tx_fixed_j": 1e-4, "tx_per_byte_j": 4e-8,
+	     "placements": [
+	       {"name": "raw", "frame_bytes": 12400000, "compute_sec": 0.0001},
+	       {"name": "full", "frame_bytes": 1122000, "compute_sec": 0.0316, "compute_j": 0.316}
+	     ],
+	     "policy": {"kind": "energy-latency", "interval_sec": 0.5,
+	                "high_sec": 0.5, "energy_weight": 1}}
+	  ]
+	}`,
+	// energy configs the validator must reject: a budget-less global
+	// section, a global with nothing to reassign, negative forwarding
+	// energy, a negative energy weight, and a misspelled field (strict
+	// decoding rejects unknown keys)
+	`{"duration_sec": 1, "uplink": {"gbps": 1}, "global": {"epoch_sec": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1,
+	    "placements": [{"frame_bytes": 10}]}]}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1}, "global": {"budget_w": 5},
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}, "tx_per_byte_j": -1}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1,
+	    "placements": [{"frame_bytes": 10}],
+	    "policy": {"kind": "energy-latency", "high_sec": 1, "energy_weight": -2}}]}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1}, "budget_w": 5,
+	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
 }
 
 // FuzzScenarioDecode feeds arbitrary bytes to the scenario decoder:
@@ -120,12 +157,17 @@ func FuzzScenarioDecode(f *testing.F) {
 		norm.Classes = append([]Class(nil), sc.Classes...)
 		norm.Gateways = append([]Gateway(nil), sc.Gateways...)
 		norm.Tiers = append([]Tier(nil), sc.Tiers...)
+		if sc.Global != nil {
+			g := *sc.Global
+			norm.Global = &g
+		}
 		norm.Normalize()
 		gwSame := len(norm.Gateways) == 0 && len(sc.Gateways) == 0 ||
 			reflect.DeepEqual(norm.Gateways, sc.Gateways)
 		tiersSame := len(norm.Tiers) == 0 && len(sc.Tiers) == 0 ||
 			reflect.DeepEqual(norm.Tiers, sc.Tiers)
-		if norm.Uplink != sc.Uplink || !gwSame || !tiersSame || !reflect.DeepEqual(norm.Classes, sc.Classes) {
+		if norm.Uplink != sc.Uplink || !gwSame || !tiersSame || !reflect.DeepEqual(norm.Classes, sc.Classes) ||
+			!reflect.DeepEqual(norm.Global, sc.Global) {
 			t.Fatalf("Normalize not idempotent:\n%+v\nvs\n%+v", norm, sc)
 		}
 		// A parsed scenario must survive a JSON round trip.

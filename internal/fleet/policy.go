@@ -6,22 +6,26 @@ import (
 )
 
 // controller is the per-class adaptive-placement state: the observation
-// window since the last decision and the seeded stream every decision
-// draws from.
+// window since the last decision, the seeded stream every decision draws
+// from, and the class's per-row energy model (energy-latency policy).
 type controller struct {
-	class    int
 	rng      *rand.Rand
 	winLat   []float64 // offload latencies completed in the window
 	winDrops int64     // queue drops in the window
 	moves    int64     // camera moves decided so far
+	// rowJ is the expected joules per captured frame at each placement
+	// row, including per-hop network forwarding along the class's uplink
+	// path — the quantity the energy-latency rule weighs against latency.
+	rowJ []float64
 }
 
 // newControllers builds one controller per adaptive class (nil entries for
 // static or table-less classes). Controller streams are derived from the
 // scenario seed and the class index through two splitmix64 rounds — the
 // same full-width mixing as the per-camera streams, kept disjoint from
-// them by the controller tag folded into the seed round.
-func newControllers(sc *Scenario) []*controller {
+// them by the controller tag folded into the seed round. rowJ is the
+// per-class, per-row energy table (classRowEnergies for every class).
+func newControllers(sc *Scenario, rowJ [][]float64) []*controller {
 	ctls := make([]*controller, len(sc.Classes))
 	for ci := range sc.Classes {
 		if !sc.Classes[ci].adaptive() {
@@ -29,11 +33,26 @@ func newControllers(sc *Scenario) []*controller {
 		}
 		h := splitmix64(splitmix64(uint64(sc.Seed)^0xc0117801) + uint64(ci))
 		ctls[ci] = &controller{
-			class: ci,
-			rng:   rand.New(rand.NewSource(int64(h))),
+			rng:  rand.New(rand.NewSource(int64(h))),
+			rowJ: rowJ[ci],
 		}
 	}
 	return ctls
+}
+
+// classRowEnergies prices every placement row of the class in expected
+// joules per captured frame, netPerByteJ of per-hop forwarding included.
+// Table-less classes get a single entry from the class-level fields.
+func classRowEnergies(c *Class, netPerByteJ float64) []float64 {
+	n := len(c.Placements)
+	if n == 0 {
+		n = 1
+	}
+	rows := make([]float64, n)
+	for i := range rows {
+		rows[i] = c.PlacementEnergyPerFrame(i, netPerByteJ)
+	}
+	return rows
 }
 
 // observe records one completed offload latency.
@@ -42,8 +61,11 @@ func (c *controller) observe(lat float64) {
 }
 
 // decide maps the window onto a placement step: +1 toward in-camera
-// compute, -1 toward offload, 0 to hold. The window is consumed.
-func (c *controller) decide(p PolicyConfig) int {
+// compute, -1 toward offload, 0 to hold. The window is consumed. cams and
+// members carry the class's current placement population, which the
+// energy-latency rule prices.
+func (c *controller) decide(cl *Class, cams []camera, members []int32) int {
+	p := cl.Policy
 	lat := c.winLat
 	drops := c.winDrops
 	c.winLat = c.winLat[:0]
@@ -72,15 +94,74 @@ func (c *controller) decide(p PolicyConfig) int {
 		if len(lat) > 0 && p95 < p.LowSec {
 			return -1
 		}
+	case PolicyEnergyLatency:
+		// Congestion keeps the latency-threshold rule verbatim, so an
+		// energy weight of zero reproduces its switch sequence exactly.
+		if congested {
+			return 1
+		}
+		if p.EnergyWeight > 0 && len(lat) > 0 {
+			return c.energyStep(p, cams, members, p95)
+		}
 	}
 	return 0
+}
+
+// energyStep scores the two adjacent placements on the weighted
+// energy-latency objective: moving dir is worth EnergyWeight × the mean
+// per-frame joules it saves across the movable cameras, minus the latency
+// it risks re-adding — the observed p95 for a step toward offload (which
+// loads the network), nothing for a step toward in-camera compute (which
+// relieves it). The larger strictly-positive gain wins; in-camera is
+// evaluated first so ties resolve to the congestion-safe direction.
+func (c *controller) energyStep(p PolicyConfig, cams []camera, members []int32, p95 float64) int {
+	best, bestGain := 0, 0.0
+	for _, dir := range [2]int{+1, -1} {
+		saved, n := 0.0, 0
+		for _, idx := range members {
+			at := cams[idx].placement
+			to := at + dir
+			if to < 0 || to >= len(c.rowJ) {
+				continue
+			}
+			saved += c.rowJ[at] - c.rowJ[to]
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		risk := 0.0
+		if dir < 0 {
+			risk = p95
+		}
+		if gain := p.EnergyWeight*saved/float64(n) - risk; gain > bestGain {
+			best, bestGain = dir, gain
+		}
+	}
+	return best
 }
 
 // move shifts a MoveFraction-sized batch of the class's cameras one step
 // in the decided direction, choosing which cameras from the controller's
 // seeded stream. Returns the number of cameras moved.
 func (c *controller) move(cl *Class, cams []camera, members []int32, dir int) int {
-	last := len(cl.Placements) - 1
+	k := int(cl.Policy.MoveFraction*float64(len(members)) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	moved := moveBatch(c.rng, cams, members, len(cl.Placements)-1, dir, k)
+	c.moves += int64(moved)
+	return moved
+}
+
+// moveBatch moves up to k of the member cameras one placement step in
+// direction dir, clamped to table rows [0, last], and returns how many
+// moved. Which cameras move is a uniform k-subset of the movable
+// candidates drawn from rng via a partial Fisher-Yates, in an order fixed
+// by the stream. The global controller's moveAccept interleaves the same
+// draw with per-camera budget acceptance, which this unconditional form
+// cannot express — keep their shuffle steps identical if either changes.
+func moveBatch(rng *rand.Rand, cams []camera, members []int32, last, dir, k int) int {
 	var candidates []int32
 	for _, idx := range members {
 		p := cams[idx].placement + dir
@@ -88,23 +169,16 @@ func (c *controller) move(cl *Class, cams []camera, members []int32, dir int) in
 			candidates = append(candidates, idx)
 		}
 	}
-	if len(candidates) == 0 {
+	if len(candidates) == 0 || k <= 0 {
 		return 0
-	}
-	k := int(cl.Policy.MoveFraction*float64(len(members)) + 0.5)
-	if k < 1 {
-		k = 1
 	}
 	if k > len(candidates) {
 		k = len(candidates)
 	}
-	// Partial Fisher-Yates over the candidate list: the first k slots end
-	// up holding a uniform k-subset, in an order fixed by the seed.
 	for i := 0; i < k; i++ {
-		j := i + c.rng.Intn(len(candidates)-i)
+		j := i + rng.Intn(len(candidates)-i)
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 		cams[candidates[i]].placement += dir
 	}
-	c.moves += int64(k)
 	return k
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -163,14 +164,31 @@ func randomScenario(rng *rand.Rand) Scenario {
 				{Name: "b", FrameBytes: int64(1 + rng.Intn(50_000)), ComputeSeconds: rng.Float64() * 0.05},
 			}
 			c.Policy = PolicyConfig{
-				Kind:         []string{PolicyStatic, PolicyLatencyThreshold, PolicyHysteresis}[rng.Intn(3)],
+				Kind:         []string{PolicyStatic, PolicyLatencyThreshold, PolicyHysteresis, PolicyEnergyLatency}[rng.Intn(4)],
 				IntervalSec:  0.1 + rng.Float64()*0.5,
 				HighSec:      0.01 + rng.Float64(),
 				MoveFraction: rng.Float64()*0.9 + 0.1,
 				Start:        rng.Intn(2),
+				EnergyWeight: rng.Float64() * 3,
 			}
 		}
 		sc.Classes = append(sc.Classes, c)
+	}
+	hasTable := false
+	for _, c := range sc.Classes {
+		if len(c.Placements) > 0 {
+			hasTable = true
+		}
+	}
+	if hasTable && rng.Intn(3) == 0 {
+		// Sometimes a global budget controller on top, over a wide budget
+		// range so both the binding and the slack regimes are exercised.
+		sc.Global = &GlobalConfig{
+			EpochSec:     0.2 + rng.Float64(),
+			BudgetW:      math.Exp(rng.Float64()*12 - 6), // ~2.5 mW .. 400 W
+			HighSec:      rng.Float64(),
+			MoveFraction: 0.1 + rng.Float64()*0.9,
+		}
 	}
 	return sc
 }

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 
 	"camsim/internal/core"
@@ -35,6 +37,12 @@ type Scenario struct {
 	// forms are themselves normalized into depth-1 and depth-2 trees.
 	Tiers   []Tier  `json:"tiers,omitempty"`
 	Classes []Class `json:"classes"`
+	// Global, when present, runs the fleet-wide energy-aware placement
+	// controller: on a seeded epoch tick it sees every class's window
+	// stats, scores placements on per-frame energy (camera-side transmit
+	// plus per-hop forwarding along the tier tree), and reassigns cameras
+	// so the fleet's projected placement power stays under BudgetW.
+	Global *GlobalConfig `json:"global,omitempty"`
 }
 
 // UplinkConfig sizes one shared link and names its contention model.
@@ -149,6 +157,33 @@ type PolicyConfig struct {
 	MoveFraction float64 `json:"move_fraction,omitempty"`
 	// Start is the initial placement index of every camera in the class.
 	Start int `json:"start,omitempty"`
+	// EnergyWeight (energy-latency policy only) converts joules per frame
+	// into comparable seconds of latency: the controller moves cameras
+	// toward an adjacent placement when the weighted per-frame energy
+	// saving outweighs the latency it risks re-adding. Zero disables every
+	// energy-motivated move, leaving exactly the latency-threshold rule.
+	EnergyWeight float64 `json:"energy_weight,omitempty"`
+}
+
+// GlobalConfig configures the fleet-wide energy-aware placement
+// controller. It runs above the per-class policies on its own epoch tick:
+// each epoch it recomputes the fleet's projected placement power — every
+// camera's per-frame energy at its current placement row times its capture
+// rate — and greedily reassigns cameras (cheapest watts first, most p95
+// headroom first) until the projection fits BudgetW.
+type GlobalConfig struct {
+	// EpochSec is the controller's decision period; 0 is normalized to 1.
+	EpochSec float64 `json:"epoch_sec,omitempty"`
+	// BudgetW is the fleet-wide placement power budget in watts (camera
+	// energy plus per-hop network forwarding). Required and positive.
+	BudgetW float64 `json:"budget_w"`
+	// HighSec marks a class congested when its epoch-window p95 offload
+	// latency exceeds it: congested classes get latency-relief moves and
+	// are exempt from energy shedding that epoch. 0 means never congested.
+	HighSec float64 `json:"high_sec,omitempty"`
+	// MoveFraction caps the fraction of any one class reassigned per
+	// epoch; 0 is normalized to 0.25.
+	MoveFraction float64 `json:"move_fraction,omitempty"`
 }
 
 // Placement policy names.
@@ -156,6 +191,12 @@ const (
 	PolicyStatic           = "static"
 	PolicyLatencyThreshold = "latency-threshold"
 	PolicyHysteresis       = "hysteresis"
+	// PolicyEnergyLatency extends latency-threshold with energy-motivated
+	// moves: congestion still escalates toward in-camera compute, but in
+	// the absence of congestion the controller walks cameras toward the
+	// adjacent placement whose weighted per-frame energy saving (see
+	// PolicyConfig.EnergyWeight) beats the observed p95 it would risk.
+	PolicyEnergyLatency = "energy-latency"
 )
 
 // adaptive reports whether the class runs a placement controller.
@@ -170,10 +211,20 @@ const (
 )
 
 // ParseScenario decodes, normalizes and validates a JSON scenario.
+// Decoding is strict: an unknown field is an error, not silently ignored
+// configuration — a misspelled knob in a scenario file must not run as if
+// it were absent.
 func ParseScenario(data []byte) (Scenario, error) {
 	var sc Scenario
-	if err := json.Unmarshal(data, &sc); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
 		return Scenario{}, fmt.Errorf("fleet: decoding scenario: %w", err)
+	}
+	// A scenario is one JSON object; trailing non-space content is a
+	// second document, not padding.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Scenario{}, fmt.Errorf("fleet: decoding scenario: trailing data after the scenario object")
 	}
 	sc.Normalize()
 	if err := sc.Validate(); err != nil {
@@ -239,6 +290,14 @@ func (sc *Scenario) Normalize() {
 			if p.Kind == PolicyHysteresis && p.LowSec == 0 {
 				p.LowSec = p.HighSec / 4
 			}
+		}
+	}
+	if g := sc.Global; g != nil {
+		if g.EpochSec == 0 {
+			g.EpochSec = 1
+		}
+		if g.MoveFraction == 0 {
+			g.MoveFraction = 0.25
 		}
 	}
 }
@@ -322,7 +381,36 @@ func (sc *Scenario) validate(nodes []tierNode) error {
 	if total == 0 {
 		return fmt.Errorf("fleet: scenario %q has no cameras", sc.Name)
 	}
+	if err := sc.validateGlobal(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateGlobal checks the fleet-wide controller configuration.
+func (sc *Scenario) validateGlobal() error {
+	g := sc.Global
+	if g == nil {
+		return nil
+	}
+	if !(g.BudgetW > 0) || math.IsInf(g.BudgetW, 0) {
+		return fmt.Errorf("fleet: scenario %q: global budget %v W must be positive and finite", sc.Name, g.BudgetW)
+	}
+	if !(g.EpochSec > 0) || math.IsInf(g.EpochSec, 0) {
+		return fmt.Errorf("fleet: scenario %q: global epoch %v sec must be positive and finite", sc.Name, g.EpochSec)
+	}
+	if !(g.HighSec >= 0) || math.IsInf(g.HighSec, 0) {
+		return fmt.Errorf("fleet: scenario %q: global high_sec %v must be finite and non-negative", sc.Name, g.HighSec)
+	}
+	if !(g.MoveFraction > 0) || g.MoveFraction > 1 {
+		return fmt.Errorf("fleet: scenario %q: global move fraction %v outside (0,1]", sc.Name, g.MoveFraction)
+	}
+	for _, c := range sc.Classes {
+		if len(c.Placements) > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: scenario %q: global controller with no placements table to reassign", sc.Name)
 }
 
 // validatePlacements checks the class's runtime cost table and policy.
@@ -346,7 +434,7 @@ func (c *Class) validatePlacements() error {
 	}
 	switch p.Kind {
 	case PolicyStatic:
-	case PolicyLatencyThreshold, PolicyHysteresis:
+	case PolicyLatencyThreshold, PolicyHysteresis, PolicyEnergyLatency:
 		if !(p.HighSec > 0) || math.IsInf(p.HighSec, 0) {
 			return fmt.Errorf("fleet: class %q: policy %q needs a positive finite high_sec", c.Name, p.Kind)
 		}
@@ -355,6 +443,9 @@ func (c *Class) validatePlacements() error {
 		}
 	default:
 		return fmt.Errorf("fleet: class %q: unknown placement policy %q", c.Name, p.Kind)
+	}
+	if !(p.EnergyWeight >= 0) || math.IsInf(p.EnergyWeight, 0) {
+		return fmt.Errorf("fleet: class %q: energy weight %v must be finite and non-negative", c.Name, p.EnergyWeight)
 	}
 	if !(p.IntervalSec > 0) || math.IsInf(p.IntervalSec, 0) {
 		return fmt.Errorf("fleet: class %q: policy interval %v must be positive and finite", c.Name, p.IntervalSec)
@@ -424,8 +515,8 @@ func FaceAuthClass(count int) Class {
 		QueueDepth:     4,
 		CaptureJ:       a.Capture,
 		ComputeJ:       computeJ, // expected filtering energy per captured frame
-		TxFixedJ:       float64(radio.WakeOverhead),
-		TxPerByteJ:     float64(radio.EnergyPerBit) * 8,
+		TxFixedJ:       radio.TxFixedJ(),
+		TxPerByteJ:     radio.TxPerByteJ(),
 		HarvestW:       float64(harv.HarvestPower),
 		StoreJ:         float64(harv.UsableEnergy()),
 	}
@@ -494,7 +585,22 @@ func VRClass(count int, pl core.Placement, targetFPS float64) (Class, error) {
 		QueueDepth:     4,
 		CaptureJ:       5e-3, // 4K sensor readout per frame
 		ComputeJ:       watts * cost.ComputeSeconds,
-		TxFixedJ:       float64(radio.WakeOverhead),
-		TxPerByteJ:     float64(radio.EnergyPerBit) * 8,
+		TxFixedJ:       radio.TxFixedJ(),
+		TxPerByteJ:     radio.TxPerByteJ(),
 	}, nil
+}
+
+// PlacementEnergyPerFrame returns the expected joules per captured frame
+// of a camera of this class holding placement row i, charging capture,
+// the row's compute, and — for the offloading fraction of frames — the
+// camera radio plus netPerByteJ of per-byte forwarding summed over every
+// network hop the payload crosses (the tier tree's per-link TxPerByteJ).
+// With no cost table, i is ignored and the class-level fields price the
+// frame.
+func (c *Class) PlacementEnergyPerFrame(i int, netPerByteJ float64) float64 {
+	bytes, computeJ := c.FrameBytes, c.ComputeJ
+	if len(c.Placements) > 0 {
+		bytes, computeJ = c.Placements[i].FrameBytes, c.Placements[i].ComputeJ
+	}
+	return energy.FrameEnergy(c.CaptureJ, computeJ, c.TxFixedJ, c.TxPerByteJ+netPerByteJ, bytes, c.OffloadProb)
 }

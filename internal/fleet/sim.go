@@ -10,15 +10,17 @@ import (
 // becomes ready for its first-hop link; a transfer finishes propagating
 // between tiers and enters the next link; a transfer clears the root
 // hop's propagation and arrives in the cloud; an adaptive class's
-// controller makes a placement decision. Link completions themselves are
-// not events — the loop peeks them off the links, whose finish times
-// shift as transfers are admitted.
+// controller makes a placement decision; the global energy-aware
+// controller runs one epoch. Link completions themselves are not events —
+// the loop peeks them off the links, whose finish times shift as
+// transfers are admitted.
 const (
 	evCapture = iota
 	evReady
 	evHop
 	evArrive
 	evControl
+	evGlobal
 )
 
 type event struct {
@@ -97,11 +99,16 @@ func Run(sc Scenario) (*Result, error) { return run(sc, true) }
 // BenchmarkDeepTopology comparison and equivalence tests.
 func run(sc Scenario, indexed bool) (*Result, error) {
 	// sc arrives by value but Classes/Gateways/Tiers share backing arrays
-	// with the caller (and, under Sweep, with sibling scenarios): copy
-	// before Normalize writes defaults into them.
+	// with the caller (and, under Sweep, with sibling scenarios), and
+	// Global is a shared pointer: copy before Normalize writes defaults
+	// into them.
 	sc.Classes = append([]Class(nil), sc.Classes...)
 	sc.Gateways = append([]Gateway(nil), sc.Gateways...)
 	sc.Tiers = append([]Tier(nil), sc.Tiers...)
+	if sc.Global != nil {
+		g := *sc.Global
+		sc.Global = &g
+	}
 	sc.Normalize()
 
 	// The resolved tier tree, one link per node; every offload rides the
@@ -126,13 +133,23 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		tierIdx[nd.Name] = i
 	}
 
-	// firstHop maps each class to the link its cameras transmit on.
+	// firstHop maps each class to the link its cameras transmit on;
+	// pathFwdJ prices the class's uplink path in forwarding joules per
+	// byte (the sum of Tier.TxPerByteJ over every hop to the root), and
+	// rowJ prices every class's placement rows per captured frame — the
+	// energy tables the placement controllers score against.
 	firstHop := make([]int, len(sc.Classes))
+	rowJ := make([][]float64, len(sc.Classes))
 	for ci := range sc.Classes {
 		firstHop[ci] = root
 		if at := sc.Classes[ci].attach(); at != "" {
 			firstHop[ci] = tierIdx[at]
 		}
+		pathFwdJ := 0.0
+		for li := firstHop[ci]; li >= 0; li = nodes[li].parent {
+			pathFwdJ += nodes[li].TxPerByteJ
+		}
+		rowJ[ci] = classRowEnergies(&sc.Classes[ci], pathFwdJ)
 	}
 
 	// netInFlight counts transfers resident in any link (one transfer
@@ -194,7 +211,8 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 
 	cams := make([]camera, 0, sc.Cameras())
 	classCams := make([][]int32, len(sc.Classes))
-	ctls := newControllers(&sc)
+	ctls := newControllers(&sc, rowJ)
+	gctl := newGlobal(&sc, rowJ)
 	res := newResult(sc)
 	var events eventHeap
 	var seq int64
@@ -234,6 +252,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			push(event{t: cl.Policy.IntervalSec, kind: evControl, cam: int32(ci)})
 		}
 	}
+	if gctl != nil && sc.Global.EpochSec < sc.Duration {
+		push(event{t: sc.Global.EpochSec, kind: evGlobal})
+	}
 
 	var transfers []transfer
 	// complete lands transfer id in the cloud at time arrive: only then
@@ -250,6 +271,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		st.latencies = append(st.latencies, lat)
 		if ctl := ctls[c.class]; ctl != nil {
 			ctl.observe(lat)
+		}
+		if gctl != nil {
+			gctl.observe(c.class, lat)
 		}
 		if arrive > res.SimEnd {
 			res.SimEnd = arrive
@@ -307,6 +331,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			if ctl := ctls[c.class]; ctl != nil {
 				ctl.winDrops++
 			}
+			if gctl != nil {
+				gctl.drop(c.class)
+			}
 		}
 		if offload {
 			c.inflight++
@@ -362,11 +389,16 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			ci := int(ev.cam)
 			cl := &sc.Classes[ci]
 			ctl := ctls[ci]
-			if dir := ctl.decide(cl.Policy); dir != 0 {
+			if dir := ctl.decide(cl, cams, classCams[ci]); dir != 0 {
 				ctl.move(cl, cams, classCams[ci], dir)
 			}
 			if nt := ev.t + cl.Policy.IntervalSec; nt < sc.Duration {
 				push(event{t: nt, kind: evControl, cam: ev.cam})
+			}
+		case evGlobal:
+			gctl.epoch(ev.t, &sc, cams, classCams)
+			if nt := ev.t + sc.Global.EpochSec; nt < sc.Duration {
+				push(event{t: nt, kind: evGlobal})
 			}
 		default:
 			return nil, fmt.Errorf("fleet: unknown event kind %d", ev.kind)
@@ -387,6 +419,8 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			ServedBytes:    links[i].ServedBytes(),
 			Transfers:      linkTransfers[i],
 			Utilization:    utilization(links[i].ServedBytes(), nd.Uplink.BytesPerSecond(), res.SimEnd),
+			TxPerByteJ:     nd.TxPerByteJ,
+			ForwardJ:       links[i].ServedBytes() * nd.TxPerByteJ,
 		})
 	}
 	// The top-tier utilization is the root tier's, found by name: tier
@@ -409,5 +443,18 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		}
 	}
 	res.finalize()
+	for _, ti := range res.Tiers {
+		res.Energy.NetworkJ += ti.ForwardJ
+	}
+	res.Energy.CameraJ = res.Total.EnergyJ
+	if res.SimEnd > 0 {
+		res.Energy.AvgPowerW = (res.Energy.CameraJ + res.Energy.NetworkJ) / res.SimEnd
+	}
+	res.Energy.ProjectedW = projectedPowerW(&sc, rowJ, cams, classCams)
+	if gctl != nil {
+		st := gctl.stats
+		res.Global = &st
+		res.Total.Switches += st.Moves
+	}
 	return res, nil
 }

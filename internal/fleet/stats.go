@@ -67,6 +67,10 @@ type TierStats struct {
 	Transfers int64
 	// Utilization is served payload over capacity × SimEnd.
 	Utilization float64
+	// TxPerByteJ is the link's configured forwarding energy per byte;
+	// ForwardJ is the energy it actually spent, ServedBytes × TxPerByteJ.
+	TxPerByteJ float64
+	ForwardJ   float64
 }
 
 // Label renders the tier's display name: "name->parent" below the root,
@@ -94,6 +98,51 @@ func utilization(servedBytes, bytesPerSec, elapsed float64) float64 {
 	return servedBytes / (bytesPerSec * elapsed)
 }
 
+// EnergyStats is the run's fleet-wide energy accounting, the second axis
+// of the paper's tradeoff surfaced alongside latency.
+type EnergyStats struct {
+	// CameraJ is the total camera-side energy actually charged over the
+	// run (capture + compute + radio, summed over every class).
+	CameraJ float64
+	// NetworkJ is the forwarding energy the tier tree spent: each link's
+	// observed served bytes times its configured TxPerByteJ.
+	NetworkJ float64
+	// AvgPowerW is (CameraJ + NetworkJ) / SimEnd.
+	AvgPowerW float64
+	// ProjectedW is the fleet's steady-state placement power at the final
+	// placements — the quantity the global controller budgets.
+	ProjectedW float64
+}
+
+// GlobalStats reports the fleet-wide energy-aware controller's decisions.
+type GlobalStats struct {
+	// BudgetW echoes the configured fleet-wide placement power budget.
+	BudgetW float64
+	// Moves counts every camera the global controller reassigned.
+	Moves int64
+	// Epochs holds one entry per decision tick, in time order.
+	Epochs []GlobalEpoch
+}
+
+// GlobalEpoch is one global decision: the projected placement power
+// before and after its reassignments.
+type GlobalEpoch struct {
+	Time    float64
+	BeforeW float64
+	AfterW  float64
+	Moves   []GlobalMove
+}
+
+// GlobalMove is one epoch's reassignment of part of one class: Count
+// cameras stepped Dir (+1 toward in-camera compute, -1 toward offload),
+// for Reason "latency" (congestion relief) or "energy" (budget shedding).
+type GlobalMove struct {
+	Class  string
+	Dir    int
+	Count  int
+	Reason string
+}
+
 // Result is the outcome of one simulated scenario.
 type Result struct {
 	Scenario Scenario
@@ -107,6 +156,11 @@ type Result struct {
 	// UplinkUtilization is the top-tier link's utilization (the only
 	// link's, in a flat scenario) — served payload over capacity × SimEnd.
 	UplinkUtilization float64
+	// Energy is the fleet-wide energy accounting of the run.
+	Energy EnergyStats
+	// Global reports the global controller's epochs; nil when the
+	// scenario does not configure one.
+	Global *GlobalStats
 }
 
 // TierNamed returns the stats of the named tier, or nil. The root tier of
@@ -202,6 +256,29 @@ func (r *Result) Table() string {
 				ti.Label(), ti.Gbps, ti.Contention, ti.Utilization*100, ti.Transfers)
 			if ti.PropagationSec > 0 {
 				fmt.Fprintf(&b, "  prop %s", FormatLatency(ti.PropagationSec))
+			}
+			if ti.ForwardJ > 0 {
+				fmt.Fprintf(&b, "  fwd %.3gJ", ti.ForwardJ)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	// The energy block appears once the scenario models the second cost
+	// axis (network forwarding energy or a global budget); legacy
+	// latency-only scenarios keep their original table shape.
+	if r.Energy.NetworkJ > 0 || r.Global != nil {
+		fmt.Fprintf(&b, "  energy camera %.3gJ + network %.3gJ = %.1fW avg, projected %.1fW\n",
+			r.Energy.CameraJ, r.Energy.NetworkJ, r.Energy.AvgPowerW, r.Energy.ProjectedW)
+	}
+	if g := r.Global; g != nil {
+		fmt.Fprintf(&b, "  global budget %.1fW  epochs %d  moves %d\n", g.BudgetW, len(g.Epochs), g.Moves)
+		for _, ep := range g.Epochs {
+			if len(ep.Moves) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    epoch t=%.2fs %.1fW -> %.1fW ", ep.Time, ep.BeforeW, ep.AfterW)
+			for _, m := range ep.Moves {
+				fmt.Fprintf(&b, " %s %s%+dx%d", m.Reason, m.Class, m.Dir, m.Count)
 			}
 			fmt.Fprintln(&b)
 		}

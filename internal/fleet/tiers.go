@@ -17,6 +17,14 @@ type Tier struct {
 	Parent         string       `json:"parent,omitempty"`
 	Uplink         UplinkConfig `json:"uplink"`
 	PropagationSec float64      `json:"propagation_sec,omitempty"`
+	// TxPerByteJ is the network-side forwarding energy this link spends
+	// per payload byte it serves (switch fabric, line drivers, backhaul
+	// radio — see energy.ForwardPerByteJ for a default figure). It feeds
+	// two places: observed ServedBytes × TxPerByteJ is the tier's
+	// ForwardJ in the results, and the placement controllers charge a
+	// class's offload bytes the summed TxPerByteJ of every hop between
+	// its attach tier and the root when scoring placement energy.
+	TxPerByteJ float64 `json:"tx_per_byte_j,omitempty"`
 }
 
 // tierNode is one resolved node of a scenario's tier tree, produced by
@@ -141,6 +149,10 @@ func (sc *Scenario) validateTopologyNodes(nodes []tierNode) error {
 		if !(nd.PropagationSec >= 0) || math.IsInf(nd.PropagationSec, 0) {
 			return fmt.Errorf("fleet: tier %q: propagation %v sec must be finite and non-negative",
 				nd.Name, nd.PropagationSec)
+		}
+		if !(nd.TxPerByteJ >= 0) || math.IsInf(nd.TxPerByteJ, 0) {
+			return fmt.Errorf("fleet: tier %q: forwarding energy %v J/byte must be finite and non-negative",
+				nd.Name, nd.TxPerByteJ)
 		}
 		if len(sc.Tiers) > 0 && nd.parent < 0 &&
 			sc.Uplink != (UplinkConfig{}) && sc.Uplink != nd.Uplink {

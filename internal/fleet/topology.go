@@ -118,6 +118,79 @@ func TopologyDemoScenario(seed int64, policy string) (Scenario, error) {
 	return sc, nil
 }
 
+// GlobalModeBudget selects the global-controller variant of
+// EnergyDemoScenario; the other accepted modes are the placement policy
+// names PolicyStatic and PolicyEnergyLatency.
+const GlobalModeBudget = "global"
+
+// EnergyDemoScenario builds the *uncongested* two-gateway fleet behind
+// `camsim topo -global`: each 4 Gb/s gateway carries two adaptive VR
+// camera heads at 10 FPS plus a battery-free face-auth population, both
+// links feed an 8 Gb/s core, and every link is priced in forwarding
+// joules per byte (energy.ForwardPerByteJ-class figures). At raw sensor
+// offload the links sit near half utilization — latency alone never asks
+// the cameras to move — but each raw head burns ~8.7 W of camera radio
+// plus network forwarding, against ~4.0 W for the full in-camera
+// pipeline. mode picks who notices:
+//
+//   - PolicyStatic: nobody; the fleet stays at raw offload.
+//   - PolicyEnergyLatency: each class's local controller walks every head
+//     in-camera, minimizing its own energy with no view of the fleet.
+//   - GlobalModeBudget: the global controller sheds watts greedily each
+//     epoch, but only down to its fleet-wide budget — the heads that fit
+//     keep the low-latency raw placement.
+func EnergyDemoScenario(seed int64, mode string) (Scenario, error) {
+	pls := []core.Placement{
+		{}, // raw sensor offload
+		{InCamera: 4, Impl: []string{"CPU", "CPU", "FPGA", "FPGA"}}, // full in-camera pipeline
+	}
+	pol := PolicyConfig{Kind: PolicyStatic}
+	switch mode {
+	case PolicyStatic, GlobalModeBudget:
+	case PolicyEnergyLatency:
+		pol = PolicyConfig{
+			Kind:         PolicyEnergyLatency,
+			IntervalSec:  0.5,
+			HighSec:      0.5,
+			EnergyWeight: 1,
+			MoveFraction: 0.5,
+		}
+	default:
+		return Scenario{}, fmt.Errorf("fleet: unknown energy demo mode %q", mode)
+	}
+	sc := Scenario{
+		Name:     "energy-2gw/" + mode,
+		Seed:     seed,
+		Duration: 8,
+		Tiers: []Tier{
+			{Name: "gw-a", Parent: "core", Uplink: UplinkConfig{Gbps: 4, Contention: ContentionFairShare},
+				PropagationSec: 0.0002, TxPerByteJ: 2e-8},
+			{Name: "gw-b", Parent: "core", Uplink: UplinkConfig{Gbps: 4, Contention: ContentionFairShare},
+				PropagationSec: 0.0002, TxPerByteJ: 2e-8},
+			{Name: "core", Uplink: UplinkConfig{Gbps: 8, Contention: ContentionFairShare},
+				PropagationSec: 0.002, TxPerByteJ: 1e-8},
+		},
+	}
+	if mode == GlobalModeBudget {
+		// Between all-raw (~35 W) and all-in-camera (~16 W): the knapsack
+		// must move some heads and leave the rest fast.
+		sc.Global = &GlobalConfig{EpochSec: 1, BudgetW: 24, HighSec: 0.5, MoveFraction: 0.5}
+	}
+	for _, gw := range []string{"gw-a", "gw-b"} {
+		vr, err := VRAdaptiveClass(2, pls, 10, pol)
+		if err != nil {
+			return Scenario{}, err
+		}
+		vr.Name = "vr-" + gw
+		vr.Tier = gw
+		fa := FaceAuthClass(40)
+		fa.Name = "fa-" + gw
+		fa.Tier = gw
+		sc.Classes = append(sc.Classes, vr, fa)
+	}
+	return sc, nil
+}
+
 // DeepTopologyScenario builds the camera→gateway→metro→core chain behind
 // `camsim topo -depth`: depth network tiers separate a leaf camera from
 // the cloud (depth ≥ 2). Two leaf gateways ("gw-a", "gw-b", 2 Gb/s, 0.2 ms
