@@ -369,6 +369,7 @@ func BenchmarkFleetSweep(b *testing.B) {
 		})
 	}
 	var frames int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, o := range fleet.Sweep(scenarios, 0) {
@@ -396,6 +397,7 @@ func BenchmarkTopologySweep(b *testing.B) {
 		scenarios = append(scenarios, sc)
 	}
 	var switches int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, o := range fleet.Sweep(scenarios, 0) {

@@ -1,18 +1,26 @@
 // Command benchgate is the CI bench-regression gate: it parses `go test
-// -bench` output, compares each variant's best ns/op against the recorded
-// baseline in BENCH_topology.json, and exits non-zero when any variant
-// regressed by more than the allowed fraction.
+// -bench` output, compares each variant's best ns/op — and, where the
+// baseline records them, allocs/op — against the recorded baseline in
+// BENCH_topology.json, and exits non-zero when any variant regressed by
+// more than the allowed fraction.
 //
 // Usage:
 //
-//	go test -run='^$' -bench BenchmarkDeepTopology -benchtime=3x -count=3 \
-//	    ./internal/fleet | tee bench.out
+//	go test -run='^$' -bench 'BenchmarkDeepTopology|BenchmarkHugeFleet' \
+//	    -benchtime=3x -count=3 ./internal/fleet | tee bench.out
 //	go run ./cmd/benchgate -bench bench.out -baseline BENCH_topology.json
 //
-// The best (minimum) ns/op across the -count repetitions is compared, not
+// The best (minimum) value across the -count repetitions is compared, not
 // the mean: CI runners are noisy upward — a process getting descheduled
 // slows an iteration, nothing speeds one up — so the minimum is the
-// lowest-noise estimate of the true cost.
+// lowest-noise estimate of the true cost. The same logic covers the alloc
+// counters (allocations only spuriously go up, e.g. via testing overhead
+// on a short run).
+//
+// The baseline file carries a "benchmarks" map keyed by benchmark name;
+// the legacy single-benchmark form ("benchmark" + "results" at top level)
+// still loads. Baseline entries without alloc fields gate on ns/op alone,
+// so re-recording allocations is opt-in per benchmark.
 package main
 
 import (
@@ -28,47 +36,82 @@ import (
 )
 
 // baselineFile mirrors the BENCH_topology.json schema (the fields the
-// gate needs; the file carries more context for humans).
+// gate needs; the file carries more context for humans). Benchmarks is
+// the current multi-benchmark form; Benchmark/Results is the legacy
+// single-benchmark layout, still accepted.
 type baselineFile struct {
-	Benchmark string                    `json:"benchmark"`
-	Results   map[string]baselineResult `json:"results"`
+	Benchmark  string                    `json:"benchmark,omitempty"`
+	Results    map[string]baselineResult `json:"results,omitempty"`
+	Benchmarks map[string]baselineBench  `json:"benchmarks,omitempty"`
 }
 
+type baselineBench struct {
+	Results map[string]baselineResult `json:"results"`
+}
+
+// baselineResult is one variant's recorded cost. AllocsPerOp is a pointer
+// so a baseline recorded before alloc tracking simply lacks the field and
+// is gated on time alone.
 type baselineResult struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      float64  `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
-// parseBench extracts per-variant best ns/op from `go test -bench`
-// output. A line looks like:
-//
-//	BenchmarkDeepTopology/indexed-8   3   376112306 ns/op   79768 frames/run
-//
-// The variant is the path segment after the benchmark name, with the
-// trailing -GOMAXPROCS suffix stripped; a benchmark with no sub-benchmarks
-// gets the variant "" .
-func parseBench(r io.Reader, benchmark string) (map[string]float64, error) {
-	best := map[string]float64{}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], benchmark) {
-			continue
-		}
-		ns := -1.0
-		for i := 2; i < len(fields); i++ {
-			if fields[i] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i-1], 64)
-				if err != nil {
-					return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
-				}
-				ns = v
-				break
+// benches returns the baseline's benchmark map, lifting the legacy
+// single-benchmark layout into it.
+func (b *baselineFile) benches() map[string]baselineBench {
+	if len(b.Benchmarks) > 0 {
+		return b.Benchmarks
+	}
+	if b.Benchmark != "" && len(b.Results) > 0 {
+		return map[string]baselineBench{b.Benchmark: {Results: b.Results}}
+	}
+	return nil
+}
+
+// measurement is one variant's best observed cost across repetitions.
+// The alloc fields are only meaningful when hasAllocs is set (the
+// benchmark ran with b.ReportAllocs() or -benchmem).
+type measurement struct {
+	nsPerOp     float64
+	bPerOp      float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// metric extracts the value labelled unit from a benchmark output line's
+// fields ("376112306 ns/op" → 376112306), or ok=false.
+func metric(fields []string, unit string) (float64, bool, error) {
+	for i := 2; i < len(fields); i++ {
+		if fields[i] == unit {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return 0, false, fmt.Errorf("benchgate: bad %s in %q: %w", unit, strings.Join(fields, " "), err)
 			}
+			return v, true, nil
 		}
-		if ns < 0 {
+	}
+	return 0, false, nil
+}
+
+// splitVariant matches a benchmark-output name (fields[0]) against the
+// configured benchmark names, longest name first, and returns the
+// matched benchmark and the variant: the path segment after the name,
+// with the trailing -GOMAXPROCS suffix stripped. A benchmark with no
+// sub-benchmarks gets the variant "".
+func splitVariant(name string, benchmarks []string) (string, string, bool) {
+	for _, bench := range benchmarks {
+		if !strings.HasPrefix(name, bench) {
 			continue
 		}
-		variant := strings.TrimPrefix(fields[0], benchmark)
+		variant := strings.TrimPrefix(name, bench)
+		// The name must end exactly at a boundary: a sub-benchmark slash,
+		// a -GOMAXPROCS suffix, or the end — "BenchmarkHuge" must not
+		// claim "BenchmarkHugeFleet" lines.
+		if variant != "" && variant[0] != '/' && variant[0] != '-' {
+			continue
+		}
 		variant = strings.TrimPrefix(variant, "/")
 		// Strip only a trailing -GOMAXPROCS suffix (absent at
 		// GOMAXPROCS=1): a hyphen inside the variant name itself must
@@ -78,17 +121,76 @@ func parseBench(r io.Reader, benchmark string) (map[string]float64, error) {
 				variant = variant[:i]
 			}
 		}
-		if cur, ok := best[variant]; !ok || ns < cur {
-			best[variant] = ns
+		return bench, variant, true
+	}
+	return "", "", false
+}
+
+// parseBench extracts per-benchmark, per-variant best measurements from
+// `go test -bench` output. A line looks like:
+//
+//	BenchmarkDeepTopology/indexed-8   3   376112306 ns/op   5801064 B/op   384 allocs/op
+//
+// Each metric takes its minimum across repetitions independently.
+func parseBench(r io.Reader, benchmarks []string) (map[string]map[string]measurement, error) {
+	// Longest benchmark name first so the most specific prefix wins.
+	ordered := append([]string(nil), benchmarks...)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) > len(ordered[j]) })
+	best := map[string]map[string]measurement{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			continue
 		}
+		bench, variant, ok := splitVariant(fields[0], ordered)
+		if !ok {
+			continue
+		}
+		ns, ok, err := metric(fields, "ns/op")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		bytesOp, _, err := metric(fields, "B/op")
+		if err != nil {
+			return nil, err
+		}
+		allocs, hasAllocs, err := metric(fields, "allocs/op")
+		if err != nil {
+			return nil, err
+		}
+		if best[bench] == nil {
+			best[bench] = map[string]measurement{}
+		}
+		cur, seen := best[bench][variant]
+		if !seen {
+			best[bench][variant] = measurement{nsPerOp: ns, bPerOp: bytesOp, allocsPerOp: allocs, hasAllocs: hasAllocs}
+			continue
+		}
+		if ns < cur.nsPerOp {
+			cur.nsPerOp = ns
+		}
+		if hasAllocs {
+			if !cur.hasAllocs || allocs < cur.allocsPerOp {
+				cur.allocsPerOp = allocs
+			}
+			if !cur.hasAllocs || bytesOp < cur.bPerOp {
+				cur.bPerOp = bytesOp
+			}
+			cur.hasAllocs = true
+		}
+		best[bench][variant] = cur
 	}
 	return best, sc.Err()
 }
 
-// gate compares measured variants against the baseline and returns one
-// line per variant plus an error naming every regression beyond
-// maxRegress (a fraction: 0.30 allows +30%).
-func gate(baseline baselineFile, measured map[string]float64, maxRegress float64) ([]string, error) {
+// gate compares one benchmark's measured variants against its baseline
+// and returns one line per gated metric plus an error naming every
+// regression beyond maxRegress (a fraction: 0.30 allows +30%).
+func gate(bench string, baseline baselineBench, measured map[string]measurement, maxRegress float64) ([]string, error) {
 	variants := make([]string, 0, len(baseline.Results))
 	for v := range baseline.Results {
 		variants = append(variants, v)
@@ -96,20 +198,53 @@ func gate(baseline baselineFile, measured map[string]float64, maxRegress float64
 	sort.Strings(variants)
 	var report []string
 	var failures []string
+	label := func(variant string) string {
+		if variant == "" {
+			return bench
+		}
+		return bench + "/" + variant
+	}
 	for _, variant := range variants {
 		base := baseline.Results[variant]
 		got, ok := measured[variant]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: not measured", variant))
+			failures = append(failures, fmt.Sprintf("%s: not measured", label(variant)))
 			continue
 		}
-		ratio := got / base.NsPerOp
-		line := fmt.Sprintf("%-10s baseline %12.0f ns/op  measured %12.0f ns/op  ratio %.2fx (limit %.2fx)",
-			variant, base.NsPerOp, got, ratio, 1+maxRegress)
+		ratio := got.nsPerOp / base.NsPerOp
+		line := fmt.Sprintf("%-34s baseline %12.0f ns/op  measured %12.0f ns/op  ratio %.2fx (limit %.2fx)",
+			label(variant), base.NsPerOp, got.nsPerOp, ratio, 1+maxRegress)
 		report = append(report, line)
 		if ratio > 1+maxRegress {
 			failures = append(failures, fmt.Sprintf("%s: %.2fx over baseline (limit %.2fx)",
-				variant, ratio, 1+maxRegress))
+				label(variant), ratio, 1+maxRegress))
+		}
+		if base.AllocsPerOp == nil {
+			continue
+		}
+		if !got.hasAllocs {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op not measured (baseline records %.0f)",
+				label(variant), *base.AllocsPerOp))
+			continue
+		}
+		aratio := got.allocsPerOp / *base.AllocsPerOp
+		report = append(report, fmt.Sprintf("%-34s baseline %12.0f allocs/op  measured %9.0f allocs/op  ratio %.2fx (limit %.2fx)",
+			label(variant), *base.AllocsPerOp, got.allocsPerOp, aratio, 1+maxRegress))
+		if aratio > 1+maxRegress {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx allocs/op over baseline (limit %.2fx)",
+				label(variant), aratio, 1+maxRegress))
+		}
+		// B/op rides the same opt-in: recorded bytes are gated too, so an
+		// allocation-count-neutral size blowup cannot slip through.
+		if base.BPerOp <= 0 {
+			continue
+		}
+		bratio := got.bPerOp / base.BPerOp
+		report = append(report, fmt.Sprintf("%-34s baseline %12.0f B/op       measured %9.0f B/op       ratio %.2fx (limit %.2fx)",
+			label(variant), base.BPerOp, got.bPerOp, bratio, 1+maxRegress))
+		if bratio > 1+maxRegress {
+			failures = append(failures, fmt.Sprintf("%s: %.2fx B/op over baseline (limit %.2fx)",
+				label(variant), bratio, 1+maxRegress))
 		}
 	}
 	if len(failures) > 0 {
@@ -127,30 +262,45 @@ func run(benchPath, baselinePath string, maxRegress float64, out io.Writer) erro
 	if err := json.Unmarshal(raw, &baseline); err != nil {
 		return fmt.Errorf("benchgate: %s: %w", baselinePath, err)
 	}
-	if baseline.Benchmark == "" || len(baseline.Results) == 0 {
+	benches := baseline.benches()
+	if len(benches) == 0 {
 		return fmt.Errorf("benchgate: %s carries no baseline results", baselinePath)
 	}
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	f, err := os.Open(benchPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	measured, err := parseBench(f, baseline.Benchmark)
+	measured, err := parseBench(f, names)
 	if err != nil {
 		return err
 	}
-	report, gateErr := gate(baseline, measured, maxRegress)
-	fmt.Fprintf(out, "benchgate: %s vs %s\n", baseline.Benchmark, baselinePath)
-	for _, line := range report {
-		fmt.Fprintln(out, "  "+line)
+	var gateErrs []string
+	for _, name := range names {
+		report, err := gate(name, benches[name], measured[name], maxRegress)
+		fmt.Fprintf(out, "benchgate: %s vs %s\n", name, baselinePath)
+		for _, line := range report {
+			fmt.Fprintln(out, "  "+line)
+		}
+		if err != nil {
+			gateErrs = append(gateErrs, err.Error())
+		}
 	}
-	return gateErr
+	if len(gateErrs) > 0 {
+		return fmt.Errorf("%s", strings.Join(gateErrs, "; "))
+	}
+	return nil
 }
 
 func main() {
 	bench := flag.String("bench", "bench.out", "go test -bench output to check")
 	baseline := flag.String("baseline", "BENCH_topology.json", "recorded baseline JSON")
-	maxRegress := flag.Float64("max-regress", 0.30, "allowed ns/op regression fraction over baseline")
+	maxRegress := flag.Float64("max-regress", 0.30, "allowed regression fraction over baseline (ns/op, and allocs/op + B/op where recorded)")
 	flag.Parse()
 	if err := run(*bench, *baseline, *maxRegress, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -9,57 +9,145 @@ const sampleBench = `goos: linux
 goarch: amd64
 pkg: camsim/internal/fleet
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
-BenchmarkDeepTopology/indexed-8         	       3	 376112306 ns/op	 79768 frames/run
-BenchmarkDeepTopology/indexed-8         	       3	 391220101 ns/op	 79768 frames/run
-BenchmarkDeepTopology/indexed-8         	       3	 380000000 ns/op	 79768 frames/run
-BenchmarkDeepTopology/scan-8            	       3	 442383848 ns/op	 79768 frames/run
-BenchmarkDeepTopology/scan-8            	       3	 460000000 ns/op	 79768 frames/run
+BenchmarkDeepTopology/indexed-8         	       3	 104232684 ns/op	 79731 frames/run	 5801064 B/op	 384 allocs/op
+BenchmarkDeepTopology/indexed-8         	       3	 106627184 ns/op	 79731 frames/run	 5801144 B/op	 385 allocs/op
+BenchmarkDeepTopology/indexed-8         	       3	 105211636 ns/op	 79731 frames/run	 5801144 B/op	 385 allocs/op
+BenchmarkDeepTopology/scan-8            	       3	 190398320 ns/op	 79731 frames/run	 5800352 B/op	 379 allocs/op
+BenchmarkDeepTopology/scan-8            	       3	 204509789 ns/op	 79731 frames/run	 5800432 B/op	 380 allocs/op
+BenchmarkHugeFleet-8                    	       3	 474008193 ns/op	 200475 frames/run	 31441466 B/op	 483 allocs/op
+BenchmarkHugeFleet-8                    	       3	 505142807 ns/op	 200475 frames/run	 31441552 B/op	 484 allocs/op
 PASS
 `
 
+func allocs(v float64) *float64 { return &v }
+
 func testBaseline() baselineFile {
 	return baselineFile{
-		Benchmark: "BenchmarkDeepTopology",
-		Results: map[string]baselineResult{
-			"indexed": {NsPerOp: 376112306},
-			"scan":    {NsPerOp: 442383848},
+		Benchmarks: map[string]baselineBench{
+			"BenchmarkDeepTopology": {Results: map[string]baselineResult{
+				"indexed": {NsPerOp: 104232684, BPerOp: 5801064, AllocsPerOp: allocs(384)},
+				"scan":    {NsPerOp: 190398320, BPerOp: 5800352, AllocsPerOp: allocs(379)},
+			}},
+			"BenchmarkHugeFleet": {Results: map[string]baselineResult{
+				"": {NsPerOp: 474008193, BPerOp: 31441466, AllocsPerOp: allocs(483)},
+			}},
 		},
 	}
 }
 
-func TestParseBenchTakesBestPerVariant(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sampleBench), "BenchmarkDeepTopology")
+func parseSample(t *testing.T) map[string]map[string]measurement {
+	t.Helper()
+	got, err := parseBench(strings.NewReader(sampleBench),
+		[]string{"BenchmarkDeepTopology", "BenchmarkHugeFleet"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("variants: %v", got)
+	return got
+}
+
+func TestParseBenchTakesBestPerVariant(t *testing.T) {
+	got := parseSample(t)
+	if len(got) != 2 || len(got["BenchmarkDeepTopology"]) != 2 {
+		t.Fatalf("benchmarks parsed: %v", got)
 	}
-	if got["indexed"] != 376112306 {
-		t.Fatalf("indexed best %v, want the minimum across -count runs", got["indexed"])
+	idx := got["BenchmarkDeepTopology"]["indexed"]
+	if idx.nsPerOp != 104232684 {
+		t.Fatalf("indexed best %v, want the minimum across -count runs", idx.nsPerOp)
 	}
-	if got["scan"] != 442383848 {
-		t.Fatalf("scan best %v", got["scan"])
+	if !idx.hasAllocs || idx.allocsPerOp != 384 || idx.bPerOp != 5801064 {
+		t.Fatalf("indexed alloc metrics not the per-metric minimum: %+v", idx)
+	}
+	if got["BenchmarkDeepTopology"]["scan"].nsPerOp != 190398320 {
+		t.Fatalf("scan best %v", got["BenchmarkDeepTopology"]["scan"].nsPerOp)
+	}
+	// A benchmark with no sub-benchmarks lands under the "" variant.
+	huge := got["BenchmarkHugeFleet"][""]
+	if huge.nsPerOp != 474008193 || huge.allocsPerOp != 483 {
+		t.Fatalf("HugeFleet measurement: %+v", huge)
 	}
 }
 
 func TestGatePassesWithinLimit(t *testing.T) {
-	measured := map[string]float64{"indexed": 376112306 * 1.25, "scan": 442383848}
-	report, err := gate(testBaseline(), measured, 0.30)
-	if err != nil {
-		t.Fatalf("within-limit run failed: %v\n%v", err, report)
-	}
-	if len(report) != 2 {
-		t.Fatalf("report: %v", report)
+	base := testBaseline()
+	measured := parseSample(t)
+	for name, bench := range base.Benchmarks {
+		report, err := gate(name, bench, measured[name], 0.30)
+		if err != nil {
+			t.Fatalf("%s: within-limit run failed: %v\n%v", name, err, report)
+		}
+		// One line each for ns/op, allocs/op and B/op per variant.
+		if len(report) != 3*len(bench.Results) {
+			t.Fatalf("%s report: %v", name, report)
+		}
 	}
 }
 
-func TestGateFailsOnRegression(t *testing.T) {
-	measured := map[string]float64{"indexed": 376112306 * 1.5, "scan": 442383848}
-	if _, err := gate(testBaseline(), measured, 0.30); err == nil {
+func TestGateFailsOnNsRegression(t *testing.T) {
+	base := testBaseline().Benchmarks["BenchmarkDeepTopology"]
+	measured := map[string]measurement{
+		"indexed": {nsPerOp: 104232684 * 1.5, allocsPerOp: 384, hasAllocs: true},
+		"scan":    {nsPerOp: 190398320, allocsPerOp: 379, hasAllocs: true},
+	}
+	if _, err := gate("BenchmarkDeepTopology", base, measured, 0.30); err == nil {
 		t.Fatal("a 1.5x regression passed the 30% gate")
 	} else if !strings.Contains(err.Error(), "indexed") {
 		t.Fatalf("regression error does not name the variant: %v", err)
+	}
+}
+
+func TestGateFailsOnAllocsRegression(t *testing.T) {
+	base := testBaseline().Benchmarks["BenchmarkDeepTopology"]
+	measured := map[string]measurement{
+		"indexed": {nsPerOp: 104232684, bPerOp: 5801064, allocsPerOp: 384 * 2, hasAllocs: true},
+		"scan":    {nsPerOp: 190398320, bPerOp: 5800352, allocsPerOp: 379, hasAllocs: true},
+	}
+	if _, err := gate("BenchmarkDeepTopology", base, measured, 0.30); err == nil {
+		t.Fatal("a 2x allocs/op regression passed the 30% gate")
+	} else if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocs regression error not named: %v", err)
+	}
+}
+
+func TestGateFailsOnBytesRegression(t *testing.T) {
+	// Same allocation count, 10x the bytes: the size blowup must fail on
+	// its own.
+	base := testBaseline().Benchmarks["BenchmarkDeepTopology"]
+	measured := map[string]measurement{
+		"indexed": {nsPerOp: 104232684, bPerOp: 5801064 * 10, allocsPerOp: 384, hasAllocs: true},
+		"scan":    {nsPerOp: 190398320, bPerOp: 5800352, allocsPerOp: 379, hasAllocs: true},
+	}
+	if _, err := gate("BenchmarkDeepTopology", base, measured, 0.30); err == nil {
+		t.Fatal("a 10x B/op regression passed the 30% gate")
+	} else if !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("bytes regression error not named: %v", err)
+	}
+}
+
+func TestGateToleratesBaselineWithoutAllocs(t *testing.T) {
+	// A baseline recorded before alloc tracking gates on ns/op alone,
+	// whatever the measured allocation count says.
+	base := baselineBench{Results: map[string]baselineResult{
+		"indexed": {NsPerOp: 100},
+	}}
+	measured := map[string]measurement{
+		"indexed": {nsPerOp: 101, allocsPerOp: 1e9, hasAllocs: true},
+	}
+	report, err := gate("BenchmarkX", base, measured, 0.30)
+	if err != nil {
+		t.Fatalf("alloc-less baseline failed the gate: %v", err)
+	}
+	if len(report) != 1 {
+		t.Fatalf("expected the single ns/op line, got %v", report)
+	}
+}
+
+func TestGateFailsWhenAllocsExpectedButUnmeasured(t *testing.T) {
+	base := baselineBench{Results: map[string]baselineResult{
+		"indexed": {NsPerOp: 100, AllocsPerOp: allocs(10)},
+	}}
+	measured := map[string]measurement{"indexed": {nsPerOp: 100}}
+	if _, err := gate("BenchmarkX", base, measured, 0.30); err == nil {
+		t.Fatal("missing alloc measurement passed a baseline that records allocs")
 	}
 }
 
@@ -67,17 +155,44 @@ func TestParseBenchKeepsHyphenatedVariants(t *testing.T) {
 	// Only a trailing -GOMAXPROCS suffix is stripped; at GOMAXPROCS=1 go
 	// test appends none, and hyphens inside a variant name must survive.
 	out := "BenchmarkX/in-camera-8   1   100 ns/op\nBenchmarkX/in-camera   1   90 ns/op\n"
-	got, err := parseBench(strings.NewReader(out), "BenchmarkX")
+	got, err := parseBench(strings.NewReader(out), []string{"BenchmarkX"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["in-camera"] != 90 {
+	if got["BenchmarkX"]["in-camera"].nsPerOp != 90 {
 		t.Fatalf("hyphenated variant mangled: %v", got)
 	}
 }
 
+func TestParseBenchPrefersLongestBenchmarkName(t *testing.T) {
+	// With overlapping configured names, a line must land under the most
+	// specific one, and a bare prefix must not claim a longer benchmark's
+	// lines at a non-boundary.
+	out := "BenchmarkHugeFleet-8   1   100 ns/op\nBenchmarkHuge-8   1   50 ns/op\n"
+	got, err := parseBench(strings.NewReader(out), []string{"BenchmarkHuge", "BenchmarkHugeFleet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkHugeFleet"][""].nsPerOp != 100 || got["BenchmarkHuge"][""].nsPerOp != 50 {
+		t.Fatalf("prefix collision: %v", got)
+	}
+}
+
 func TestGateFailsOnMissingVariant(t *testing.T) {
-	if _, err := gate(testBaseline(), map[string]float64{"indexed": 1}, 0.30); err == nil {
+	base := testBaseline().Benchmarks["BenchmarkDeepTopology"]
+	measured := map[string]measurement{"indexed": {nsPerOp: 1, allocsPerOp: 1, hasAllocs: true}}
+	if _, err := gate("BenchmarkDeepTopology", base, measured, 0.30); err == nil {
 		t.Fatal("missing scan variant passed the gate")
+	}
+}
+
+func TestLegacySingleBenchmarkBaselineStillLoads(t *testing.T) {
+	legacy := baselineFile{
+		Benchmark: "BenchmarkDeepTopology",
+		Results:   map[string]baselineResult{"indexed": {NsPerOp: 1}},
+	}
+	benches := legacy.benches()
+	if len(benches) != 1 || benches["BenchmarkDeepTopology"].Results["indexed"].NsPerOp != 1 {
+		t.Fatalf("legacy layout not lifted: %v", benches)
 	}
 }

@@ -60,6 +60,7 @@ func BenchmarkDeepTopology(b *testing.B) {
 		indexed bool
 	}{{"indexed", true}, {"scan", false}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var frames int64
 			for i := 0; i < b.N; i++ {
 				res, err := run(sc, mode.indexed)
@@ -71,4 +72,28 @@ func BenchmarkDeepTopology(b *testing.B) {
 			b.ReportMetric(float64(frames)/float64(b.N), "frames/run")
 		})
 	}
+}
+
+// BenchmarkHugeFleet is the 100k-camera scale point: the same 41-link
+// deep topology with 10× the population over a shorter horizon, so one
+// iteration is a full run at the fleet size the ROADMAP targets. The
+// alloc counters are the regression surface — steady-state stepping is
+// designed to be allocation-free (boxing-free heaps, value-embedded
+// per-camera PRNGs, transfer free-list, preallocated event heap and
+// latency slices), so allocs/op stays proportional to the camera count,
+// not the frame count. Baselines live in BENCH_topology.json and are
+// gated by cmd/benchgate in CI.
+func BenchmarkHugeFleet(b *testing.B) {
+	sc := deepFleetScenario(100_000)
+	sc.Duration = 1
+	b.ReportAllocs()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames += res.Total.Captured
+	}
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/run")
 }

@@ -184,8 +184,8 @@
 //
 // # Determinism and parallelism
 //
-// A run is deterministic in its Scenario: every random draw comes from
-// per-camera (and per-controller) *rand.Rand streams derived from
+// A run is deterministic in its Scenario: every random draw comes from a
+// compact per-camera (and per-controller) splitmix64 stream derived from
 // Scenario.Seed by index (never the global source), the event loop breaks
 // ties by sequence number, and simultaneous completions across tiers
 // resolve in tier order. The same seed produces byte-identical stat
@@ -194,4 +194,33 @@
 // points sweep in parallel across GOMAXPROCS via Sweep's worker pool;
 // parallelism never reorders arithmetic within a run, so sweeps stay
 // reproducible too.
+//
+// # Performance
+//
+// The event loop is engineered to run allocation-free in steady state, so
+// fleet size — not garbage — bounds throughput (BenchmarkHugeFleet runs
+// 100k cameras over 41 links; BenchmarkDeepTopology pins the 10k shape,
+// both gated in CI by cmd/benchgate against BENCH_topology.json):
+//
+//   - Per-event cost: one pop from the specialized event heap (O(log
+//     events), no interface boxing — container/heap cost one allocation
+//     per Push), plus O(log n) fair-share virtual-time accounting on the
+//     link (psHeap) and O(log links) completion lookup (liHeap). All
+//     three heaps preserve container/heap's exact pop order, proven
+//     differentially by TestHeapsMatchContainerHeap. The FIFO discipline
+//     keeps a power-of-two ring, so wrap-around is a mask, not a modulo.
+//   - Memory model: each camera embeds its random stream by value — an
+//     8-byte splitmix64 state (prng) instead of a *rand.Rand whose
+//     lagged-Fibonacci source is ~5 KB of heap per camera — so 100k
+//     cameras cost ~800 KB of inline state rather than ~500 MB of
+//     pointer-chased boxes. Transfer ids are recycled through a free
+//     list, bounding transfer storage by the peak in-flight population
+//     instead of the total frame count, and the event heap and per-class
+//     latency slices are preallocated from FPS × Duration × Count
+//     estimates, so the loop never regrows them.
+//   - Seeded-stream shift: moving from rand.Rand's ziggurat draws to the
+//     prng's inversion-based ExpFloat64 / 53-bit Float64 shifted every
+//     seeded stream once (goldens were regenerated, as for the PR 3 seed
+//     derivation fix); the streams are pinned by TestPRNGReferenceVectors
+//     and stable from then on.
 package fleet

@@ -339,6 +339,27 @@ func TestFIFOQueueBoundedOverLongRun(t *testing.T) {
 	}
 }
 
+func TestPreallocationEstimatesClamped(t *testing.T) {
+	// A valid scenario (all fields positive and finite, accepted by
+	// Validate) can make FPS × Duration × Count overflow float64→int;
+	// int() of an out-of-range float is unspecified and a negative cap
+	// panics make. The estimate helper must clamp every pathological
+	// input instead of letting Run panic on a scenario Validate accepted.
+	cases := []struct {
+		in   float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {math.NaN(), 0}, {0.5, 0}, {10.9, 10},
+		{1 << 22, 1 << 22}, {1e200, 1 << 22}, {math.Inf(1), 1 << 22},
+		{math.MaxFloat64, 1 << 22},
+	}
+	for _, tc := range cases {
+		if got := clampEst(tc.in); got != tc.want {
+			t.Fatalf("clampEst(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
 // TestSweepParallelMatchesSerial exercises the worker pool (under -race in
 // CI) and pins sweep outputs to serial runs.
 func TestSweepParallelMatchesSerial(t *testing.T) {

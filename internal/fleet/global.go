@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 )
 
@@ -16,7 +15,7 @@ import (
 // stays under the configured budget.
 type globalController struct {
 	cfg GlobalConfig
-	rng *rand.Rand
+	rng prng
 	// rowJ prices every class's placement rows (one row for table-less
 	// classes) in expected J per captured frame, forwarding included.
 	rowJ [][]float64
@@ -37,7 +36,7 @@ func newGlobal(sc *Scenario, rowJ [][]float64) *globalController {
 	h := splitmix64(splitmix64(uint64(sc.Seed)^0x61017ba1) + uint64(len(sc.Classes)))
 	return &globalController{
 		cfg:      *sc.Global,
-		rng:      rand.New(rand.NewSource(int64(h))),
+		rng:      newPRNG(int64(h)),
 		rowJ:     rowJ,
 		winLat:   make([][]float64, len(sc.Classes)),
 		winDrops: make([]int64, len(sc.Classes)),

@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 )
 
@@ -237,7 +236,7 @@ func TestMoveAcceptSkipsOverBudgetRows(t *testing.T) {
 	for seed := int64(1); seed <= 20; seed++ {
 		g := &globalController{
 			cfg:  GlobalConfig{BudgetW: 20, EpochSec: 1, MoveFraction: 1},
-			rng:  rand.New(rand.NewSource(seed)),
+			rng:  newPRNG(seed),
 			rowJ: [][]float64{{10, 1, 5}},
 		}
 		cams := []camera{{placement: 1}, {placement: 0}, {placement: 1}, {placement: 0}}

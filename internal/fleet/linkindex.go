@@ -1,7 +1,5 @@
 package fleet
 
-import "container/heap"
-
 // linkIndex finds the earliest next completion across a fixed set of links
 // in O(log links) per event, replacing the O(links) scan that dominated
 // deep-topology runs. It is a lazily invalidated min-heap: every Start or
@@ -22,18 +20,58 @@ type liEntry struct {
 	ver uint64
 }
 
+// liHeap is a specialized binary min-heap ordered by (t, li). Stale
+// entries for the same link can tie exactly with its live one, but peek's
+// result is invariant to their relative order — only the live entry
+// survives — so the (t, li) comparison fully determines what peek returns,
+// identically to a container/heap reference (TestHeapsMatchContainerHeap),
+// without boxing an entry per invalidation.
 type liHeap []liEntry
 
-func (h liHeap) Len() int { return len(h) }
-func (h liHeap) Less(i, j int) bool {
+func (h liHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].li < h[j].li
 }
-func (h liHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *liHeap) Push(x any)   { *h = append(*h, x.(liEntry)) }
-func (h *liHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *liHeap) push(e liEntry) {
+	s := append(*h, e)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *liHeap) pop() liEntry {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s.less(j2, j) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n]
+	*h = s[:n]
+	return e
+}
 
 func newLinkIndex(links []Uplink) *linkIndex {
 	return &linkIndex{links: links, ver: make([]uint64, len(links))}
@@ -45,7 +83,7 @@ func newLinkIndex(links []Uplink) *linkIndex {
 func (x *linkIndex) invalidate(li int) {
 	x.ver[li]++
 	if t, ok := x.links[li].NextFinish(); ok {
-		heap.Push(&x.h, liEntry{t: t, li: li, ver: x.ver[li]})
+		x.h.push(liEntry{t: t, li: li, ver: x.ver[li]})
 	}
 }
 
@@ -57,7 +95,7 @@ func (x *linkIndex) peek() (li int, t float64, ok bool) {
 		if e.ver == x.ver[e.li] {
 			return e.li, e.t, true
 		}
-		heap.Pop(&x.h)
+		x.h.pop()
 	}
 	return -1, 0, false
 }

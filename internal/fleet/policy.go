@@ -1,15 +1,15 @@
 package fleet
 
 import (
-	"math/rand"
 	"sort"
 )
 
 // controller is the per-class adaptive-placement state: the observation
 // window since the last decision, the seeded stream every decision draws
-// from, and the class's per-row energy model (energy-latency policy).
+// from (a compact value-embedded prng, like the cameras'), and the
+// class's per-row energy model (energy-latency policy).
 type controller struct {
-	rng      *rand.Rand
+	rng      prng
 	winLat   []float64 // offload latencies completed in the window
 	winDrops int64     // queue drops in the window
 	moves    int64     // camera moves decided so far
@@ -33,7 +33,7 @@ func newControllers(sc *Scenario, rowJ [][]float64) []*controller {
 		}
 		h := splitmix64(splitmix64(uint64(sc.Seed)^0xc0117801) + uint64(ci))
 		ctls[ci] = &controller{
-			rng:  rand.New(rand.NewSource(int64(h))),
+			rng:  newPRNG(int64(h)),
 			rowJ: rowJ[ci],
 		}
 	}
@@ -149,7 +149,7 @@ func (c *controller) move(cl *Class, cams []camera, members []int32, dir int) in
 	if k < 1 {
 		k = 1
 	}
-	moved := moveBatch(c.rng, cams, members, len(cl.Placements)-1, dir, k)
+	moved := moveBatch(&c.rng, cams, members, len(cl.Placements)-1, dir, k)
 	c.moves += int64(moved)
 	return moved
 }
@@ -161,7 +161,7 @@ func (c *controller) move(cl *Class, cams []camera, members []int32, dir int) in
 // by the stream. The global controller's moveAccept interleaves the same
 // draw with per-camera budget acceptance, which this unconditional form
 // cannot express — keep their shuffle steps identical if either changes.
-func moveBatch(rng *rand.Rand, cams []camera, members []int32, last, dir, k int) int {
+func moveBatch(rng *prng, cams []camera, members []int32, last, dir, k int) int {
 	var candidates []int32
 	for _, idx := range members {
 		p := cams[idx].placement + dir

@@ -1,9 +1,7 @@
 package fleet
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
 )
 
 // event kinds: a camera captures a frame; an in-camera-processed frame
@@ -40,23 +38,65 @@ type event struct {
 	link int32
 }
 
+// eventHeap is a specialized binary min-heap ordered by (t, seq). The
+// sift-up/sift-down moves mirror container/heap's exactly — the seq
+// tie-break makes the order total, so the pop sequence is provably
+// identical (TestHeapsMatchContainerHeap) — but push and pop move event
+// values directly instead of boxing each one through an interface, which
+// cost one heap allocation per scheduled event.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// camera is one simulated device.
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s.less(j2, j) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	ev := s[n]
+	*h = s[:n]
+	return ev
+}
+
+// camera is one simulated device. The random stream is embedded by value:
+// 8 bytes inline rather than a pointer to rand.NewSource's ~5 KB state,
+// so a 100k-camera fleet stays cache-resident.
 type camera struct {
 	class     int
-	rng       *rand.Rand
+	rng       prng
 	inflight  int
 	placement int     // current index into the class's Placements table
 	stored    float64 // harvested joules in the store (harvesting classes)
@@ -77,6 +117,23 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// clampEst converts a float capacity estimate to an int usable as a make
+// cap. A valid scenario can push FPS × Duration × Count past int range —
+// int() of an out-of-range float is unspecified (negative caps panic
+// make) — and no estimate is worth an absurd up-front allocation, so the
+// result is clamped to [0, 2^22]; NaN maps to 0. Estimates only size
+// preallocations, never bound growth, so clamping cannot change results.
+func clampEst(x float64) int {
+	const estCap = 1 << 22
+	if !(x > 0) { // also rejects NaN
+		return 0
+	}
+	if x > estCap {
+		return estCap
+	}
+	return int(x)
 }
 
 // cameraSeed derives a well-separated per-camera seed, so a camera's random
@@ -214,12 +271,31 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 	ctls := newControllers(&sc, rowJ)
 	gctl := newGlobal(&sc, rowJ)
 	res := newResult(sc)
-	var events eventHeap
+
+	// Steady-state storage is sized up front so the event loop never
+	// regrows it. The event heap's population is structurally bounded —
+	// each camera owns at most one pending capture plus one live event per
+	// in-flight offload (≤ QueueDepth) — and the expected frame count
+	// FPS × Duration × Count caps that bound for short runs. Latency
+	// slices get the expected completed-offload count per class.
+	heapCap := 1 + len(sc.Classes)
+	for ci := range sc.Classes {
+		cl := &sc.Classes[ci]
+		frames := cl.FPS * sc.Duration * float64(cl.Count)
+		slots := float64(cl.Count) * float64(1+cl.QueueDepth)
+		if frames+float64(cl.Count) < slots {
+			slots = frames + float64(cl.Count)
+		}
+		heapCap += clampEst(slots)
+		res.Classes[ci].latencies = make([]float64, 0, clampEst(frames*cl.OffloadProb))
+		classCams[ci] = make([]int32, 0, cl.Count)
+	}
+	events := make(eventHeap, 0, heapCap)
 	var seq int64
 	push := func(ev event) {
 		ev.seq = seq
 		seq++
-		heap.Push(&events, ev)
+		events.push(ev)
 	}
 	nextCapture := func(c *camera, now float64) float64 {
 		cl := &sc.Classes[c.class]
@@ -232,15 +308,14 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		cl := &sc.Classes[ci]
 		for k := 0; k < cl.Count; k++ {
 			idx := len(cams)
-			rng := rand.New(rand.NewSource(cameraSeed(sc.Seed, idx)))
-			c := camera{class: ci, rng: rng, stored: cl.StoreJ, placement: cl.Policy.Start}
+			c := camera{class: ci, rng: newPRNG(cameraSeed(sc.Seed, idx)), stored: cl.StoreJ, placement: cl.Policy.Start}
 			// First capture: a random phase inside one period (periodic) or
 			// one exponential gap (Poisson).
 			var first float64
 			if cl.Arrival == ArrivalPoisson {
-				first = rng.ExpFloat64() / cl.FPS
+				first = c.rng.ExpFloat64() / cl.FPS
 			} else {
-				first = rng.Float64() / cl.FPS
+				first = c.rng.Float64() / cl.FPS
 			}
 			cams = append(cams, c)
 			classCams[ci] = append(classCams[ci], int32(idx))
@@ -256,13 +331,31 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		push(event{t: sc.Global.EpochSec, kind: evGlobal})
 	}
 
-	var transfers []transfer
+	// Transfer ids are recycled through a free list the moment a transfer
+	// completes, so the transfers slice scales with the peak in-flight
+	// population instead of growing one slot per frame for the life of the
+	// run. Recycling cannot perturb results: a completed id is referenced
+	// nowhere (not in any link, not in any pending event), and no output
+	// ordering keys off id values.
+	transfers := make([]transfer, 0, sc.Cameras())
+	var freeIDs []int
+	newTransfer := func(tr transfer) int {
+		if n := len(freeIDs) - 1; n >= 0 {
+			id := freeIDs[n]
+			freeIDs = freeIDs[:n]
+			transfers[id] = tr
+			return id
+		}
+		transfers = append(transfers, tr)
+		return len(transfers) - 1
+	}
 	// complete lands transfer id in the cloud at time arrive: only then
 	// does the camera's queue slot free, the latency sample exist, and the
 	// adaptive controller see it — never before the frame has actually
 	// arrived.
 	complete := func(arrive float64, id int) {
 		tr := transfers[id]
+		freeIDs = append(freeIDs, id)
 		c := &cams[tr.cam]
 		c.inflight--
 		st := &res.Classes[c.class]
@@ -369,7 +462,7 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			}
 			continue
 		}
-		ev := heap.Pop(&events).(event)
+		ev := events.pop()
 		switch ev.kind {
 		case evCapture:
 			capture(ev.t, ev.cam)
@@ -378,8 +471,7 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 				push(event{t: nt, kind: evCapture, cam: ev.cam})
 			}
 		case evReady:
-			id := len(transfers)
-			transfers = append(transfers, transfer{cam: ev.cam, capturedAt: ev.capturedAt, bytes: ev.bytes})
+			id := newTransfer(transfer{cam: ev.cam, capturedAt: ev.capturedAt, bytes: ev.bytes})
 			startLink(firstHop[cams[ev.cam].class], ev.t, id, ev.bytes)
 		case evHop:
 			startLink(int(ev.link), ev.t, ev.tr, transfers[ev.tr].bytes)

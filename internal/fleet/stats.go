@@ -196,7 +196,11 @@ func percentile(sorted []float64, q float64) float64 {
 // per-class accumulators, in class order so results are reproducible.
 func (r *Result) finalize() {
 	r.Total = ClassStats{Name: "fleet"}
-	var all []float64
+	n := 0
+	for i := range r.Classes {
+		n += len(r.Classes[i].latencies)
+	}
+	all := make([]float64, 0, n)
 	for i := range r.Classes {
 		s := &r.Classes[i]
 		sort.Float64s(s.latencies)

@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -71,21 +70,24 @@ type fifoUplink struct {
 
 func (u *fifoUplink) Name() string { return ContentionFIFO }
 
+// The ring capacity is always a power of two (4, then doubled), so index
+// wrap-around is a mask rather than an integer modulo on the hot path.
 func (u *fifoUplink) push(it fifoItem) {
 	if u.n == len(u.ring) {
 		grown := make([]fifoItem, max(4, 2*len(u.ring)))
+		mask := len(u.ring) - 1
 		for i := 0; i < u.n; i++ {
-			grown[i] = u.ring[(u.head+i)%len(u.ring)]
+			grown[i] = u.ring[(u.head+i)&mask]
 		}
 		u.ring, u.head = grown, 0
 	}
-	u.ring[(u.head+u.n)%len(u.ring)] = it
+	u.ring[(u.head+u.n)&(len(u.ring)-1)] = it
 	u.n++
 }
 
 func (u *fifoUplink) pop() fifoItem {
 	it := u.ring[u.head]
-	u.head = (u.head + 1) % len(u.ring)
+	u.head = (u.head + 1) & (len(u.ring) - 1)
 	u.n--
 	return it
 }
@@ -127,18 +129,56 @@ type psItem struct {
 	seq     int64   // admission order, for deterministic tie-breaking
 }
 
+// psHeap is a specialized binary min-heap ordered by (vfinish, seq) —
+// the unique admission seq makes the order total, so the pop sequence
+// matches a container/heap reference exactly
+// (TestHeapsMatchContainerHeap) without boxing one psItem per admission.
 type psHeap []psItem
 
-func (h psHeap) Len() int { return len(h) }
-func (h psHeap) Less(i, j int) bool {
+func (h psHeap) less(i, j int) bool {
 	if h[i].vfinish != h[j].vfinish {
 		return h[i].vfinish < h[j].vfinish
 	}
 	return h[i].seq < h[j].seq
 }
-func (h psHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *psHeap) Push(x any)   { *h = append(*h, x.(psItem)) }
-func (h *psHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *psHeap) push(it psItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *psHeap) pop() psItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s.less(j2, j) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
+	return it
+}
 
 // psUplink implements egalitarian processor sharing with virtual time:
 // each of the n in-flight transfers progresses at cap/n, so the virtual
@@ -166,7 +206,7 @@ func (u *psUplink) advance(t float64) {
 
 func (u *psUplink) Start(now float64, id int, bytes float64) {
 	u.advance(now)
-	heap.Push(&u.h, psItem{id: id, bytes: bytes, vfinish: u.vnow + bytes, seq: u.seq})
+	u.h.push(psItem{id: id, bytes: bytes, vfinish: u.vnow + bytes, seq: u.seq})
 	u.seq++
 }
 
@@ -184,7 +224,7 @@ func (u *psUplink) NextFinish() (float64, bool) {
 func (u *psUplink) Finish() int {
 	t, _ := u.NextFinish()
 	u.advance(t)
-	item := heap.Pop(&u.h).(psItem)
+	item := u.h.pop()
 	u.vnow = item.vfinish // pin exactly, absorbing float drift
 	u.served += item.bytes
 	return item.id
