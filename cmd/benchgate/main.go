@@ -21,10 +21,18 @@
 // the legacy single-benchmark form ("benchmark" + "results" at top level)
 // still loads. Baseline entries without alloc fields gate on ns/op alone,
 // so re-recording allocations is opt-in per benchmark.
+//
+// With -update the gate runs in reverse: the bench output's best values
+// are written back into the baseline file (ns/op always; B/op and
+// allocs/op when measured), the "recorded" date is stamped, and every
+// hand-written field — descriptions, scenario shapes, history, notes —
+// is preserved. A new benchmark lands by adding a skeleton entry with an
+// empty "results" object and running -update.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +41,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // baselineFile mirrors the BENCH_topology.json schema (the fields the
@@ -253,6 +262,124 @@ func gate(bench string, baseline baselineBench, measured map[string]measurement,
 	return report, nil
 }
 
+// timeNow stamps the "recorded" field on -update; a variable so tests can
+// pin the date.
+var timeNow = time.Now
+
+// updateBaseline rewrites the measured metrics in the baseline file from a
+// fresh `go test -bench` run: every recorded variant's ns_per_op — plus
+// b_per_op and allocs_per_op when the run reports them — is replaced by
+// the run's best (minimum) value, the top-level "recorded" date is
+// stamped, and every human-facing field (descriptions, scenario shapes,
+// history, notes) is carried through untouched. Variants measured in the
+// run but absent from a recorded benchmark's results are added bare, so a
+// new benchmark lands by writing a skeleton entry and running -update.
+// Recorded variants the run did not measure keep their old numbers, with
+// a warning — refreshing a subset is legitimate (a narrower -bench regex),
+// silently aging the rest is not.
+func updateBaseline(benchPath, baselinePath string, out io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	// The generic document keeps every field the gate's typed view ignores;
+	// json.Number keeps the untouched metrics byte-exact.
+	var doc map[string]any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("benchgate: %s: %w", baselinePath, err)
+	}
+	var baseline baselineFile
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("benchgate: %s: %w", baselinePath, err)
+	}
+	benches := baseline.benches()
+	if len(benches) == 0 {
+		return fmt.Errorf("benchgate: %s carries no baseline results", baselinePath)
+	}
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	f, err := os.Open(benchPath)
+	if err != nil {
+		return err
+	}
+	measured, err := parseBench(f, names)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	// results locates one benchmark's results object inside the generic
+	// document, for both the multi-benchmark and legacy layouts.
+	results := func(bench string) map[string]any {
+		if all, ok := doc["benchmarks"].(map[string]any); ok {
+			if entry, ok := all[bench].(map[string]any); ok {
+				res, ok := entry["results"].(map[string]any)
+				if !ok {
+					res = map[string]any{}
+					entry["results"] = res
+				}
+				return res
+			}
+			return nil
+		}
+		if res, ok := doc["results"].(map[string]any); ok {
+			return res
+		}
+		return nil
+	}
+	num := func(v float64) json.Number {
+		return json.Number(strconv.FormatFloat(v, 'f', -1, 64))
+	}
+	for _, bench := range names {
+		res := results(bench)
+		if res == nil {
+			return fmt.Errorf("benchgate: %s: cannot locate results for %s", baselinePath, bench)
+		}
+		variants := make([]string, 0, len(measured[bench]))
+		for v := range measured[bench] {
+			variants = append(variants, v)
+		}
+		sort.Strings(variants)
+		for _, variant := range variants {
+			got := measured[bench][variant]
+			entry, ok := res[variant].(map[string]any)
+			if !ok {
+				entry = map[string]any{}
+				res[variant] = entry
+			}
+			entry["ns_per_op"] = num(got.nsPerOp)
+			if got.hasAllocs {
+				entry["b_per_op"] = num(got.bPerOp)
+				entry["allocs_per_op"] = num(got.allocsPerOp)
+			}
+			label := bench
+			if variant != "" {
+				label += "/" + variant
+			}
+			fmt.Fprintf(out, "benchgate: updated %-34s %12.0f ns/op\n", label, got.nsPerOp)
+		}
+		for variant := range benches[bench].Results {
+			if _, ok := measured[bench][variant]; !ok {
+				fmt.Fprintf(out, "benchgate: warning: %s/%s not in %s, keeping old numbers\n",
+					bench, variant, benchPath)
+			}
+		}
+	}
+	if _, ok := doc["recorded"]; ok {
+		doc["recorded"] = timeNow().Format("2006-01-02")
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(baselinePath, append(buf, '\n'), 0o644)
+}
+
 func run(benchPath, baselinePath string, maxRegress float64, out io.Writer) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -301,7 +428,15 @@ func main() {
 	bench := flag.String("bench", "bench.out", "go test -bench output to check")
 	baseline := flag.String("baseline", "BENCH_topology.json", "recorded baseline JSON")
 	maxRegress := flag.Float64("max-regress", 0.30, "allowed regression fraction over baseline (ns/op, and allocs/op + B/op where recorded)")
+	doUpdate := flag.Bool("update", false, "rewrite the baseline's measured metrics from the bench output instead of gating")
 	flag.Parse()
+	if *doUpdate {
+		if err := updateBaseline(*bench, *baseline, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*bench, *baseline, *maxRegress, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sampleBench = `goos: linux
@@ -183,6 +188,157 @@ func TestGateFailsOnMissingVariant(t *testing.T) {
 	measured := map[string]measurement{"indexed": {nsPerOp: 1, allocsPerOp: 1, hasAllocs: true}}
 	if _, err := gate("BenchmarkDeepTopology", base, measured, 0.30); err == nil {
 		t.Fatal("missing scan variant passed the gate")
+	}
+}
+
+// writeUpdateFixture lays out a baseline and bench output in a temp dir
+// and pins the recorded date, returning the two paths.
+func writeUpdateFixture(t *testing.T, baseline, bench string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	benchPath := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(basePath, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchPath, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := timeNow
+	timeNow = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	t.Cleanup(func() { timeNow = old })
+	return benchPath, basePath
+}
+
+func TestUpdateRewritesMetricsAndKeepsProse(t *testing.T) {
+	const baseline = `{
+	  "package": "camsim/internal/fleet",
+	  "recorded": "2026-07-29",
+	  "benchmarks": {
+	    "BenchmarkDeepTopology": {
+	      "scenario": {"cameras": 10000},
+	      "results": {
+	        "indexed": {"description": "production path", "ns_per_op": 1, "b_per_op": 2, "allocs_per_op": 3},
+	        "scan": {"description": "baseline path", "ns_per_op": 4, "b_per_op": 5, "allocs_per_op": 6}
+	      }
+	    }
+	  },
+	  "notes": "hand-written context"
+	}`
+	benchPath, basePath := writeUpdateFixture(t, baseline, sampleBench)
+	var out strings.Builder
+	if err := updateBaseline(benchPath, basePath, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("rewritten baseline is not valid JSON: %v", err)
+	}
+	if doc["recorded"] != "2026-08-08" {
+		t.Fatalf("recorded = %v", doc["recorded"])
+	}
+	if doc["notes"] != "hand-written context" || doc["package"] != "camsim/internal/fleet" {
+		t.Fatal("human-facing fields not preserved")
+	}
+	var typed baselineFile
+	if err := json.Unmarshal(raw, &typed); err != nil {
+		t.Fatal(err)
+	}
+	idx := typed.Benchmarks["BenchmarkDeepTopology"].Results["indexed"]
+	if idx.NsPerOp != 104232684 || idx.BPerOp != 5801064 || *idx.AllocsPerOp != 384 {
+		t.Fatalf("indexed metrics not refreshed to the run's best: %+v", idx)
+	}
+	entry := doc["benchmarks"].(map[string]any)["BenchmarkDeepTopology"].(map[string]any)
+	if entry["scenario"].(map[string]any)["cameras"].(float64) != 10000 {
+		t.Fatal("scenario context dropped")
+	}
+	res := entry["results"].(map[string]any)["indexed"].(map[string]any)
+	if res["description"] != "production path" {
+		t.Fatal("variant description dropped")
+	}
+	if !strings.Contains(out.String(), "BenchmarkDeepTopology/indexed") {
+		t.Fatalf("update not reported: %s", out.String())
+	}
+	// The rewritten file must still pass its own gate against the same run.
+	var gateOut strings.Builder
+	if err := run(benchPath, basePath, 0.0, &gateOut); err != nil {
+		t.Fatalf("freshly updated baseline fails its own gate: %v\n%s", err, gateOut.String())
+	}
+}
+
+func TestUpdateFillsSkeletonBenchmark(t *testing.T) {
+	// A new benchmark lands by writing a results-free skeleton and letting
+	// -update fill the numbers from the run.
+	const baseline = `{
+	  "recorded": "2026-07-29",
+	  "benchmarks": {
+	    "BenchmarkHugeFleet": {
+	      "scenario": {"cameras": 100000},
+	      "results": {}
+	    }
+	  }
+	}`
+	benchPath, basePath := writeUpdateFixture(t, baseline, sampleBench)
+	if err := updateBaseline(benchPath, basePath, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(basePath)
+	var typed baselineFile
+	if err := json.Unmarshal(raw, &typed); err != nil {
+		t.Fatal(err)
+	}
+	huge := typed.Benchmarks["BenchmarkHugeFleet"].Results[""]
+	if huge.NsPerOp != 474008193 || *huge.AllocsPerOp != 483 {
+		t.Fatalf("skeleton not filled: %+v", huge)
+	}
+}
+
+func TestUpdateKeepsUnmeasuredVariants(t *testing.T) {
+	const baseline = `{
+	  "benchmarks": {
+	    "BenchmarkDeepTopology": {
+	      "results": {"indexed": {"ns_per_op": 7}, "ghost": {"ns_per_op": 42}}
+	    }
+	  }
+	}`
+	benchPath, basePath := writeUpdateFixture(t, baseline, sampleBench)
+	var out strings.Builder
+	if err := updateBaseline(benchPath, basePath, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(basePath)
+	var typed baselineFile
+	if err := json.Unmarshal(raw, &typed); err != nil {
+		t.Fatal(err)
+	}
+	if got := typed.Benchmarks["BenchmarkDeepTopology"].Results["ghost"].NsPerOp; got != 42 {
+		t.Fatalf("unmeasured variant rewritten to %v", got)
+	}
+	if !strings.Contains(out.String(), "ghost") || !strings.Contains(out.String(), "keeping old numbers") {
+		t.Fatalf("missing-variant warning not printed: %s", out.String())
+	}
+}
+
+func TestUpdateHandlesLegacyLayout(t *testing.T) {
+	const baseline = `{
+	  "benchmark": "BenchmarkHugeFleet",
+	  "results": {"": {"ns_per_op": 1, "b_per_op": 1, "allocs_per_op": 1}}
+	}`
+	benchPath, basePath := writeUpdateFixture(t, baseline, sampleBench)
+	if err := updateBaseline(benchPath, basePath, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(basePath)
+	var typed baselineFile
+	if err := json.Unmarshal(raw, &typed); err != nil {
+		t.Fatal(err)
+	}
+	if typed.Results[""].NsPerOp != 474008193 {
+		t.Fatalf("legacy layout not updated: %+v", typed.Results)
 	}
 }
 

@@ -39,7 +39,11 @@
 // where per-link forwarding costs make raw offload expensive, compared
 // across no energy policy, the per-class energy-latency policy, and the
 // global controller that sheds watts only down to a fleet-wide power
-// budget. Both `fleet` and `topo` also accept `-scenario file.json` to
+// budget. `camsim topo -fl` makes the tier tree bidirectional: the fleet
+// trains a model with round-structured federated learning, update blobs
+// aggregated in-network on the way up and the merged model broadcast
+// back down per-tier downlinks. Both `fleet` and `topo` also accept
+// `-scenario file.json` to
 // run a JSON scenario from disk (strictly decoded — unknown fields are
 // rejected).
 package main

@@ -10,7 +10,9 @@ import (
 // runScenarioFile loads one JSON fleet.Scenario from disk, runs it, and
 // prints its stat table — the file-driven face of `camsim fleet` and
 // `camsim topo` (-scenario). Decoding is strict: unknown fields are
-// rejected rather than silently ignored, so a typoed knob fails loudly.
+// rejected rather than silently ignored, so a typoed knob fails loudly —
+// and every parse, validation or run error names the file, so a sweep
+// over many scenario files points at the one that broke.
 func runScenarioFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -22,7 +24,7 @@ func runScenarioFile(path string) error {
 	}
 	res, err := fleet.Run(sc)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	fmt.Printf("scenario file %s: %d cameras across %d tiers, seed %d\n\n",
 		path, sc.Cameras(), len(res.Tiers), sc.Seed)

@@ -12,8 +12,13 @@ import (
 )
 
 // exampleScenario is the checked-in JSON the energy-placement example (and
-// this test) drive through the -scenario loader.
-const exampleScenario = "../../examples/energy-placement/scenario.json"
+// this test) drive through the -scenario loader; federatedScenario is the
+// federated-fleet example's, exercising downlinks and the federated
+// section through the same codec.
+const (
+	exampleScenario   = "../../examples/energy-placement/scenario.json"
+	federatedScenario = "../../examples/federated-fleet/scenario.json"
+)
 
 // TestScenarioFileRoundTrip pins the file-driven scenario surface: the
 // examples/ JSON must parse, survive a marshal → re-parse round trip
@@ -31,6 +36,45 @@ func TestScenarioFileRoundTrip(t *testing.T) {
 	}
 	if sc.Global == nil || len(sc.Tiers) == 0 {
 		t.Fatalf("example scenario lost its energy sections: %+v", sc)
+	}
+	out, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := fleet.ParseScenario(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\njson: %s", err, out)
+	}
+	if !reflect.DeepEqual(sc, again) {
+		t.Fatalf("round trip changed the scenario:\n%+v\nvs\n%+v", sc, again)
+	}
+	r1, err := fleet.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fleet.Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() {
+		t.Fatalf("round-tripped scenario runs differently:\n%s\nvs\n%s", r1.Table(), r2.Table())
+	}
+}
+
+// TestFederatedScenarioFileRoundTrip gives the federated example the same
+// codec guarantee: tier downlinks and the federated section must survive
+// a marshal → re-parse round trip and replay to the identical table.
+func TestFederatedScenarioFileRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(federatedScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fleet.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Federated == nil || sc.Tiers[0].Downlink == nil {
+		t.Fatalf("example scenario lost its federated sections: %+v", sc)
 	}
 	out, err := json.Marshal(sc)
 	if err != nil {
@@ -82,5 +126,35 @@ func TestScenarioFileRejectsUnknownFields(t *testing.T) {
 	err := runScenarioFile(bad)
 	if err == nil || !strings.Contains(err.Error(), "budget_watts") {
 		t.Fatalf("unknown field not rejected: %v", err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("parse error does not name the file: %v", err)
+	}
+}
+
+// TestScenarioFileErrorsNameTheFile pins the error surface a sweep over
+// many scenario files depends on: whichever stage fails — decoding or
+// validation — the message carries the offending file's path.
+func TestScenarioFileErrorsNameTheFile(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"syntax", `{"name": "broken"`},
+		{"validation", `{
+		  "name": "fl-flat", "duration_sec": 1,
+		  "uplink": {"gbps": 1},
+		  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+		  "federated": {"rounds": 1, "update_bytes": 100}
+		}`},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(t.TempDir(), tc.name+".json")
+		if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := runScenarioFile(path)
+		if err == nil || !strings.Contains(err.Error(), path) {
+			t.Errorf("%s error does not name the file: %v", tc.name, err)
+		}
 	}
 }

@@ -97,3 +97,25 @@ func BenchmarkHugeFleet(b *testing.B) {
 	}
 	b.ReportMetric(float64(frames)/float64(b.N), "frames/run")
 }
+
+// BenchmarkFederatedRound measures the bidirectional path: one full run of
+// the federated demo fleet per iteration — 48 cameras pushing per-round
+// update blobs up through two gateways while the merged model broadcasts
+// back down the tier downlinks, interleaved with the ordinary frame
+// traffic. The FL engine is pure accounting, so the cost to watch is the
+// extra link events; the alloc counters catch any per-round bookkeeping
+// leaking into the hot loop. Baselines live in BENCH_topology.json and
+// are gated by cmd/benchgate in CI.
+func BenchmarkFederatedRound(b *testing.B) {
+	sc := FederatedDemoScenario(1)
+	b.ReportAllocs()
+	var rounds int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += int64(len(res.Federated.PerRound))
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/run")
+}

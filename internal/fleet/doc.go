@@ -89,6 +89,62 @@
 // Result.TierNamed finds a tier by name. DeepTopologyScenario builds the
 // gateway→metro→core demo chain behind `camsim topo -depth`.
 //
+// # Downlink
+//
+// A tier may declare a "downlink" — the parent→tier link (cloud→root at
+// the root), making the tree bidirectional:
+//
+//	{"name": "gw-a", "parent": "core",
+//	 "uplink":   {"gbps": 2, "contention": "fair-share"},
+//	 "downlink": {"gbps": 1, "contention": "fair-share", "propagation_sec": 0.0002},
+//	 "propagation_sec": 0.0002}
+//
+// A downlink has its own capacity, contention discipline ("fair-share"
+// defaulted, or "fifo") and one-way "propagation_sec"; it is a Link like
+// any uplink, just pointed the other way. Downlinks are optional and
+// independent: declaring one changes nothing upstream — frame traffic
+// never rides them, link indices and tie-breaks of the existing uplinks
+// are preserved, and a scenario without downlinks is byte-identical to
+// what it produced before they existed. Traffic appears on a downlink
+// only when something routes root→leaf — today, the federated model
+// broadcast below. Per-tier downlink stats come back in TierStats
+// (DownGbps, DownServedBytes, DownTransfers, DownlinkUtilization, and
+// the propagation total DownPropDelayTotal).
+//
+// # Federated rounds
+//
+// A scenario-level "federated" section runs round-structured federated
+// learning over the tier tree (package internal/fleet/fl owns the round
+// accounting):
+//
+//	"federated": {
+//	  "rounds": 4, "classes": ["fl-gw-a", "fl-gw-b"],
+//	  "compute_sec": 0.6, "jitter_sec": 0.4,
+//	  "model": {"layers": [400, 8, 1], "bytes_per_weight": 4, "compress": 0.5}
+//	}
+//
+// Each round, every participating camera (all classes when "classes" is
+// empty) spends compute_sec plus a seeded jitter draw of local training,
+// then pushes an update blob up its attach tier's uplink, contending
+// with the fleet's frame traffic. Updates are sized from the trained
+// network's parameter count — nn.WeightCount(layers) × bytes_per_weight
+// × compress — or fixed directly with "update_bytes". Blobs aggregate
+// in-network where they land: a tier holding its full per-round fan-in
+// emits one merged blob of the same size on its own uplink, so the WAN
+// carries one blob per round no matter how many cameras train below.
+// When the cloud's fan-in completes, the merged model ("model_bytes",
+// defaulting to the uncompressed model) broadcasts back down the
+// downlinks of the span — every tier with participants at or below it,
+// which must all declare one — and delivery at a camera's attach tier
+// starts its next round. Rounds run to completion past the capture
+// duration, so every configured round reports telemetry: Result.Federated
+// carries up/down/naive byte totals and per-round start, aggregation,
+// end, latency and straggler p95. The FL streams are seeded independently
+// of the frame-traffic streams, so adding a federated job never perturbs
+// the fleet's frame arithmetic. FederatedDemoScenario builds the
+// two-gateway demo behind `camsim topo -fl` and BenchmarkFederatedRound;
+// examples/federated-fleet sweeps its compression knob.
+//
 // # Placement policies
 //
 // A class may carry a runtime cost table ("placements", ordered from

@@ -1,0 +1,180 @@
+// Package fl is the round-structured federated-learning engine of the
+// fleet simulator: the first bidirectional workload, riding the tier
+// tree's uplinks with per-camera model updates and its downlinks with the
+// aggregated model broadcast.
+//
+// A round has four phases. (1) Every participating camera spends
+// ComputeSec (plus a seeded per-camera jitter) of local training, then
+// pushes an update blob on its attach tier's uplink, contending with the
+// fleet's frame traffic. (2) The blob is absorbed one hop up, where the
+// receiving tier performs in-network aggregation: once a tier has every
+// blob it expects for the round — one per camera attached to each child
+// tier, plus one merged blob per child that aggregated below — it emits a
+// single merged blob of the same size on its own uplink, so bytes shrink
+// at every hop toward the cloud. (3) The cloud, having absorbed the
+// root's fan-in, aggregates the global model. (4) The model broadcasts
+// back down the tree — one copy per downlink on the span of tiers with
+// participants below them — and its delivery at a camera's attach tier
+// starts that camera's next round.
+//
+// Update payloads are sized from the model the fleet trains: a layer
+// vector in Config.Model prices the blob at nn.WeightCount(layers) ×
+// bytes_per_weight × compress, the paper's network substrate reused as a
+// traffic model. The engine itself is pure accounting — it owns no
+// links and schedules no events; the fleet simulator drives it with
+// Arrive/Delivered calls and obeys the emissions they request.
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"camsim/internal/nn"
+)
+
+// Config is the "federated" section of a fleet scenario: one training
+// job over the fleet's tier tree.
+type Config struct {
+	// Rounds is the number of federated rounds to run. Rounds run to
+	// completion even past the scenario's capture duration, so every
+	// configured round produces telemetry.
+	Rounds int `json:"rounds"`
+	// Classes names the participating camera classes; empty means every
+	// class participates.
+	Classes []string `json:"classes,omitempty"`
+	// ComputeSec is the local-training time per round; each camera's
+	// update becomes ready ComputeSec plus a per-camera jitter draw after
+	// it receives the round's model.
+	ComputeSec float64 `json:"compute_sec,omitempty"`
+	// JitterSec scales a uniform per-camera jitter in [0, JitterSec)
+	// added to every round's compute time — the straggler knob.
+	JitterSec float64 `json:"jitter_sec,omitempty"`
+	// UpdateBytes fixes the per-camera update blob size directly;
+	// 0 derives it from Model.
+	UpdateBytes int64 `json:"update_bytes,omitempty"`
+	// ModelBytes fixes the broadcast model size; 0 derives it from Model
+	// when present (uncompressed), else it equals the update size.
+	ModelBytes int64 `json:"model_bytes,omitempty"`
+	// Model sizes the payloads from the trained network's parameter
+	// count. Required when UpdateBytes is 0.
+	Model *ModelConfig `json:"model,omitempty"`
+}
+
+// ModelConfig sizes federated payloads from a fully-connected network's
+// layer vector, the way internal/nn counts parameters.
+type ModelConfig struct {
+	// Layers is the network's layer-size vector, e.g. [400, 8, 1] for the
+	// paper's face-authentication MLP (3217 weights with biases).
+	Layers []int `json:"layers"`
+	// BytesPerWeight is the encoding width; 0 is normalized to 4
+	// (float32 updates).
+	BytesPerWeight float64 `json:"bytes_per_weight,omitempty"`
+	// Compress shrinks the update blob (sparsification, quantization);
+	// in (0, 1], 0 is normalized to 1. The broadcast model is not
+	// compressed.
+	Compress float64 `json:"compress,omitempty"`
+}
+
+// Clone returns a deep copy, so a simulation run can normalize its own
+// copy without writing defaults into the caller's scenario.
+func (c *Config) Clone() *Config {
+	if c == nil {
+		return nil
+	}
+	d := *c
+	d.Classes = append([]string(nil), c.Classes...)
+	if c.Model != nil {
+		m := *c.Model
+		m.Layers = append([]int(nil), c.Model.Layers...)
+		d.Model = &m
+	}
+	return &d
+}
+
+// Normalize fills defaulted fields in place. It is idempotent.
+func (c *Config) Normalize() {
+	if c.Model != nil {
+		if c.Model.BytesPerWeight == 0 {
+			c.Model.BytesPerWeight = 4
+		}
+		if c.Model.Compress == 0 {
+			c.Model.Compress = 1
+		}
+	}
+}
+
+// maxPayloadBytes bounds a derived payload so a huge layer vector cannot
+// overflow the byte arithmetic; a terabyte-class blob is a configuration
+// error long before it is a simulation. maxRounds bounds the per-round
+// bookkeeping the engine allocates up front.
+const (
+	maxPayloadBytes = 1 << 40
+	maxRounds       = 4096
+)
+
+// Validate rejects configurations the engine cannot run. The caller
+// normalizes first.
+func (c *Config) Validate() error {
+	if c.Rounds <= 0 || c.Rounds > maxRounds {
+		return fmt.Errorf("fl: rounds %d outside [1, %d]", c.Rounds, maxRounds)
+	}
+	if !(c.ComputeSec >= 0) || math.IsInf(c.ComputeSec, 0) {
+		return fmt.Errorf("fl: compute_sec %v must be finite and non-negative", c.ComputeSec)
+	}
+	if !(c.JitterSec >= 0) || math.IsInf(c.JitterSec, 0) {
+		return fmt.Errorf("fl: jitter_sec %v must be finite and non-negative", c.JitterSec)
+	}
+	if c.UpdateBytes < 0 || c.ModelBytes < 0 {
+		return fmt.Errorf("fl: negative payload bytes")
+	}
+	if c.UpdateBytes == 0 && c.Model == nil {
+		return fmt.Errorf("fl: need update_bytes or a model section to size updates")
+	}
+	if m := c.Model; m != nil {
+		if len(m.Layers) < 2 {
+			return fmt.Errorf("fl: model needs at least input and output layers, got %v", m.Layers)
+		}
+		for _, s := range m.Layers {
+			if s <= 0 || s > 1<<20 {
+				return fmt.Errorf("fl: model layer size %d outside [1, 2^20]", s)
+			}
+		}
+		if !(m.BytesPerWeight > 0) || math.IsInf(m.BytesPerWeight, 0) {
+			return fmt.Errorf("fl: bytes_per_weight %v must be positive and finite", m.BytesPerWeight)
+		}
+		if !(m.Compress > 0) || m.Compress > 1 {
+			return fmt.Errorf("fl: compress %v outside (0, 1]", m.Compress)
+		}
+		if float64(nn.WeightCount(m.Layers...))*m.BytesPerWeight > maxPayloadBytes {
+			return fmt.Errorf("fl: model payload exceeds %d bytes", int64(maxPayloadBytes))
+		}
+	}
+	return nil
+}
+
+// ResolvedUpdateBytes returns the per-camera update blob size: the
+// explicit UpdateBytes, else ceil(weights × bytes_per_weight × compress)
+// from the model section, never below one byte.
+func (c *Config) ResolvedUpdateBytes() int64 {
+	if c.UpdateBytes > 0 {
+		return c.UpdateBytes
+	}
+	b := int64(math.Ceil(float64(nn.WeightCount(c.Model.Layers...)) * c.Model.BytesPerWeight * c.Model.Compress))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// ResolvedModelBytes returns the broadcast model size: the explicit
+// ModelBytes, else the uncompressed model from the model section, else
+// the update size.
+func (c *Config) ResolvedModelBytes() int64 {
+	if c.ModelBytes > 0 {
+		return c.ModelBytes
+	}
+	if c.Model != nil {
+		return int64(math.Ceil(float64(nn.WeightCount(c.Model.Layers...)) * c.Model.BytesPerWeight))
+	}
+	return c.ResolvedUpdateBytes()
+}

@@ -1,0 +1,238 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is the engine's view of the resolved tier tree: enough to
+// place aggregation and route the broadcast, nothing about links or
+// capacities (the simulator owns those).
+type Topology struct {
+	// Names holds the tier names, for error messages and stats.
+	Names []string
+	// Parent holds each tier's parent index; -1 at the root.
+	Parent []int
+	// Root is the root tier's index.
+	Root int
+	// Cams counts the participating cameras attached to each tier.
+	Cams []int
+	// HasDown marks tiers with a declared downlink (parent→tier; the
+	// root's downlink is the cloud→root hop).
+	HasDown []bool
+}
+
+// Engine runs the round bookkeeping of one federated job. It is pure
+// accounting over the simulator's clock: the simulator reports every
+// blob landing (Arrive) and every broadcast delivery (Delivered), and
+// acts on the emissions those calls request. One engine serves one run.
+type Engine struct {
+	cfg    Config
+	topo   Topology
+	update float64 // resolved update blob size, bytes
+	model  float64 // resolved broadcast model size, bytes
+
+	depth    []int   // hops below the root, per tier
+	span     []bool  // tier is on the broadcast span
+	spanKids [][]int // span children, per tier, in index order
+	expect   []int   // upstream blobs a tier absorbs per round
+	expCloud int     // blobs the cloud absorbs per round
+	nAttach  int     // tiers with participants
+	nCams    int
+
+	// Per-round state, indexed round-1. Rounds overlap by at most one
+	// broadcast in flight against the next round's uploads, but counters
+	// are kept per round rather than leaning on that.
+	got      [][]int // got[ti][r-1]: upstream blobs absorbed at tier ti
+	cloudGot []int
+	deliv    []int       // attach-tier deliveries per round
+	absorb   [][]float64 // camera-blob landing times per round
+	rounds   []Round
+
+	upBytes, downBytes float64
+	doneAt             float64 // last attach delivery of the final round
+}
+
+// NewEngine validates the job against the topology and prepares the
+// round bookkeeping. Every tier on the broadcast span — a participating
+// tier or any ancestor of one, the root included — must declare a
+// downlink, or the model has no path back down.
+func NewEngine(cfg Config, topo Topology) (*Engine, error) {
+	n := len(topo.Names)
+	if n == 0 || topo.Root < 0 || topo.Root >= n {
+		return nil, fmt.Errorf("fl: empty or rootless topology")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		topo:   topo,
+		update: float64(cfg.ResolvedUpdateBytes()),
+		model:  float64(cfg.ResolvedModelBytes()),
+		depth:  make([]int, n),
+		span:   make([]bool, n),
+		expect: make([]int, n),
+	}
+	for ti := 0; ti < n; ti++ {
+		for at := ti; topo.Parent[at] >= 0; at = topo.Parent[at] {
+			e.depth[ti]++
+		}
+		e.nCams += topo.Cams[ti]
+		if topo.Cams[ti] > 0 {
+			e.nAttach++
+			for at := ti; at >= 0; at = topo.Parent[at] {
+				e.span[at] = true
+			}
+		}
+	}
+	if e.nCams == 0 {
+		return nil, fmt.Errorf("fl: no participating cameras")
+	}
+	// Fan-in expectations, children before parents (deeper first): a
+	// tier absorbs one blob per camera attached to each child, plus one
+	// merged blob per child that aggregates below.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return e.depth[order[i]] > e.depth[order[j]] })
+	for _, ti := range order {
+		in := topo.Cams[ti]
+		if e.expect[ti] > 0 {
+			in++
+		}
+		if in == 0 {
+			continue
+		}
+		if p := topo.Parent[ti]; p >= 0 {
+			e.expect[p] += in
+		} else {
+			e.expCloud = in
+		}
+	}
+	e.spanKids = make([][]int, n)
+	for ti := 0; ti < n; ti++ {
+		if !e.span[ti] {
+			continue
+		}
+		if !topo.HasDown[ti] {
+			return nil, fmt.Errorf("fl: tier %q is on the broadcast span but has no downlink", topo.Names[ti])
+		}
+		if p := topo.Parent[ti]; p >= 0 {
+			e.spanKids[p] = append(e.spanKids[p], ti)
+		}
+	}
+	e.got = make([][]int, n)
+	for ti := range e.got {
+		if e.expect[ti] > 0 {
+			e.got[ti] = make([]int, cfg.Rounds)
+		}
+	}
+	e.cloudGot = make([]int, cfg.Rounds)
+	e.deliv = make([]int, cfg.Rounds)
+	e.absorb = make([][]float64, cfg.Rounds)
+	e.rounds = make([]Round, cfg.Rounds)
+	return e, nil
+}
+
+// UpdateBytes returns the per-camera update blob size in bytes.
+func (e *Engine) UpdateBytes() float64 { return e.update }
+
+// ModelBytes returns the broadcast model size in bytes.
+func (e *Engine) ModelBytes() float64 { return e.model }
+
+// Rounds returns the configured round count.
+func (e *Engine) Rounds() int { return e.cfg.Rounds }
+
+// Cameras returns the participating camera count.
+func (e *Engine) Cameras() int { return e.nCams }
+
+// SpanChildren returns the tier's children on the broadcast span: the
+// downlinks a delivered model forwards onto.
+func (e *Engine) SpanChildren(ti int) []int { return e.spanKids[ti] }
+
+// CamsAt returns the participating cameras attached at the tier.
+func (e *Engine) CamsAt(ti int) int { return e.topo.Cams[ti] }
+
+// Arrive registers one upstream blob of round r landing at tier ti (the
+// cloud when ti is -1) at time t; fromCamera distinguishes a camera's
+// own update from a child tier's merged blob. It returns true when the
+// landing completes the round's fan-in there — the tier must then emit
+// one merged blob on its own uplink (or, at the cloud, the aggregation
+// is done and the broadcast must start down the root's downlink).
+func (e *Engine) Arrive(ti, r int, t float64, fromCamera bool) bool {
+	rd := &e.rounds[r-1]
+	rd.UpBytes += e.update
+	e.upBytes += e.update
+	if fromCamera {
+		e.absorb[r-1] = append(e.absorb[r-1], t)
+	}
+	if ti < 0 {
+		e.cloudGot[r-1]++
+		if e.cloudGot[r-1] == e.expCloud {
+			rd.AggDone = t
+			return true
+		}
+		return false
+	}
+	e.got[ti][r-1]++
+	return e.got[ti][r-1] == e.expect[ti]
+}
+
+// Delivered registers the round-r model's delivery at span tier ti at
+// time t — the moment the tier's attached cameras (if any) hold the new
+// model and start the next round's local compute. The last attach-tier
+// delivery ends the round and starts the next one's clock.
+func (e *Engine) Delivered(ti, r int, t float64) {
+	rd := &e.rounds[r-1]
+	rd.DownBytes += e.model
+	e.downBytes += e.model
+	if e.topo.Cams[ti] == 0 {
+		return
+	}
+	e.deliv[r-1]++
+	if e.deliv[r-1] == e.nAttach {
+		rd.End = t
+		if r < e.cfg.Rounds {
+			e.rounds[r].Start = t
+		} else {
+			e.doneAt = t
+		}
+	}
+}
+
+// Stats finalizes and returns the job's telemetry. Call it once, after
+// the simulation drains.
+func (e *Engine) Stats() *Stats {
+	s := &Stats{
+		Rounds:      e.cfg.Rounds,
+		Cameras:     e.nCams,
+		UpdateBytes: int64(e.update),
+		ModelBytes:  int64(e.model),
+		UpBytes:     e.upBytes,
+		DownBytes:   e.downBytes,
+		DoneAt:      e.doneAt,
+		PerRound:    e.rounds,
+	}
+	// Without in-network aggregation every camera blob would ride each
+	// uplink from its attach tier through the root, every round.
+	for ti, cams := range e.topo.Cams {
+		s.NaiveUpBytes += float64(cams) * float64(e.depth[ti]+1) * e.update * float64(e.cfg.Rounds)
+	}
+	s.AggSavedBytes = s.NaiveUpBytes - s.UpBytes
+	lats := make([]float64, 0, len(s.PerRound))
+	for r := range s.PerRound {
+		rd := &s.PerRound[r]
+		rd.Latency = rd.End - rd.Start
+		lats = append(lats, rd.Latency)
+		ab := e.absorb[r]
+		sort.Float64s(ab)
+		if len(ab) > 0 {
+			rd.StragglerP95 = ab[int(0.95*float64(len(ab)-1))] - rd.Start
+		}
+	}
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		s.RoundP50 = lats[int(0.50*float64(len(lats)-1))]
+		s.RoundP95 = lats[int(0.95*float64(len(lats)-1))]
+	}
+	return s
+}

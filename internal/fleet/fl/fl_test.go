@@ -1,0 +1,216 @@
+package fl
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"camsim/internal/nn"
+)
+
+// chain builds gw → core with the given camera placement; every tier has
+// a downlink so span validation never trips unless a test removes one.
+func chain(camsGw, camsCore int) Topology {
+	return Topology{
+		Names:   []string{"gw", "core"},
+		Parent:  []int{1, -1},
+		Root:    1,
+		Cams:    []int{camsGw, camsCore},
+		HasDown: []bool{true, true},
+	}
+}
+
+func TestPayloadResolution(t *testing.T) {
+	weights := nn.WeightCount(400, 8, 1)
+	cases := []struct {
+		name        string
+		cfg         Config
+		update, mdl int64
+	}{
+		{"explicit", Config{Rounds: 1, UpdateBytes: 100, ModelBytes: 400}, 100, 400},
+		{"explicit update only", Config{Rounds: 1, UpdateBytes: 100}, 100, 100},
+		{"model derived", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{400, 8, 1}}},
+			int64(weights) * 4, int64(weights) * 4},
+		{"compressed", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{400, 8, 1}, Compress: 0.5}},
+			int64(math.Ceil(float64(weights) * 4 * 0.5)), int64(weights) * 4},
+		{"explicit beats model", Config{Rounds: 1, UpdateBytes: 7, Model: &ModelConfig{Layers: []int{4, 2}}},
+			7, int64(nn.WeightCount(4, 2)) * 4},
+		{"tiny compress floors at one byte", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{1, 1}, BytesPerWeight: 0.001, Compress: 0.001}},
+			1, 1},
+	}
+	for _, tc := range cases {
+		tc.cfg.Normalize()
+		if err := tc.cfg.Validate(); err != nil {
+			t.Errorf("%s: validate: %v", tc.name, err)
+			continue
+		}
+		if got := tc.cfg.ResolvedUpdateBytes(); got != tc.update {
+			t.Errorf("%s: update = %d, want %d", tc.name, got, tc.update)
+		}
+		if got := tc.cfg.ResolvedModelBytes(); got != tc.mdl {
+			t.Errorf("%s: model = %d, want %d", tc.name, got, tc.mdl)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"zero rounds", Config{UpdateBytes: 1}, "rounds"},
+		{"too many rounds", Config{Rounds: maxRounds + 1, UpdateBytes: 1}, "rounds"},
+		{"nan compute", Config{Rounds: 1, UpdateBytes: 1, ComputeSec: math.NaN()}, "compute_sec"},
+		{"negative jitter", Config{Rounds: 1, UpdateBytes: 1, JitterSec: -1}, "jitter_sec"},
+		{"negative bytes", Config{Rounds: 1, UpdateBytes: -5}, "negative payload"},
+		{"no sizing", Config{Rounds: 1}, "update_bytes or a model"},
+		{"short layers", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{9}, BytesPerWeight: 4, Compress: 1}}, "layers"},
+		{"huge layer", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{1, 1 << 21}, BytesPerWeight: 4, Compress: 1}}, "layer size"},
+		{"zero bytes per weight", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{2, 2}, BytesPerWeight: -1, Compress: 1}}, "bytes_per_weight"},
+		{"compress above one", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{2, 2}, BytesPerWeight: 4, Compress: 2}}, "compress"},
+		{"payload overflow", Config{Rounds: 1, Model: &ModelConfig{Layers: []int{1 << 20, 1 << 20, 2}, BytesPerWeight: 8, Compress: 1}}, "exceeds"},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCloneAndNormalizeIdempotent(t *testing.T) {
+	orig := Config{
+		Rounds:  3,
+		Classes: []string{"a", "b"},
+		Model:   &ModelConfig{Layers: []int{4, 2}},
+	}
+	c := orig.Clone()
+	c.Normalize()
+	if orig.Model.BytesPerWeight != 0 {
+		t.Fatal("Normalize on the clone wrote through to the original")
+	}
+	c.Classes[0] = "mut"
+	c.Model.Layers[0] = 99
+	if orig.Classes[0] != "a" || orig.Model.Layers[0] != 4 {
+		t.Fatal("clone shares slices with the original")
+	}
+	snap := *c.Clone()
+	c.Normalize()
+	if !reflect.DeepEqual(snap.Model, c.Model) {
+		t.Fatalf("Normalize not idempotent: %+v vs %+v", snap.Model, c.Model)
+	}
+	if (*Config)(nil).Clone() != nil {
+		t.Fatal("nil clone")
+	}
+}
+
+func TestEngineFanInExpectations(t *testing.T) {
+	// star: gw-a, gw-b → core; cams 3 and 2 at the leaves, 1 at the root.
+	topo := Topology{
+		Names:   []string{"gw-a", "gw-b", "core"},
+		Parent:  []int{2, 2, -1},
+		Root:    2,
+		Cams:    []int{3, 2, 1},
+		HasDown: []bool{true, true, true},
+	}
+	e, err := NewEngine(Config{Rounds: 2, UpdateBytes: 10, ModelBytes: 40}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The core absorbs each leaf's cameras directly (blobs land one hop
+	// up), so it expects 3+2 = 5; the leaves aggregate nothing.
+	if e.expect[0] != 0 || e.expect[1] != 0 {
+		t.Fatalf("leaf expectations %v, want zero", e.expect[:2])
+	}
+	if e.expect[2] != 5 {
+		t.Fatalf("core expects %d, want 5", e.expect[2])
+	}
+	// The cloud sees the root's own camera plus the core's merged blob.
+	if e.expCloud != 2 {
+		t.Fatalf("cloud expects %d, want 2", e.expCloud)
+	}
+	if e.Cameras() != 6 {
+		t.Fatalf("cameras = %d", e.Cameras())
+	}
+	if kids := e.SpanChildren(2); len(kids) != 2 || kids[0] != 0 || kids[1] != 1 {
+		t.Fatalf("span children of core = %v", kids)
+	}
+}
+
+func TestEngineRoundLifecycle(t *testing.T) {
+	e, err := NewEngine(Config{Rounds: 2, UpdateBytes: 10, ModelBytes: 40}, chain(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: two camera blobs land at the core (gw's parent).
+	if e.Arrive(1, 1, 1.0, true) {
+		t.Fatal("fan-in complete after first blob")
+	}
+	if !e.Arrive(1, 1, 1.5, true) {
+		t.Fatal("fan-in incomplete after second blob")
+	}
+	// The merged blob reaches the cloud and completes aggregation.
+	if !e.Arrive(-1, 1, 2.0, false) {
+		t.Fatal("cloud fan-in incomplete")
+	}
+	// Broadcast: core (no cams) then gw (cams → round end).
+	e.Delivered(1, 1, 2.5)
+	e.Delivered(0, 1, 3.0)
+	// Round 2, compressed timeline.
+	e.Arrive(1, 2, 4.0, true)
+	e.Arrive(1, 2, 4.5, true)
+	e.Arrive(-1, 2, 5.0, false)
+	e.Delivered(1, 2, 5.5)
+	e.Delivered(0, 2, 6.0)
+
+	s := e.Stats()
+	r1, r2 := s.PerRound[0], s.PerRound[1]
+	if r1.Start != 0 || r1.AggDone != 2.0 || r1.End != 3.0 || r1.Latency != 3.0 {
+		t.Fatalf("round 1 = %+v", r1)
+	}
+	if r2.Start != 3.0 || r2.End != 6.0 || r2.Latency != 3.0 {
+		t.Fatalf("round 2 = %+v", r2)
+	}
+	// Floor-index percentile (the simulator's convention): with two
+	// samples, p95 lands on the earlier one.
+	if r1.StragglerP95 != 1.0 || r2.StragglerP95 != 1.0 {
+		t.Fatalf("straggler p95 = %v, %v", r1.StragglerP95, r2.StragglerP95)
+	}
+	if s.DoneAt != 6.0 {
+		t.Fatalf("DoneAt = %v", s.DoneAt)
+	}
+	// 2 camera blobs + 1 merged blob per round, 10 B each.
+	if s.UpBytes != 60 || r1.UpBytes != 30 {
+		t.Fatalf("up bytes total %v round %v", s.UpBytes, r1.UpBytes)
+	}
+	// 2 deliveries per round, 40 B each.
+	if s.DownBytes != 160 || r1.DownBytes != 80 {
+		t.Fatalf("down bytes total %v round %v", s.DownBytes, r1.DownBytes)
+	}
+	// Naive: 2 cams × 2 hops × 10 B × 2 rounds = 80; saved 80 − 60 = 20.
+	if s.NaiveUpBytes != 80 || s.AggSavedBytes != 20 {
+		t.Fatalf("naive %v saved %v", s.NaiveUpBytes, s.AggSavedBytes)
+	}
+	if got := s.SavedFraction(); got != 0.25 {
+		t.Fatalf("saved fraction %v", got)
+	}
+	if s.RoundP50 != 3.0 || s.RoundP95 != 3.0 {
+		t.Fatalf("round percentiles %v %v", s.RoundP50, s.RoundP95)
+	}
+}
+
+func TestEngineRejects(t *testing.T) {
+	cfg := Config{Rounds: 1, UpdateBytes: 1}
+	if _, err := NewEngine(cfg, Topology{}); err == nil {
+		t.Error("empty topology accepted")
+	}
+	if _, err := NewEngine(cfg, chain(0, 0)); err == nil || !strings.Contains(err.Error(), "no participating cameras") {
+		t.Errorf("camera-less job: %v", err)
+	}
+	noDown := chain(2, 0)
+	noDown.HasDown = []bool{true, false}
+	if _, err := NewEngine(cfg, noDown); err == nil || !strings.Contains(err.Error(), "broadcast span") {
+		t.Errorf("missing span downlink: %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+package fl
+
+// Stats is one federated job's telemetry, surfaced in the fleet
+// Result's Federated field.
+type Stats struct {
+	// Rounds and Cameras echo the job's shape; UpdateBytes and
+	// ModelBytes are the resolved payload sizes.
+	Rounds      int
+	Cameras     int
+	UpdateBytes int64
+	ModelBytes  int64
+
+	// UpBytes and DownBytes are the federated bytes that actually
+	// crossed links: one UpdateBytes per uplink crossing (camera blobs
+	// and merged blobs alike), one ModelBytes per downlink crossing.
+	UpBytes   float64
+	DownBytes float64
+	// NaiveUpBytes prices the same job without in-network aggregation —
+	// every camera blob riding every uplink from its attach tier through
+	// the root — and AggSavedBytes is what aggregation saved.
+	NaiveUpBytes  float64
+	AggSavedBytes float64
+
+	// RoundP50 and RoundP95 are percentiles of the per-round latencies;
+	// DoneAt is when the final round's broadcast finished delivering.
+	RoundP50 float64
+	RoundP95 float64
+	DoneAt   float64
+
+	// PerRound holds one entry per round, in round order.
+	PerRound []Round
+}
+
+// Round is one federated round's telemetry.
+type Round struct {
+	// Start is when the fleet held the previous round's model (0 for the
+	// first round); AggDone is when the cloud finished absorbing the
+	// round's fan-in; End is the last attach-tier delivery of the
+	// round's broadcast; Latency is End − Start.
+	Start   float64
+	AggDone float64
+	End     float64
+	Latency float64
+	// StragglerP95 is the p95 camera-update landing time relative to the
+	// round start — the tail the cloud barrier waits on.
+	StragglerP95 float64
+	// UpBytes and DownBytes are the round's link-crossing byte totals.
+	UpBytes   float64
+	DownBytes float64
+}
+
+// SavedFraction returns AggSavedBytes over NaiveUpBytes, 0 when nothing
+// would have been sent anyway.
+func (s *Stats) SavedFraction() float64 {
+	if s.NaiveUpBytes <= 0 {
+		return 0
+	}
+	return s.AggSavedBytes / s.NaiveUpBytes
+}

@@ -127,6 +127,46 @@ var fuzzSeeds = []string{
 	    "policy": {"kind": "energy-latency", "high_sec": 1, "energy_weight": -2}}]}`,
 	`{"duration_sec": 1, "uplink": {"gbps": 1}, "budget_w": 5,
 	  "classes": [{"name": "c", "count": 1, "fps": 1}]}`,
+	// bidirectional tiers with a federated-learning job: downlinks on the
+	// broadcast span, payloads sized from the model's layer vector
+	`{
+	  "name": "fl", "seed": 3, "duration_sec": 4,
+	  "tiers": [
+	    {"name": "gw", "parent": "core", "uplink": {"gbps": 2}, "propagation_sec": 0.0002,
+	     "downlink": {"gbps": 1, "contention": "fifo", "propagation_sec": 0.0002}},
+	    {"name": "core", "uplink": {"gbps": 8}, "propagation_sec": 0.01,
+	     "downlink": {"gbps": 4}}
+	  ],
+	  "classes": [
+	    {"name": "fa", "count": 12, "fps": 2, "arrival": "poisson", "tier": "gw",
+	     "frame_bytes": 200000, "offload_prob": 0.25, "compute_sec": 0.01}
+	  ],
+	  "federated": {"rounds": 3, "classes": ["fa"], "compute_sec": 0.5, "jitter_sec": 0.2,
+	    "model": {"layers": [400, 8, 1], "bytes_per_weight": 4, "compress": 0.5}}
+	}`,
+	// federated configs the validator must reject: a span tier without a
+	// downlink, zero rounds, compress out of range, the gateways form
+	// (no downlinks to broadcast on), an unknown participant class, and a
+	// downlink with a bogus contention model
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "federated": {"rounds": 1, "update_bytes": 100}}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}, "downlink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "federated": {"rounds": 0, "update_bytes": 100}}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}, "downlink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "federated": {"rounds": 1, "model": {"layers": [4, 2], "compress": 7}}}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "gateways": [{"name": "g", "uplink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10, "gateway": "g"}],
+	  "federated": {"rounds": 1, "update_bytes": 100}}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1}, "downlink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "federated": {"rounds": 1, "update_bytes": 100, "classes": ["ghost"]}}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
+	  "downlink": {"gbps": 1, "contention": "magic"}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
 }
 
 // FuzzScenarioDecode feeds arbitrary bytes to the scenario decoder:
@@ -157,11 +197,27 @@ func FuzzScenarioDecode(f *testing.F) {
 		norm.Classes = append([]Class(nil), sc.Classes...)
 		norm.Gateways = append([]Gateway(nil), sc.Gateways...)
 		norm.Tiers = append([]Tier(nil), sc.Tiers...)
+		for i := range norm.Tiers {
+			if d := norm.Tiers[i].Downlink; d != nil {
+				dd := *d
+				norm.Tiers[i].Downlink = &dd
+			}
+		}
 		if sc.Global != nil {
 			g := *sc.Global
 			norm.Global = &g
 		}
+		// Federated is cloned so the second Normalize pass cannot write
+		// through to sc; its idempotency is checked by before/after
+		// snapshot of the same clone, sidestepping the clone's
+		// nil-vs-empty slice normalization.
+		norm.Federated = sc.Federated.Clone()
+		flBefore, _ := json.Marshal(norm.Federated)
 		norm.Normalize()
+		flAfter, _ := json.Marshal(norm.Federated)
+		if string(flBefore) != string(flAfter) {
+			t.Fatalf("Normalize not idempotent on the federated section:\n%s\nvs\n%s", flBefore, flAfter)
+		}
 		gwSame := len(norm.Gateways) == 0 && len(sc.Gateways) == 0 ||
 			reflect.DeepEqual(norm.Gateways, sc.Gateways)
 		tiersSame := len(norm.Tiers) == 0 && len(sc.Tiers) == 0 ||

@@ -2,14 +2,17 @@ package fleet
 
 // linkIndex finds the earliest next completion across a fixed set of links
 // in O(log links) per event, replacing the O(links) scan that dominated
-// deep-topology runs. It is a lazily invalidated min-heap: every Start or
+// deep-topology runs. The set is direction-agnostic: uplinks occupy the
+// low indices in tier order and declared downlinks follow, so ties on
+// time resolve uplinks (leaves before the root) ahead of downlinks,
+// deterministically. It is a lazily invalidated min-heap: every Start or
 // Finish on link li bumps li's version and pushes a fresh (finish time,
 // li, version) entry; peek discards entries whose version is stale. Each
 // link therefore has at most one live entry — the one reflecting its
 // current NextFinish — and ties on time resolve to the lowest link index,
 // matching the scan baseline bit for bit.
 type linkIndex struct {
-	links []Uplink
+	links []Link
 	ver   []uint64
 	h     liHeap
 }
@@ -73,7 +76,7 @@ func (h *liHeap) pop() liEntry {
 	return e
 }
 
-func newLinkIndex(links []Uplink) *linkIndex {
+func newLinkIndex(links []Link) *linkIndex {
 	return &linkIndex{links: links, ver: make([]uint64, len(links))}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"camsim/internal/core"
 	"camsim/internal/energy"
+	"camsim/internal/fleet/fl"
 	"camsim/internal/platform"
 	"camsim/internal/vr"
 )
@@ -43,6 +44,13 @@ type Scenario struct {
 	// plus per-hop forwarding along the tier tree), and reassigns cameras
 	// so the fleet's projected placement power stays under BudgetW.
 	Global *GlobalConfig `json:"global,omitempty"`
+	// Federated, when present, runs a round-structured federated-learning
+	// job over the tier tree: participating cameras push update blobs up
+	// their attach tier's uplink, tiers aggregate fan-in blobs to one per
+	// round, and the cloud broadcasts the merged model down the tree's
+	// downlinks to start the next round. Requires the "tiers" form, with
+	// a downlink on every tier of the broadcast span.
+	Federated *fl.Config `json:"federated,omitempty"`
 }
 
 // UplinkConfig sizes one shared link and names its contention model.
@@ -254,6 +262,9 @@ func (sc *Scenario) Normalize() {
 		if sc.Tiers[i].Uplink.Contention == "" {
 			sc.Tiers[i].Uplink.Contention = ContentionFairShare
 		}
+		if d := sc.Tiers[i].Downlink; d != nil && d.Contention == "" {
+			d.Contention = ContentionFairShare
+		}
 		if sc.Tiers[i].Parent == "" && root < 0 {
 			root = i
 		}
@@ -299,6 +310,9 @@ func (sc *Scenario) Normalize() {
 		if g.MoveFraction == 0 {
 			g.MoveFraction = 0.25
 		}
+	}
+	if sc.Federated != nil {
+		sc.Federated.Normalize()
 	}
 }
 
@@ -384,7 +398,85 @@ func (sc *Scenario) validate(nodes []tierNode) error {
 	if err := sc.validateGlobal(); err != nil {
 		return err
 	}
+	if err := sc.validateFederated(nodes); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateFederated checks the federated-learning section against the
+// resolved tier tree by building (and discarding) the round engine — the
+// same constructor Run uses, so validation and simulation cannot
+// disagree about what is runnable.
+func (sc *Scenario) validateFederated(nodes []tierNode) error {
+	f := sc.Federated
+	if f == nil {
+		return nil
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("fleet: scenario %q: %w", sc.Name, err)
+	}
+	if len(sc.Tiers) == 0 {
+		return fmt.Errorf("fleet: scenario %q: federated learning needs a \"tiers\" topology (the model broadcast rides tier downlinks)", sc.Name)
+	}
+	topo, err := sc.flTopology(nodes)
+	if err != nil {
+		return err
+	}
+	if _, err := fl.NewEngine(*f, topo); err != nil {
+		return fmt.Errorf("fleet: scenario %q: %w", sc.Name, err)
+	}
+	return nil
+}
+
+// flTopology builds the federated engine's view of the resolved tier
+// tree: names, parent pointers, downlink presence, and the participating
+// camera census per attach tier (every class when Federated.Classes is
+// empty, else exactly the named ones).
+func (sc *Scenario) flTopology(nodes []tierNode) (fl.Topology, error) {
+	topo := fl.Topology{
+		Names:   make([]string, len(nodes)),
+		Parent:  make([]int, len(nodes)),
+		Cams:    make([]int, len(nodes)),
+		HasDown: make([]bool, len(nodes)),
+		Root:    -1,
+	}
+	idx := make(map[string]int, len(nodes))
+	for i, nd := range nodes {
+		topo.Names[i] = nd.Name
+		topo.Parent[i] = nd.parent
+		topo.HasDown[i] = nd.Downlink != nil
+		idx[nd.Name] = i
+		if nd.parent < 0 {
+			topo.Root = i
+		}
+	}
+	part := make(map[string]bool, len(sc.Federated.Classes))
+	for _, name := range sc.Federated.Classes {
+		known := false
+		for i := range sc.Classes {
+			if sc.Classes[i].Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fl.Topology{}, fmt.Errorf("fleet: scenario %q: federated class %q not in the scenario", sc.Name, name)
+		}
+		part[name] = true
+	}
+	for i := range sc.Classes {
+		c := &sc.Classes[i]
+		if len(part) > 0 && !part[c.Name] {
+			continue
+		}
+		ti := topo.Root
+		if at := c.attach(); at != "" {
+			ti = idx[at]
+		}
+		topo.Cams[ti] += c.Count
+	}
+	return topo, nil
 }
 
 // validateGlobal checks the fleet-wide controller configuration.

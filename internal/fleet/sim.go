@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"fmt"
+
+	"camsim/internal/fleet/fl"
 )
 
 // event kinds: a camera captures a frame; an in-camera-processed frame
@@ -9,9 +11,13 @@ import (
 // between tiers and enters the next link; a transfer clears the root
 // hop's propagation and arrives in the cloud; an adaptive class's
 // controller makes a placement decision; the global energy-aware
-// controller runs one epoch. Link completions themselves are not events —
-// the loop peeks them off the links, whose finish times shift as
-// transfers are admitted.
+// controller runs one epoch; a federated camera's local training ends
+// and its update blob enters the attach uplink; a federated blob clears
+// its uplink hop's propagation and is absorbed for aggregation one tier
+// up (or at the cloud); a broadcast model blob clears a downlink's
+// propagation and is delivered at the owning tier. Link completions
+// themselves are not events — the loop peeks them off the links, whose
+// finish times shift as transfers are admitted.
 const (
 	evCapture = iota
 	evReady
@@ -19,21 +25,26 @@ const (
 	evArrive
 	evControl
 	evGlobal
+	evFLReady
+	evFLUp
+	evFLDeliver
 )
 
 type event struct {
 	t    float64
 	seq  int64 // tie-break: earlier-scheduled events fire first
 	kind int
-	cam  int32 // camera index (evCapture, evReady) or class index (evControl)
+	cam  int32 // camera index (evCapture, evReady), class index (evControl) or federated participant index (evFLReady)
 	// capturedAt is the frame's capture time (evReady), the latency epoch.
 	capturedAt float64
 	// bytes is the offload payload, fixed at capture time (evReady) so a
 	// placement switch mid-flight cannot retroactively resize a frame.
 	bytes float64
 	// tr and link carry a propagating transfer: at t, transfer tr arrives
-	// at tier link and starts transmission there (evHop), or lands in the
-	// cloud (evArrive, link unused).
+	// at tier link and starts transmission there (evHop), lands in the
+	// cloud (evArrive, link unused), is absorbed for aggregation above
+	// uplink link (evFLUp), or is delivered at tier link (evFLDeliver).
+	// evFLReady reuses tr as the federated round number.
 	tr   int
 	link int32
 }
@@ -103,12 +114,33 @@ type camera struct {
 	lastTop   float64 // wall time of the last store top-up
 }
 
-// transfer is one in-flight offload, indexed by transfer id. The same id
-// rides every link from the class's attach tier up to the root.
+// transfer is one in-flight payload, indexed by transfer id. A frame
+// offload (round 0) rides every link from the class's attach tier up to
+// the root under one id; a federated blob (round > 0) crosses exactly one
+// link per id — an update absorbed one hop up (cam ≥ 0 for a camera's own
+// blob, -1 for a tier's merged blob) or a model copy delivered down one
+// downlink (cam -1).
 type transfer struct {
 	cam        int32
 	capturedAt float64
 	bytes      float64
+	round      int32
+}
+
+// flPart is one federated participant: a camera's attach tier plus its
+// own jitter stream, a third seed family (cameras, controllers,
+// federated) so enabling a federated job never perturbs frame traffic
+// draws.
+type flPart struct {
+	tier int32
+	rng  prng
+}
+
+// flSeed derives a participant's jitter-stream seed from the scenario
+// seed and the camera's global index, two full splitmix64 rounds under
+// the federated family tag.
+func flSeed(seed int64, idx int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)^0xfedc0de5) + uint64(idx)))
 }
 
 // splitmix64 is one round of the splitmix64 mixer.
@@ -157,15 +189,22 @@ func Run(sc Scenario) (*Result, error) { return run(sc, true) }
 func run(sc Scenario, indexed bool) (*Result, error) {
 	// sc arrives by value but Classes/Gateways/Tiers share backing arrays
 	// with the caller (and, under Sweep, with sibling scenarios), and
-	// Global is a shared pointer: copy before Normalize writes defaults
-	// into them.
+	// Global, Federated and each Tier's Downlink are shared pointers:
+	// copy before Normalize writes defaults into them.
 	sc.Classes = append([]Class(nil), sc.Classes...)
 	sc.Gateways = append([]Gateway(nil), sc.Gateways...)
 	sc.Tiers = append([]Tier(nil), sc.Tiers...)
+	for i := range sc.Tiers {
+		if d := sc.Tiers[i].Downlink; d != nil {
+			dd := *d
+			sc.Tiers[i].Downlink = &dd
+		}
+	}
 	if sc.Global != nil {
 		g := *sc.Global
 		sc.Global = &g
 	}
+	sc.Federated = sc.Federated.Clone()
 	sc.Normalize()
 
 	// The resolved tier tree, one link per node; every offload rides the
@@ -179,15 +218,35 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 	if err := sc.validate(nodes); err != nil {
 		return nil, err
 	}
-	links := make([]Uplink, len(nodes))
+	links := make([]Link, len(nodes))
 	tierIdx := make(map[string]int, len(nodes))
 	for i, nd := range nodes {
-		up, err := NewUplink(nd.Uplink.Contention, nd.Uplink.BytesPerSecond())
+		up, err := NewLink(nd.Uplink.Contention, nd.Uplink.BytesPerSecond())
 		if err != nil {
 			return nil, err
 		}
 		links[i] = up
 		tierIdx[nd.Name] = i
+	}
+	// Declared downlinks are appended after every uplink, in tier order:
+	// uplink indices — and therefore simultaneous-completion tie-breaks —
+	// stay exactly the legacy ones, and a downlink tying an uplink
+	// resolves after it. downLink maps a tier to its downlink's link
+	// index (-1 without one); downOwner maps back.
+	downLink := make([]int, len(nodes))
+	var downOwner []int
+	for i, nd := range nodes {
+		downLink[i] = -1
+		if nd.Downlink == nil {
+			continue
+		}
+		dn, err := NewLink(nd.Downlink.Contention, nd.Downlink.BytesPerSecond())
+		if err != nil {
+			return nil, err
+		}
+		downLink[i] = len(links)
+		downOwner = append(downOwner, i)
+		links = append(links, dn)
 	}
 
 	// firstHop maps each class to the link its cameras transmit on;
@@ -207,6 +266,23 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			pathFwdJ += nodes[li].TxPerByteJ
 		}
 		rowJ[ci] = classRowEnergies(&sc.Classes[ci], pathFwdJ)
+	}
+
+	// The federated round engine, when the scenario configures a job. It
+	// is pure accounting — the loop below reports blob landings and model
+	// deliveries to it and starts the transfers it asks for. flUpBytes
+	// splits each uplink's served bytes into the federated share.
+	var fle *fl.Engine
+	var flUpBytes []float64
+	if sc.Federated != nil {
+		topo, err := sc.flTopology(nodes)
+		if err != nil {
+			return nil, err
+		}
+		if fle, err = fl.NewEngine(*sc.Federated, topo); err != nil {
+			return nil, err
+		}
+		flUpBytes = make([]float64, len(nodes))
 	}
 
 	// netInFlight counts transfers resident in any link (one transfer
@@ -290,6 +366,10 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		res.Classes[ci].latencies = make([]float64, 0, clampEst(frames*cl.OffloadProb))
 		classCams[ci] = make([]int32, 0, cl.Count)
 	}
+	if fle != nil {
+		// One pending ready event per federated participant at a time.
+		heapCap += fle.Cameras()
+	}
 	events := make(eventHeap, 0, heapCap)
 	var seq int64
 	push := func(ev event) {
@@ -329,6 +409,39 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 	}
 	if gctl != nil && sc.Global.EpochSec < sc.Duration {
 		push(event{t: sc.Global.EpochSec, kind: evGlobal})
+	}
+
+	// Federated participants, in class then camera order: each owns a
+	// jitter stream seeded by its camera's global index under the
+	// federated family tag, so the draws are stable under class edits
+	// elsewhere and never perturb frame traffic. Round 1's local compute
+	// starts at t = 0; rounds run to completion past Duration, the event
+	// loop draining them like any other traffic.
+	var flParts []flPart
+	var flByTier [][]int32
+	if fle != nil {
+		part := make(map[string]bool, len(sc.Federated.Classes))
+		for _, name := range sc.Federated.Classes {
+			part[name] = true
+		}
+		flByTier = make([][]int32, len(nodes))
+		flParts = make([]flPart, 0, fle.Cameras())
+		for ci := range sc.Classes {
+			if len(part) > 0 && !part[sc.Classes[ci].Name] {
+				continue
+			}
+			ti := firstHop[ci]
+			for _, camIdx := range classCams[ci] {
+				pi := int32(len(flParts))
+				flParts = append(flParts, flPart{tier: int32(ti), rng: newPRNG(flSeed(sc.Seed, int(camIdx)))})
+				flByTier[ti] = append(flByTier[ti], pi)
+			}
+		}
+		f := sc.Federated
+		for pi := range flParts {
+			p := &flParts[pi]
+			push(event{t: f.ComputeSec + f.JitterSec*p.rng.Float64(), kind: evFLReady, cam: int32(pi), tr: 1})
+		}
 	}
 
 	// Transfer ids are recycled through a free list the moment a transfer
@@ -434,11 +547,78 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		}
 	}
 
+	// flAbsorb lands federated transfer id — which just cleared uplink li
+	// and its propagation — at the parent tier (the cloud above the root)
+	// at time t, where it is aggregated. When the landing completes the
+	// round's fan-in there, the tier emits one merged blob on its own
+	// uplink; when the cloud's fan-in completes, the merged model starts
+	// down the root's downlink.
+	flAbsorb := func(t float64, li, id int) {
+		tr := transfers[id]
+		freeIDs = append(freeIDs, id)
+		target := nodes[li].parent
+		if !fle.Arrive(target, int(tr.round), t, tr.cam >= 0) {
+			return
+		}
+		if target >= 0 {
+			mb := fle.UpdateBytes()
+			mid := newTransfer(transfer{cam: -1, round: tr.round, bytes: mb})
+			startLink(target, t, mid, mb)
+			return
+		}
+		bb := fle.ModelBytes()
+		bid := newTransfer(transfer{cam: -1, round: tr.round, bytes: bb})
+		startLink(downLink[root], t, bid, bb)
+	}
+	// flDeliver lands the round's model at span tier ti at time t: one
+	// copy forwards down each span child's downlink, and the tier's own
+	// participants (if any) start the next round's local compute.
+	flDeliver := func(t float64, ti, id int) {
+		round := int(transfers[id].round)
+		freeIDs = append(freeIDs, id)
+		fle.Delivered(ti, round, t)
+		for _, c := range fle.SpanChildren(ti) {
+			bb := fle.ModelBytes()
+			cid := newTransfer(transfer{cam: -1, round: int32(round), bytes: bb})
+			startLink(downLink[c], t, cid, bb)
+		}
+		if fle.CamsAt(ti) > 0 && round < fle.Rounds() {
+			f := sc.Federated
+			for _, pi := range flByTier[ti] {
+				p := &flParts[pi]
+				push(event{t: t + f.ComputeSec + f.JitterSec*p.rng.Float64(), kind: evFLReady, cam: pi, tr: round + 1})
+			}
+		}
+	}
+
 	for len(events) > 0 || anyInFlight() {
 		if li, lt, ok := nextLinkFinish(); ok && (len(events) == 0 || lt <= events[0].t) {
 			id := finishLink(li)
 			tr := transfers[id]
+			if li >= len(nodes) {
+				// A downlink drained: the model blob is delivered at the
+				// owning tier one downlink propagation later.
+				ti := downOwner[li-len(nodes)]
+				if d := nodes[ti].Downlink; d.PropagationSec == 0 {
+					flDeliver(lt, ti, id)
+				} else {
+					push(event{t: lt + d.PropagationSec, kind: evFLDeliver, tr: id, link: int32(ti)})
+				}
+				continue
+			}
 			nd := &nodes[li]
+			if tr.round > 0 {
+				// A federated blob cleared one uplink hop: it is absorbed
+				// for aggregation where it lands, never forwarded onward —
+				// the in-network aggregation that shrinks bytes per hop.
+				flUpBytes[li] += tr.bytes
+				if nd.PropagationSec == 0 {
+					flAbsorb(lt, li, id)
+				} else {
+					push(event{t: lt + nd.PropagationSec, kind: evFLUp, tr: id, link: int32(li)})
+				}
+				continue
+			}
 			if li != root {
 				// This hop's transmission is done: the frame arrives at the
 				// parent tier one propagation delay later. With no delay it
@@ -492,6 +672,15 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			if nt := ev.t + sc.Global.EpochSec; nt < sc.Duration {
 				push(event{t: nt, kind: evGlobal})
 			}
+		case evFLReady:
+			p := &flParts[ev.cam]
+			ub := fle.UpdateBytes()
+			id := newTransfer(transfer{cam: ev.cam, round: int32(ev.tr), bytes: ub})
+			startLink(int(p.tier), ev.t, id, ub)
+		case evFLUp:
+			flAbsorb(ev.t, int(ev.link), ev.tr)
+		case evFLDeliver:
+			flDeliver(ev.t, int(ev.link), ev.tr)
 		default:
 			return nil, fmt.Errorf("fleet: unknown event kind %d", ev.kind)
 		}
@@ -500,8 +689,16 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 	if res.SimEnd < sc.Duration {
 		res.SimEnd = sc.Duration
 	}
+	if fle != nil {
+		res.Federated = fle.Stats()
+		// The final broadcast can deliver after the last frame drains;
+		// the run ends when both have.
+		if res.Federated.DoneAt > res.SimEnd {
+			res.SimEnd = res.Federated.DoneAt
+		}
+	}
 	for i, nd := range nodes {
-		res.Tiers = append(res.Tiers, TierStats{
+		ts := TierStats{
 			Name:           nd.Name,
 			Parent:         nd.Parent,
 			Depth:          nd.depth,
@@ -513,7 +710,20 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			Utilization:    utilization(links[i].ServedBytes(), nd.Uplink.BytesPerSecond(), res.SimEnd),
 			TxPerByteJ:     nd.TxPerByteJ,
 			ForwardJ:       links[i].ServedBytes() * nd.TxPerByteJ,
-		})
+		}
+		if flUpBytes != nil {
+			ts.FLUpBytes = flUpBytes[i]
+		}
+		if d := nd.Downlink; d != nil {
+			dl := links[downLink[i]]
+			ts.DownGbps = d.Gbps
+			ts.DownContention = d.Contention
+			ts.DownPropagationSec = d.PropagationSec
+			ts.DownServedBytes = dl.ServedBytes()
+			ts.DownTransfers = linkTransfers[downLink[i]]
+			ts.DownlinkUtilization = utilization(dl.ServedBytes(), d.BytesPerSecond(), res.SimEnd)
+		}
+		res.Tiers = append(res.Tiers, ts)
 	}
 	// The top-tier utilization is the root tier's, found by name: tier
 	// order is stable today, but the name is the contract.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"camsim/internal/fleet/fl"
 )
 
 // ClassStats aggregates one camera class over a run (or, for
@@ -71,6 +73,21 @@ type TierStats struct {
 	// ForwardJ is the energy it actually spent, ServedBytes × TxPerByteJ.
 	TxPerByteJ float64
 	ForwardJ   float64
+
+	// FLUpBytes is the federated share of ServedBytes: camera update
+	// blobs plus merged aggregation blobs this uplink carried. 0 without
+	// a federated job.
+	FLUpBytes float64
+
+	// Downlink accounting, set only for tiers declaring one: the
+	// parent→tier (cloud→root at the root) link's configuration and its
+	// served root→leaf traffic — today the federated model broadcast.
+	DownGbps            float64
+	DownContention      string
+	DownPropagationSec  float64
+	DownServedBytes     float64
+	DownTransfers       int64
+	DownlinkUtilization float64
 }
 
 // Label renders the tier's display name: "name->parent" below the root,
@@ -86,6 +103,15 @@ func (t TierStats) Label() string {
 // every completed transmission paid the link's one-way delay once.
 func (t TierStats) PropDelayTotal() float64 {
 	return float64(t.Transfers) * t.PropagationSec
+}
+
+// HasDownlink reports whether the tier declared a downlink.
+func (t TierStats) HasDownlink() bool { return t.DownGbps > 0 }
+
+// DownPropDelayTotal returns the total propagation time accrued on the
+// tier's downlink: every delivered transmission paid its one-way delay.
+func (t TierStats) DownPropDelayTotal() float64 {
+	return float64(t.DownTransfers) * t.DownPropagationSec
 }
 
 // utilization is served payload over capacity × elapsed time, guarded so a
@@ -161,6 +187,9 @@ type Result struct {
 	// Global reports the global controller's epochs; nil when the
 	// scenario does not configure one.
 	Global *GlobalStats
+	// Federated reports the federated job's per-round telemetry; nil
+	// when the scenario does not configure one.
+	Federated *fl.Stats
 }
 
 // TierNamed returns the stats of the named tier, or nil. The root tier of
@@ -264,7 +293,25 @@ func (r *Result) Table() string {
 			if ti.ForwardJ > 0 {
 				fmt.Fprintf(&b, "  fwd %.3gJ", ti.ForwardJ)
 			}
+			if ti.FLUpBytes > 0 {
+				fmt.Fprintf(&b, "  fl %.4gMB", ti.FLUpBytes/1e6)
+			}
+			if ti.HasDownlink() {
+				fmt.Fprintf(&b, "  down %.1f Gb/s util %5.2f%%", ti.DownGbps, ti.DownlinkUtilization*100)
+			}
 			fmt.Fprintln(&b)
+		}
+	}
+	if f := r.Federated; f != nil {
+		fmt.Fprintf(&b, "  federated rounds %d  cams %d  update %dB model %dB  round p50 %s p95 %s\n",
+			f.Rounds, f.Cameras, f.UpdateBytes, f.ModelBytes,
+			FormatLatency(f.RoundP50), FormatLatency(f.RoundP95))
+		fmt.Fprintf(&b, "    up %.4gMB down %.4gMB  without aggregation %.4gMB (saved %.1f%%)\n",
+			f.UpBytes/1e6, f.DownBytes/1e6, f.NaiveUpBytes/1e6, f.SavedFraction()*100)
+		for i, rd := range f.PerRound {
+			fmt.Fprintf(&b, "    round %2d start %.3fs agg %.3fs end %.3fs  lat %s  straggler-p95 %s\n",
+				i+1, rd.Start, rd.AggDone, rd.End,
+				FormatLatency(rd.Latency), FormatLatency(rd.StragglerP95))
 		}
 	}
 	// The energy block appears once the scenario models the second cost

@@ -17,6 +17,13 @@ type Tier struct {
 	Parent         string       `json:"parent,omitempty"`
 	Uplink         UplinkConfig `json:"uplink"`
 	PropagationSec float64      `json:"propagation_sec,omitempty"`
+	// Downlink, when present, gives the tier a link in the opposite
+	// direction — parent→tier, or cloud→root at the root — with its own
+	// capacity, contention discipline and one-way propagation delay. It
+	// carries root→leaf traffic (today the federated model broadcast)
+	// and leaves the uplink untouched: a scenario without downlinks
+	// simulates exactly as before.
+	Downlink *DownlinkConfig `json:"downlink,omitempty"`
 	// TxPerByteJ is the network-side forwarding energy this link spends
 	// per payload byte it serves (switch fabric, line drivers, backhaul
 	// radio — see energy.ForwardPerByteJ for a default figure). It feeds
@@ -25,6 +32,25 @@ type Tier struct {
 	// class's offload bytes the summed TxPerByteJ of every hop between
 	// its attach tier and the root when scoring placement energy.
 	TxPerByteJ float64 `json:"tx_per_byte_j,omitempty"`
+}
+
+// DownlinkConfig sizes one tier's parent→tier link: capacity, contention
+// discipline (the same fair-share/FIFO models as uplinks) and one-way
+// propagation delay. The uplink's PropagationSec belongs to the Tier
+// because the legacy forms predate downlinks; a downlink carries its own.
+type DownlinkConfig struct {
+	Gbps           float64 `json:"gbps"`
+	Contention     string  `json:"contention"` // ContentionFairShare (default) or ContentionFIFO
+	PropagationSec float64 `json:"propagation_sec,omitempty"`
+}
+
+// BytesPerSecond returns the downlink's payload capacity.
+func (d DownlinkConfig) BytesPerSecond() float64 { return d.Gbps * 1e9 / 8 }
+
+// uplinkConfig views the downlink as a plain link configuration, for the
+// shared validation and link construction paths.
+func (d DownlinkConfig) uplinkConfig() UplinkConfig {
+	return UplinkConfig{Gbps: d.Gbps, Contention: d.Contention}
 }
 
 // tierNode is one resolved node of a scenario's tier tree, produced by
@@ -153,6 +179,15 @@ func (sc *Scenario) validateTopologyNodes(nodes []tierNode) error {
 		if !(nd.TxPerByteJ >= 0) || math.IsInf(nd.TxPerByteJ, 0) {
 			return fmt.Errorf("fleet: tier %q: forwarding energy %v J/byte must be finite and non-negative",
 				nd.Name, nd.TxPerByteJ)
+		}
+		if d := nd.Downlink; d != nil {
+			if err := validateUplink(d.uplinkConfig(), fmt.Sprintf("tier %q downlink", nd.Name)); err != nil {
+				return err
+			}
+			if !(d.PropagationSec >= 0) || math.IsInf(d.PropagationSec, 0) {
+				return fmt.Errorf("fleet: tier %q: downlink propagation %v sec must be finite and non-negative",
+					nd.Name, d.PropagationSec)
+			}
 		}
 		if len(sc.Tiers) > 0 && nd.parent < 0 &&
 			sc.Uplink != (UplinkConfig{}) && sc.Uplink != nd.Uplink {

@@ -6,6 +6,7 @@ import (
 
 	"camsim/internal/core"
 	"camsim/internal/energy"
+	"camsim/internal/fleet/fl"
 )
 
 // compactPlacementName renders a Fig. 10-style short label for a
@@ -189,6 +190,73 @@ func EnergyDemoScenario(seed int64, mode string) (Scenario, error) {
 		sc.Classes = append(sc.Classes, vr, fa)
 	}
 	return sc, nil
+}
+
+// FederatedDemoScenario builds the bidirectional fleet behind `camsim
+// topo -fl`: two gateways and a core, every tier carrying a downlink
+// alongside its uplink, and a federated-learning job training the
+// paper's 400-8-1 face-authentication MLP across 48 edge cameras. Each
+// round the cameras push half-compressed float32 update blobs (~6.4 kB)
+// up their gateway uplinks — contending with their own monitoring frames
+// and a core-attached background class — the core aggregates each
+// gateway's fan-in to a single merged blob before the WAN hop, and the
+// cloud broadcasts the ~12.9 kB merged model down the downlink tree to
+// start the next round. The jitter knob makes stragglers: the cloud
+// barrier waits on the slowest camera, so round latency tracks the
+// straggler p95, and in-network aggregation keeps the WAN's federated
+// bytes at one blob per round against 48 entering the edge.
+func FederatedDemoScenario(seed int64) Scenario {
+	sc := Scenario{
+		Name:     "topo-fl",
+		Seed:     seed,
+		Duration: 8,
+		Tiers: []Tier{
+			{Name: "gw-a", Parent: "core",
+				Uplink:         UplinkConfig{Gbps: 2, Contention: ContentionFairShare},
+				PropagationSec: 0.0002,
+				Downlink:       &DownlinkConfig{Gbps: 1, Contention: ContentionFairShare, PropagationSec: 0.0002}},
+			{Name: "gw-b", Parent: "core",
+				Uplink:         UplinkConfig{Gbps: 2, Contention: ContentionFIFO},
+				PropagationSec: 0.0002,
+				Downlink:       &DownlinkConfig{Gbps: 1, Contention: ContentionFairShare, PropagationSec: 0.0002}},
+			{Name: "core",
+				Uplink:         UplinkConfig{Gbps: 8, Contention: ContentionFairShare},
+				PropagationSec: 0.01,
+				Downlink:       &DownlinkConfig{Gbps: 4, Contention: ContentionFairShare, PropagationSec: 0.01}},
+		},
+		Federated: &fl.Config{
+			Rounds:     4,
+			Classes:    []string{"fl-gw-a", "fl-gw-b"},
+			ComputeSec: 0.6,
+			JitterSec:  0.4,
+			Model:      &fl.ModelConfig{Layers: []int{400, 8, 1}, BytesPerWeight: 4, Compress: 0.5},
+		},
+	}
+	for _, gw := range []string{"gw-a", "gw-b"} {
+		sc.Classes = append(sc.Classes, Class{
+			Name:           "fl-" + gw,
+			Count:          24,
+			FPS:            2,
+			Arrival:        ArrivalPoisson,
+			FrameBytes:     200000,
+			OffloadProb:    0.25,
+			ComputeSeconds: 0.01,
+			QueueDepth:     4,
+			Tier:           gw,
+		})
+	}
+	// Core-attached background traffic that does not participate in the
+	// job: the federated blobs share the WAN with it, not an idle link.
+	sc.Classes = append(sc.Classes, Class{
+		Name:           "bg-core",
+		Count:          8,
+		FPS:            10,
+		Arrival:        ArrivalPeriodic,
+		FrameBytes:     1200000,
+		ComputeSeconds: 0.005,
+		QueueDepth:     4,
+	})
+	return sc
 }
 
 // DeepTopologyScenario builds the camera→gateway→metro→core chain behind

@@ -10,13 +10,17 @@ const (
 	ContentionFIFO      = "fifo"
 )
 
-// Uplink models the shared uplink: finite payload capacity plus a
-// contention discipline deciding how concurrent offloads share it. The
-// simulator drives it event by event: Start admits a transfer, NextFinish
-// peeks the earliest completion under the current in-flight set, Finish
-// pops it. Start may move an already-reported NextFinish, so the caller
-// must re-peek after every Start.
-type Uplink interface {
+// Link models one shared directed link: finite payload capacity plus a
+// contention discipline deciding how concurrent transfers share it. The
+// disciplines are direction-agnostic — the same implementations serve a
+// tier's uplink (leaf→root offloads and federated updates) and its
+// downlink (root→leaf model broadcasts); direction lives in how the
+// simulator routes transfers onto links, never in the link itself. The
+// simulator drives a link event by event: Start admits a transfer,
+// NextFinish peeks the earliest completion under the current in-flight
+// set, Finish pops it. Start may move an already-reported NextFinish, so
+// the caller must re-peek after every Start.
+type Link interface {
 	// Name returns the contention model name.
 	Name() string
 	// Start admits transfer id of the given size at time now. now must not
@@ -33,10 +37,14 @@ type Uplink interface {
 	ServedBytes() float64
 }
 
-// NewUplink builds the named contention model over a capacity in bytes/sec.
-func NewUplink(model string, bytesPerSec float64) (Uplink, error) {
+// Uplink is the historical name of Link, kept for existing callers from
+// when the simulator only modeled the leaf→root direction.
+type Uplink = Link
+
+// NewLink builds the named contention model over a capacity in bytes/sec.
+func NewLink(model string, bytesPerSec float64) (Link, error) {
 	if bytesPerSec <= 0 {
-		return nil, fmt.Errorf("fleet: uplink capacity %v must be positive", bytesPerSec)
+		return nil, fmt.Errorf("fleet: link capacity %v must be positive", bytesPerSec)
 	}
 	switch model {
 	case ContentionFairShare:
@@ -45,6 +53,11 @@ func NewUplink(model string, bytesPerSec float64) (Uplink, error) {
 		return &fifoUplink{cap: bytesPerSec}, nil
 	}
 	return nil, fmt.Errorf("fleet: unknown contention model %q", model)
+}
+
+// NewUplink is NewLink under its historical name.
+func NewUplink(model string, bytesPerSec float64) (Link, error) {
+	return NewLink(model, bytesPerSec)
 }
 
 // --- FIFO ---

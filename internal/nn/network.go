@@ -71,6 +71,25 @@ func (n *Network) NumWeights() int {
 	return total
 }
 
+// WeightCount returns the number of weights (biases included) of a
+// fully-connected network with the given layer sizes, without building
+// one: Σ (sizes[l]+1)×sizes[l+1]. It sizes federated-learning update
+// payloads, where only the parameter count matters, not the parameters.
+// Like New, it panics on fewer than two layers or a non-positive size.
+func WeightCount(sizes ...int) int {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output layers")
+	}
+	total := 0
+	for l := 0; l < len(sizes)-1; l++ {
+		if sizes[l] <= 0 || sizes[l+1] <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer size %d", min(sizes[l], sizes[l+1])))
+		}
+		total += (sizes[l] + 1) * sizes[l+1]
+	}
+	return total
+}
+
 // NumMACs returns the multiply-accumulate operations per forward pass
 // (bias additions counted as one MAC each), the quantity the accelerator
 // energy model charges for.

@@ -25,6 +25,25 @@ func TestNewTopologyAndWeightCount(t *testing.T) {
 	}
 }
 
+func TestWeightCountMatchesBuiltNetwork(t *testing.T) {
+	for _, sizes := range [][]int{{400, 8, 1}, {4, 2}, {10, 5, 2}, {3, 3, 3, 3}} {
+		n := New(rand.New(rand.NewSource(1)), sizes...)
+		if got, want := WeightCount(sizes...), n.NumWeights(); got != want {
+			t.Fatalf("WeightCount(%v) = %d, want %d", sizes, got, want)
+		}
+	}
+	for _, sizes := range [][]int{{5}, {4, 0, 1}, {}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for sizes %v", sizes)
+				}
+			}()
+			WeightCount(sizes...)
+		}()
+	}
+}
+
 func TestNewPanicsOnBadTopology(t *testing.T) {
 	for _, sizes := range [][]int{{5}, {4, 0, 1}, {}} {
 		func() {
