@@ -24,11 +24,15 @@ func cmdFleet(args []string) error {
 		"uplink contention model: fair-share or fifo")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	scenario := fs.String("scenario", "", "run one JSON scenario file instead of the built-in sweep (other flags ignored)")
+	timeseries := fs.String("timeseries", "", "with -scenario: write the windowed telemetry time series to this file (.json for JSON, else CSV)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scenario != "" {
-		return runScenarioFile(*scenario)
+		return runScenarioFile(*scenario, *timeseries)
+	}
+	if *timeseries != "" {
+		return fmt.Errorf("fleet: -timeseries needs -scenario (the built-in sweep has no telemetry section)")
 	}
 	// The sweep's smallest point is n/4 cameras, a quarter of them VR, so
 	// both classes need n ≥ 16 to be non-empty.

@@ -45,7 +45,9 @@
 // back down per-tier downlinks. Both `fleet` and `topo` also accept
 // `-scenario file.json` to
 // run a JSON scenario from disk (strictly decoded — unknown fields are
-// rejected).
+// rejected); a scenario whose telemetry section sets streaming with a
+// window_sec can add `-timeseries out.csv` (or out.json) to write its
+// windowed per-class latency/drop/utilization time series to disk.
 package main
 
 import (

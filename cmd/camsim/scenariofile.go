@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"camsim/internal/fleet"
 )
@@ -13,7 +14,11 @@ import (
 // rejected rather than silently ignored, so a typoed knob fails loudly —
 // and every parse, validation or run error names the file, so a sweep
 // over many scenario files points at the one that broke.
-func runScenarioFile(path string) error {
+//
+// A non-empty timeseries path writes the run's windowed telemetry there
+// (the scenario must enable telemetry.streaming with a window_sec): JSON
+// when the path ends in .json, CSV otherwise.
+func runScenarioFile(path, timeseries string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -29,5 +34,34 @@ func runScenarioFile(path string) error {
 	fmt.Printf("scenario file %s: %d cameras across %d tiers, seed %d\n\n",
 		path, sc.Cameras(), len(res.Tiers), sc.Seed)
 	fmt.Print(res.Table())
+	if timeseries != "" {
+		if err := writeTimeSeries(res, timeseries); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("\ntime series: %d windows of %gs written to %s\n",
+			len(res.TimeSeries.Windows), res.TimeSeries.WindowSec, timeseries)
+	}
 	return nil
+}
+
+// writeTimeSeries renders the run's windowed telemetry to out, JSON for
+// a .json path and CSV for everything else.
+func writeTimeSeries(res *fleet.Result, out string) error {
+	ts := res.TimeSeries
+	if ts == nil {
+		return fmt.Errorf("-timeseries needs the scenario to set telemetry {\"streaming\": true, \"window_sec\": ...}")
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(strings.ToLower(out), ".json") {
+		err = ts.WriteJSON(f)
+	} else {
+		err = ts.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

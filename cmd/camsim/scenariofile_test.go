@@ -101,14 +101,67 @@ func TestFederatedScenarioFileRoundTrip(t *testing.T) {
 }
 
 func TestRunScenarioFile(t *testing.T) {
-	out := captureStdout(t, func() error { return runScenarioFile(filepath.FromSlash(exampleScenario)) })
+	out := captureStdout(t, func() error { return runScenarioFile(filepath.FromSlash(exampleScenario), "") })
 	for _, want := range []string{"warehouse-energy", "global budget 26.0W", "energy camera"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("scenario-file output missing %q:\n%s", want, out)
 		}
 	}
-	if err := runScenarioFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if err := runScenarioFile(filepath.Join(t.TempDir(), "missing.json"), ""); err == nil {
 		t.Fatal("accepted a missing scenario file")
+	}
+}
+
+// TestRunScenarioFileTimeSeries drives the -timeseries surface: a
+// streaming scenario writes its windowed telemetry as CSV or JSON by
+// extension, and a scenario without windows rejects the flag instead of
+// writing an empty file.
+func TestRunScenarioFileTimeSeries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "streaming.json")
+	if err := os.WriteFile(path, []byte(`{
+	  "name": "ts-demo", "seed": 3, "duration_sec": 2,
+	  "uplink": {"gbps": 0.01},
+	  "classes": [{"name": "cam", "count": 4, "fps": 5, "frame_bytes": 100000}],
+	  "telemetry": {"streaming": true, "window_sec": 0.5}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	csvOut := filepath.Join(dir, "out.csv")
+	out := captureStdout(t, func() error { return runScenarioFile(path, csvOut) })
+	if !strings.Contains(out, "time series:") || !strings.Contains(out, "windows of 0.5s") {
+		t.Fatalf("missing time-series summary:\n%s", out)
+	}
+	csv, err := os.ReadFile(csvOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "window,start_sec,end_sec,kind,name,") {
+		t.Fatalf("CSV header wrong: %.80s", csv)
+	}
+	if !strings.Contains(string(csv), ",class,cam,") || !strings.Contains(string(csv), ",tier,wan,") {
+		t.Fatalf("CSV rows missing class/tier entries:\n%s", csv)
+	}
+
+	jsonOut := filepath.Join(dir, "out.json")
+	captureStdout(t, func() error { return runScenarioFile(path, jsonOut) })
+	js, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts fleet.TimeSeries
+	if err := json.Unmarshal(js, &ts); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if ts.WindowSec != 0.5 || len(ts.Windows) == 0 {
+		t.Fatalf("JSON time series malformed: %+v", ts)
+	}
+
+	// No window in the scenario → the flag must fail loudly.
+	if err := runScenarioFile(filepath.FromSlash(exampleScenario), filepath.Join(dir, "nope.csv")); err == nil ||
+		!strings.Contains(err.Error(), "window_sec") {
+		t.Fatalf("windowless scenario accepted -timeseries: %v", err)
 	}
 }
 
@@ -123,7 +176,7 @@ func TestScenarioFileRejectsUnknownFields(t *testing.T) {
 	}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := runScenarioFile(bad)
+	err := runScenarioFile(bad, "")
 	if err == nil || !strings.Contains(err.Error(), "budget_watts") {
 		t.Fatalf("unknown field not rejected: %v", err)
 	}
@@ -152,7 +205,7 @@ func TestScenarioFileErrorsNameTheFile(t *testing.T) {
 		if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		err := runScenarioFile(path)
+		err := runScenarioFile(path, "")
 		if err == nil || !strings.Contains(err.Error(), path) {
 			t.Errorf("%s error does not name the file: %v", tc.name, err)
 		}

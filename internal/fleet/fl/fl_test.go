@@ -143,24 +143,24 @@ func TestEngineRoundLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Round 1: two camera blobs land at the core (gw's parent).
-	if e.Arrive(1, 1, 1.0, true) {
+	// Round 1: two camera blobs from gw (tier 0) land at the core.
+	if e.Arrive(1, 1, 1.0, 0) {
 		t.Fatal("fan-in complete after first blob")
 	}
-	if !e.Arrive(1, 1, 1.5, true) {
+	if !e.Arrive(1, 1, 1.5, 0) {
 		t.Fatal("fan-in incomplete after second blob")
 	}
 	// The merged blob reaches the cloud and completes aggregation.
-	if !e.Arrive(-1, 1, 2.0, false) {
+	if !e.Arrive(-1, 1, 2.0, -1) {
 		t.Fatal("cloud fan-in incomplete")
 	}
 	// Broadcast: core (no cams) then gw (cams → round end).
 	e.Delivered(1, 1, 2.5)
 	e.Delivered(0, 1, 3.0)
 	// Round 2, compressed timeline.
-	e.Arrive(1, 2, 4.0, true)
-	e.Arrive(1, 2, 4.5, true)
-	e.Arrive(-1, 2, 5.0, false)
+	e.Arrive(1, 2, 4.0, 0)
+	e.Arrive(1, 2, 4.5, 0)
+	e.Arrive(-1, 2, 5.0, -1)
 	e.Delivered(1, 2, 5.5)
 	e.Delivered(0, 2, 6.0)
 
@@ -172,9 +172,11 @@ func TestEngineRoundLifecycle(t *testing.T) {
 	if r2.Start != 3.0 || r2.End != 6.0 || r2.Latency != 3.0 {
 		t.Fatalf("round 2 = %+v", r2)
 	}
-	// Floor-index percentile (the simulator's convention): with two
-	// samples, p95 lands on the earlier one.
-	if r1.StragglerP95 != 1.0 || r2.StragglerP95 != 1.0 {
+	// Nearest-rank percentile: with two samples, p95 is rank ⌈0.95·2⌉ = 2,
+	// the later one. Round-1 samples are 1.0 and 1.5 (tier start 0);
+	// round-2 samples are 4.0−3.0 and 4.5−3.0 against gw's own round-1
+	// delivery at 3.0.
+	if r1.StragglerP95 != 1.5 || r2.StragglerP95 != 1.5 {
 		t.Fatalf("straggler p95 = %v, %v", r1.StragglerP95, r2.StragglerP95)
 	}
 	if s.DoneAt != 6.0 {
@@ -197,6 +199,70 @@ func TestEngineRoundLifecycle(t *testing.T) {
 	}
 	if s.RoundP50 != 3.0 || s.RoundP95 != 3.0 {
 		t.Fatalf("round percentiles %v %v", s.RoundP50, s.RoundP95)
+	}
+}
+
+// TestEngineStragglerSkewedDeliveries is the regression for the
+// negative-straggler bug: with two attach tiers whose broadcast
+// deliveries are far apart, the fast tier's round-2 updates arrive long
+// before the round's global start (the *last* delivery). Measured
+// against rd.Start those samples went negative; measured against each
+// tier's own delivery they are the true compute+uplink spans.
+func TestEngineStragglerSkewedDeliveries(t *testing.T) {
+	topo := Topology{
+		Names:   []string{"gw-fast", "gw-slow", "core"},
+		Parent:  []int{2, 2, -1},
+		Root:    2,
+		Cams:    []int{1, 1, 0},
+		HasDown: []bool{true, true, true},
+	}
+	e, err := NewEngine(Config{Rounds: 2, UpdateBytes: 10, ModelBytes: 40}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: both cameras start at 0 and take 1.0–1.2s to land.
+	e.Arrive(2, 1, 1.0, 0)
+	if !e.Arrive(2, 1, 1.2, 1) {
+		t.Fatal("core fan-in incomplete")
+	}
+	if !e.Arrive(-1, 1, 2.0, -1) {
+		t.Fatal("cloud fan-in incomplete")
+	}
+	// Skewed broadcast: the fast gateway holds the round-1 model at 2.2,
+	// the slow one only at 10.0 (think a 7.8s downlink propagation gap).
+	e.Delivered(2, 1, 2.1)
+	e.Delivered(0, 1, 2.2)
+	e.Delivered(1, 1, 10.0)
+	// Round 2: each camera computes ~1s from its own delivery. The fast
+	// tier's update lands at 3.2 — **before** round 2's global start
+	// (10.0), which is what drove the old rd.Start-relative sample to
+	// −6.8.
+	e.Arrive(2, 2, 3.2, 0)
+	if !e.Arrive(2, 2, 11.0, 1) {
+		t.Fatal("round-2 core fan-in incomplete")
+	}
+	e.Arrive(-1, 2, 12.0, -1)
+	e.Delivered(2, 2, 12.1)
+	e.Delivered(0, 2, 12.2)
+	e.Delivered(1, 2, 12.5)
+
+	s := e.Stats()
+	r1, r2 := s.PerRound[0], s.PerRound[1]
+	if r2.Start != 10.0 {
+		t.Fatalf("round 2 start = %v, want the last round-1 delivery", r2.Start)
+	}
+	// Round 1 samples: 1.0 and 1.2 against tier starts of 0.
+	if r1.StragglerP95 != 1.2 {
+		t.Fatalf("round 1 straggler p95 = %v, want 1.2", r1.StragglerP95)
+	}
+	// Round 2 samples: 3.2−2.2 = 1.0 (fast) and 11.0−10.0 = 1.0 (slow).
+	if r2.StragglerP95 != 1.0 {
+		t.Fatalf("round 2 straggler p95 = %v, want 1.0 (old code: −6.8)", r2.StragglerP95)
+	}
+	for r, rd := range s.PerRound {
+		if rd.StragglerP95 < 0 {
+			t.Fatalf("round %d straggler p95 negative: %v", r+1, rd.StragglerP95)
+		}
 	}
 }
 

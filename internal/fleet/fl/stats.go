@@ -41,8 +41,12 @@ type Round struct {
 	AggDone float64
 	End     float64
 	Latency float64
-	// StragglerP95 is the p95 camera-update landing time relative to the
-	// round start — the tail the cloud barrier waits on.
+	// StragglerP95 is the p95 (nearest-rank) camera-update landing time,
+	// each sample relative to its own tier's round start — when that
+	// tier's cameras received the previous model and began computing —
+	// so a tier delivered early never yields a negative sample. This is
+	// the local-compute-plus-first-uplink tail the cloud barrier waits
+	// on.
 	StragglerP95 float64
 	// UpBytes and DownBytes are the round's link-crossing byte totals.
 	UpBytes   float64

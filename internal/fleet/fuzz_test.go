@@ -167,6 +167,29 @@ var fuzzSeeds = []string{
 	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
 	  "downlink": {"gbps": 1, "contention": "magic"}}],
 	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
+	// streaming telemetry: sketch-backed quantiles with a windowed time
+	// series
+	`{
+	  "name": "stream", "seed": 11, "duration_sec": 4,
+	  "tiers": [
+	    {"name": "gw", "parent": "core", "uplink": {"gbps": 2}, "propagation_sec": 0.0002},
+	    {"name": "core", "uplink": {"gbps": 8}, "propagation_sec": 0.002}
+	  ],
+	  "classes": [
+	    {"name": "fa", "count": 20, "fps": 5, "arrival": "poisson", "tier": "gw",
+	     "frame_bytes": 100000, "offload_prob": 0.5, "compute_sec": 0.01, "queue_depth": 3}
+	  ],
+	  "telemetry": {"streaming": true, "window_sec": 0.5}
+	}`,
+	// telemetry configs the validator must reject: a window without
+	// streaming (the time series rides the sketch path) and a negative
+	// window
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "telemetry": {"streaming": false, "window_sec": 1}}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "telemetry": {"streaming": true, "window_sec": -2}}`,
 }
 
 // FuzzScenarioDecode feeds arbitrary bytes to the scenario decoder:
@@ -207,6 +230,10 @@ func FuzzScenarioDecode(f *testing.F) {
 			g := *sc.Global
 			norm.Global = &g
 		}
+		if sc.Telemetry != nil {
+			tc := *sc.Telemetry
+			norm.Telemetry = &tc
+		}
 		// Federated is cloned so the second Normalize pass cannot write
 		// through to sc; its idempotency is checked by before/after
 		// snapshot of the same clone, sidestepping the clone's
@@ -223,7 +250,7 @@ func FuzzScenarioDecode(f *testing.F) {
 		tiersSame := len(norm.Tiers) == 0 && len(sc.Tiers) == 0 ||
 			reflect.DeepEqual(norm.Tiers, sc.Tiers)
 		if norm.Uplink != sc.Uplink || !gwSame || !tiersSame || !reflect.DeepEqual(norm.Classes, sc.Classes) ||
-			!reflect.DeepEqual(norm.Global, sc.Global) {
+			!reflect.DeepEqual(norm.Global, sc.Global) || !reflect.DeepEqual(norm.Telemetry, sc.Telemetry) {
 			t.Fatalf("Normalize not idempotent:\n%+v\nvs\n%+v", norm, sc)
 		}
 		// A parsed scenario must survive a JSON round trip.

@@ -1,0 +1,39 @@
+// Package quantile provides the fleet simulator's two quantile
+// estimators: the exact nearest-rank percentile over a sorted sample
+// slice (NearestRank — the reference definition every stats surface
+// shares), and a mergeable bounded-error streaming sketch (Sketch) for
+// runs too long to hold their exact sample sets.
+//
+// # Nearest rank
+//
+// NearestRank implements the textbook nearest-rank percentile: the
+// q-quantile of n sorted samples is the element with 1-based rank
+// ⌈q·n⌉ (clamped to [1, n]). For q = 0.95 and n = 100 that is rank 95 —
+// not index int(0.95·99) = 94, the floor-biased expression this helper
+// replaced, which systematically read one sample low near the tail.
+//
+// # Streaming sketch
+//
+// Sketch is a KLL sketch (Karnin, Lang, Liberman, "Optimal Quantile
+// Approximation in Streams", FOCS 2016): a hierarchy of compactors
+// where level h holds items of weight 2^h; a full compactor sorts
+// itself and promotes every other item — an offset drawn from a seeded
+// coin — to the level above at doubled weight. Capacities decay
+// geometrically (c = 2/3) below the top compactor of K = 400, so a
+// sketch holds O(K) items regardless of stream length, and queries
+// answer nearest-rank over the weighted survivors.
+//
+// The error model is rank error: for any q, Quantile(q) is a value
+// whose true rank lies within Eps·n of ⌈q·n⌉ with high probability —
+// Eps = 0.01 at K = 400, the bound the fleet package documents and its
+// differential tests assert. Two sketches Merge losslessly in weight
+// (the merged count is the sum) with the same bound, which is what
+// makes per-window — and eventually per-shard — sketches composable
+// into run-wide quantiles.
+//
+// Determinism: the compaction coin is a splitmix64 stream seeded by a
+// fixed constant at construction, never the global math/rand source, so
+// the same insertion order always produces the identical sketch and the
+// identical query answers — the property the simulator's byte-identical
+// golden contract requires.
+package quantile

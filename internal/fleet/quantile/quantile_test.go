@@ -1,0 +1,291 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestNearestRankHandComputed pins the nearest-rank definition on small
+// hand-computed sample sets — including the shapes where the old
+// floor-biased int(q·(n−1)) expression read one sample low.
+func TestNearestRankHandComputed(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{7}, 0.95, 7},
+		{"p50 of two is the first", []float64{1, 2}, 0.50, 1},
+		{"p95 of two is the second", []float64{1, 2}, 0.95, 2},
+		{"p25 of four", []float64{1, 2, 3, 4}, 0.25, 1},
+		{"p50 of four", []float64{1, 2, 3, 4}, 0.50, 2},
+		{"p75 of four", []float64{1, 2, 3, 4}, 0.75, 3},
+		{"q=0 is the minimum", []float64{1, 2, 3}, 0, 1},
+		{"q=1 is the maximum", []float64{1, 2, 3}, 1, 3},
+		{"q>1 clamps", []float64{1, 2, 3}, 1.5, 3},
+		{"q<0 clamps", []float64{1, 2, 3}, -0.5, 1},
+	}
+	for _, tc := range cases {
+		if got := NearestRank(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: NearestRank(%v, %v) = %v, want %v", tc.name, tc.sorted, tc.q, got, tc.want)
+		}
+	}
+	// n = 100, values 1..100: p95 must be the rank-95 element (95), where
+	// the floor expression read index int(0.95·99) = 94 → value 95 too —
+	// but at n = 105 the two definitions split: rank ⌈0.95·105⌉ = 100 vs
+	// floor index int(0.95·104) = 98 → rank 99.
+	big := make([]float64, 105)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	if got := NearestRank(big[:100], 0.95); got != 95 {
+		t.Errorf("p95 of 1..100 = %v, want 95", got)
+	}
+	q := 0.95
+	if got := NearestRank(big, q); got != 100 {
+		t.Errorf("p95 of 1..105 = %v, want 100 (floor-biased code read %v)", got, big[int(q*float64(len(big)-1))])
+	}
+}
+
+// TestNearestRankProperty checks the definition against a brute-force
+// rank count over varied sizes: the returned element's 1-based rank is
+// exactly ⌈q·n⌉ when all values are distinct.
+func TestNearestRankProperty(t *testing.T) {
+	rng := newTestRNG(42)
+	for _, n := range []int{1, 2, 3, 7, 10, 99, 100, 101, 105, 1000} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.float64()
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			got := NearestRank(vals, q)
+			want := int(math.Ceil(q * float64(n)))
+			if want < 1 {
+				want = 1
+			}
+			if got != vals[want-1] {
+				t.Fatalf("n=%d q=%v: got %v, want rank-%d element %v", n, q, got, want, vals[want-1])
+			}
+		}
+	}
+}
+
+// testRNG is a tiny deterministic splitmix64 stream so the tests never
+// touch the global math/rand source.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed} }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *testRNG) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// rankOf returns v's nearest rank in sorted data: the count of elements
+// ≤ v.
+func rankOf(sorted []float64, v float64) int {
+	return sort.SearchFloat64s(sorted, math.Nextafter(v, math.Inf(1)))
+}
+
+// checkSketch asserts every queried quantile's true rank lies within
+// Eps·n (plus one rank of nearest-rank rounding) of the target.
+func checkSketch(t *testing.T, label string, s *Sketch, sorted []float64) {
+	t.Helper()
+	n := len(sorted)
+	if got := s.Count(); got != uint64(n) {
+		t.Fatalf("%s: count %d, want %d", label, got, n)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		est := s.Quantile(q)
+		target := int(math.Ceil(q * float64(n)))
+		slack := int(math.Ceil(Eps*float64(n))) + 1
+		r := rankOf(sorted, est)
+		if r < target-slack || r > target+slack {
+			t.Errorf("%s: q=%v estimate %v has rank %d, want %d±%d", label, q, est, r, target, slack)
+		}
+	}
+}
+
+// TestSketchAccuracy streams uniform and heavy-tailed data and checks
+// the documented Eps rank bound at several sizes, below and far above
+// the sketch's capacity.
+func TestSketchAccuracy(t *testing.T) {
+	for _, n := range []int{10, K - 1, K + 1, 5_000, 100_000} {
+		for _, shape := range []string{"uniform", "heavy-tail"} {
+			rng := newTestRNG(uint64(n))
+			s := NewSketch()
+			vals := make([]float64, n)
+			for i := range vals {
+				v := rng.float64()
+				if shape == "heavy-tail" {
+					v = math.Exp(10 * v) // ~4 decades of spread, like latencies
+				}
+				vals[i] = v
+				s.Add(v)
+			}
+			sort.Float64s(vals)
+			checkSketch(t, shape, s, vals)
+		}
+	}
+}
+
+// TestSketchExactBelowCapacity pins that a sketch that never compacted
+// answers exactly: below the top compactor's capacity every item is
+// retained at weight 1, so Quantile must equal NearestRank.
+func TestSketchExactBelowCapacity(t *testing.T) {
+	rng := newTestRNG(7)
+	s := NewSketch()
+	vals := make([]float64, K/2)
+	for i := range vals {
+		vals[i] = rng.float64()
+		s.Add(vals[i])
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got, want := s.Quantile(q), NearestRank(vals, q); got != want {
+			t.Fatalf("q=%v: sketch %v, exact %v", q, got, want)
+		}
+	}
+}
+
+// TestSketchMergeAssociativity splits one stream into windows, sketches
+// each, and merges them in two different groupings: both merged
+// sketches must satisfy the Eps bound against the full sample set —
+// the property that makes per-window (and per-shard) sketches
+// composable into run-wide quantiles.
+func TestSketchMergeAssociativity(t *testing.T) {
+	const n, windows = 40_000, 16
+	rng := newTestRNG(11)
+	vals := make([]float64, n)
+	parts := make([]*Sketch, windows)
+	for w := range parts {
+		parts[w] = NewSketch()
+	}
+	for i := range vals {
+		vals[i] = math.Exp(6 * rng.float64())
+		parts[i*windows/n].Add(vals[i])
+	}
+	sort.Float64s(vals)
+
+	// Left fold: ((w0+w1)+w2)+...
+	left := NewSketch()
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	checkSketch(t, "left-fold", left, vals)
+
+	// Pairwise tree: (w0+w1)+(w2+w3)+...
+	layer := make([]*Sketch, windows)
+	for w := range parts {
+		layer[w] = NewSketch()
+		layer[w].Merge(parts[w])
+	}
+	for len(layer) > 1 {
+		var next []*Sketch
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 < len(layer) {
+				layer[i].Merge(layer[i+1])
+			}
+			next = append(next, layer[i])
+		}
+		layer = next
+	}
+	checkSketch(t, "pair-tree", layer[0], vals)
+
+	// The two groupings agree with each other within 2·Eps ranks.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		a, b := left.Quantile(q), layer[0].Quantile(q)
+		ra, rb := rankOf(vals, a), rankOf(vals, b)
+		if d := ra - rb; d < -2*int(Eps*n)-2 || d > 2*int(Eps*n)+2 {
+			t.Errorf("q=%v: groupings disagree by %d ranks (%v vs %v)", q, d, a, b)
+		}
+	}
+}
+
+// TestSketchDeterminism pins that identical insertion orders produce
+// identical answers — the seeded-coin property the simulator's golden
+// contract relies on.
+func TestSketchDeterminism(t *testing.T) {
+	build := func() *Sketch {
+		rng := newTestRNG(3)
+		s := NewSketch()
+		for i := 0; i < 10_000; i++ {
+			s.Add(rng.float64())
+		}
+		return s
+	}
+	a, b := build(), build()
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q=%v: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+// TestSketchResetReuse pins Reset's contract: a reset sketch is empty,
+// keeps satisfying the Eps bound on new data, and — fed identically —
+// answers identically run-to-run (the reseeded coin), the property the
+// telemetry collector relies on when it cycles one sketch through
+// windows instead of allocating a fresh one per window.
+func TestSketchResetReuse(t *testing.T) {
+	const n = 30_000
+	fill := func(s *Sketch, seed uint64) []float64 {
+		rng := newTestRNG(seed)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Exp(8 * rng.float64())
+			s.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		return vals
+	}
+
+	s := NewSketch()
+	fill(s, 1)
+	s.Reset()
+	if s.Count() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("reset sketch not empty: count %d, p50 %v", s.Count(), s.Quantile(0.5))
+	}
+	// Second window through the same storage still meets the bound.
+	vals := fill(s, 2)
+	checkSketch(t, "post-reset", s, vals)
+
+	// Reset determinism: another sketch with the same history answers
+	// byte-identically after the same post-reset stream.
+	s2 := NewSketch()
+	fill(s2, 1)
+	s2.Reset()
+	fill(s2, 2)
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		if a, b := s.Quantile(q), s2.Quantile(q); a != b {
+			t.Fatalf("q=%v: reset sketches diverge: %v vs %v", q, a, b)
+		}
+	}
+}
+
+// TestSketchEmptyAndNil covers the degenerate surfaces: an empty sketch
+// answers 0, merging nil or empty sketches is a no-op.
+func TestSketchEmptyAndNil(t *testing.T) {
+	s := NewSketch()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty sketch quantile %v", got)
+	}
+	s.Merge(nil)
+	s.Merge(NewSketch())
+	if s.Count() != 0 {
+		t.Fatalf("count %d after no-op merges", s.Count())
+	}
+	s.Add(4)
+	if got := s.Quantile(0.99); got != 4 {
+		t.Fatalf("single-sample quantile %v", got)
+	}
+}

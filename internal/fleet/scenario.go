@@ -51,6 +51,12 @@ type Scenario struct {
 	// downlinks to start the next round. Requires the "tiers" form, with
 	// a downlink on every tier of the broadcast span.
 	Federated *fl.Config `json:"federated,omitempty"`
+	// Telemetry, when present, opts the run into streaming statistics:
+	// bounded-memory quantile sketches in place of exact per-class
+	// latency sample sets, and (with a window) a per-window time series.
+	// Absent, results are byte-identical to every release before the
+	// section existed.
+	Telemetry *TelemetryConfig `json:"telemetry,omitempty"`
 }
 
 // UplinkConfig sizes one shared link and names its contention model.
@@ -399,6 +405,9 @@ func (sc *Scenario) validate(nodes []tierNode) error {
 		return err
 	}
 	if err := sc.validateFederated(nodes); err != nil {
+		return err
+	}
+	if err := sc.validateTelemetry(); err != nil {
 		return err
 	}
 	return nil

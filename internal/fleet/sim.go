@@ -204,6 +204,10 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		g := *sc.Global
 		sc.Global = &g
 	}
+	if sc.Telemetry != nil {
+		tc := *sc.Telemetry
+		sc.Telemetry = &tc
+	}
 	sc.Federated = sc.Federated.Clone()
 	sc.Normalize()
 
@@ -247,6 +251,26 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		downLink[i] = len(links)
 		downOwner = append(downOwner, i)
 		links = append(links, dn)
+	}
+
+	// The streaming-telemetry collector, when the scenario opts in. It
+	// observes the same completions and drops at the same event times the
+	// exact path counts, so it cannot perturb the simulation — it only
+	// changes how latency statistics are accumulated (sketches instead of
+	// sample slices) and, with a window, adds the time series.
+	var tel *collector
+	if sc.Telemetry != nil && sc.Telemetry.Streaming {
+		labels := make([]string, 0, len(links))
+		caps := make([]float64, 0, len(links))
+		for _, nd := range nodes {
+			labels = append(labels, nd.Name)
+			caps = append(caps, nd.Uplink.BytesPerSecond())
+		}
+		for _, ti := range downOwner {
+			labels = append(labels, nodes[ti].Name+":down")
+			caps = append(caps, nodes[ti].Downlink.BytesPerSecond())
+		}
+		tel = newCollector(&sc, links, labels, caps)
 	}
 
 	// firstHop maps each class to the link its cameras transmit on;
@@ -363,7 +387,12 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			slots = frames + float64(cl.Count)
 		}
 		heapCap += clampEst(slots)
-		res.Classes[ci].latencies = make([]float64, 0, clampEst(frames*cl.OffloadProb))
+		if tel == nil {
+			// The exact path holds every completed offload's latency; the
+			// streaming path holds O(1) sketches instead, so this is the
+			// frame-scaled allocation telemetry removes.
+			res.Classes[ci].latencies = make([]float64, 0, clampEst(frames*cl.OffloadProb))
+		}
 		classCams[ci] = make([]int32, 0, cl.Count)
 	}
 	if fle != nil {
@@ -474,7 +503,11 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		st := &res.Classes[c.class]
 		st.Offloaded++
 		lat := arrive - tr.capturedAt
-		st.latencies = append(st.latencies, lat)
+		if tel != nil {
+			tel.observe(c.class, lat)
+		} else {
+			st.latencies = append(st.latencies, lat)
+		}
 		if ctl := ctls[c.class]; ctl != nil {
 			ctl.observe(lat)
 		}
@@ -527,6 +560,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 				// so a frame dropped here is never also counted against the
 				// queue — each drop has exactly one cause.
 				st.DroppedEnergy++
+				if tel != nil {
+					tel.dropEnergy(c.class)
+				}
 				return
 			}
 			c.stored -= need
@@ -534,6 +570,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		st.EnergyJ += need
 		if queueDropped {
 			st.DroppedQueue++
+			if tel != nil {
+				tel.dropQueue(c.class)
+			}
 			if ctl := ctls[c.class]; ctl != nil {
 				ctl.winDrops++
 			}
@@ -557,7 +596,11 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		tr := transfers[id]
 		freeIDs = append(freeIDs, id)
 		target := nodes[li].parent
-		if !fle.Arrive(target, int(tr.round), t, tr.cam >= 0) {
+		from := -1
+		if tr.cam >= 0 {
+			from = li // a camera blob's first uplink is its attach tier
+		}
+		if !fle.Arrive(target, int(tr.round), t, from) {
 			return
 		}
 		if target >= 0 {
@@ -593,6 +636,12 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 
 	for len(events) > 0 || anyInFlight() {
 		if li, lt, ok := nextLinkFinish(); ok && (len(events) == 0 || lt <= events[0].t) {
+			// Simulated time is monotone across both branches, so closing
+			// telemetry windows before processing puts every observation in
+			// the window covering its timestamp.
+			if tel != nil {
+				tel.advance(lt)
+			}
 			id := finishLink(li)
 			tr := transfers[id]
 			if li >= len(nodes) {
@@ -643,6 +692,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			continue
 		}
 		ev := events.pop()
+		if tel != nil {
+			tel.advance(ev.t)
+		}
 		switch ev.kind {
 		case evCapture:
 			capture(ev.t, ev.cam)
@@ -744,7 +796,11 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			res.Classes[ci].Switches = ctls[ci].moves
 		}
 	}
-	res.finalize()
+	if tel != nil {
+		tel.finish(res.SimEnd)
+		res.TimeSeries = tel.series
+	}
+	res.finalize(tel)
 	for _, ti := range res.Tiers {
 		res.Energy.NetworkJ += ti.ForwardJ
 	}

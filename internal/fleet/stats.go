@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"camsim/internal/fleet/fl"
+	"camsim/internal/fleet/quantile"
 )
 
 // ClassStats aggregates one camera class over a run (or, for
@@ -190,6 +191,9 @@ type Result struct {
 	// Federated reports the federated job's per-round telemetry; nil
 	// when the scenario does not configure one.
 	Federated *fl.Stats
+	// TimeSeries is the windowed streaming telemetry; nil unless the
+	// scenario sets telemetry.streaming with a window_sec.
+	TimeSeries *TimeSeries
 }
 
 // TierNamed returns the stats of the named tier, or nil. The root tier of
@@ -212,19 +216,27 @@ func newResult(sc Scenario) *Result {
 	return res
 }
 
-// percentile returns the q-quantile (0..1) of sorted by nearest rank.
+// percentile returns the q-quantile (0..1) of sorted by nearest rank —
+// the element of 1-based rank ⌈q·n⌉ (quantile.NearestRank, the one
+// definition shared with internal/fleet/fl). The floor-biased
+// int(q·(n−1)) expression this delegated away read the tail one sample
+// low: p95 of 105 samples was index 98 instead of rank 100.
 func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	return quantile.NearestRank(sorted, q)
 }
 
 // finalize computes percentiles and the fleet-wide Total from the
 // per-class accumulators, in class order so results are reproducible.
-func (r *Result) finalize() {
+// With a streaming collector the quantiles come from its run-wide
+// sketches (exact-path sample slices were never populated); without
+// one, from the exact sorted sample sets as always.
+func (r *Result) finalize(tel *collector) {
 	r.Total = ClassStats{Name: "fleet"}
+	var perClass [][3]float64
+	var total [3]float64
+	if tel != nil {
+		perClass, total = tel.quantiles()
+	}
 	n := 0
 	for i := range r.Classes {
 		n += len(r.Classes[i].latencies)
@@ -232,11 +244,15 @@ func (r *Result) finalize() {
 	all := make([]float64, 0, n)
 	for i := range r.Classes {
 		s := &r.Classes[i]
-		sort.Float64s(s.latencies)
-		s.LatencyP50 = percentile(s.latencies, 0.50)
-		s.LatencyP95 = percentile(s.latencies, 0.95)
-		s.LatencyP99 = percentile(s.latencies, 0.99)
-		all = append(all, s.latencies...)
+		if tel != nil {
+			s.LatencyP50, s.LatencyP95, s.LatencyP99 = perClass[i][0], perClass[i][1], perClass[i][2]
+		} else {
+			sort.Float64s(s.latencies)
+			s.LatencyP50 = percentile(s.latencies, 0.50)
+			s.LatencyP95 = percentile(s.latencies, 0.95)
+			s.LatencyP99 = percentile(s.latencies, 0.99)
+			all = append(all, s.latencies...)
+		}
 
 		r.Total.Cameras += s.Cameras
 		r.Total.Captured += s.Captured
@@ -245,6 +261,10 @@ func (r *Result) finalize() {
 		r.Total.DroppedEnergy += s.DroppedEnergy
 		r.Total.EnergyJ += s.EnergyJ
 		r.Total.Switches += s.Switches
+	}
+	if tel != nil {
+		r.Total.LatencyP50, r.Total.LatencyP95, r.Total.LatencyP99 = total[0], total[1], total[2]
+		return
 	}
 	sort.Float64s(all)
 	r.Total.LatencyP50 = percentile(all, 0.50)
@@ -270,8 +290,19 @@ func FormatLatency(sec float64) string {
 // Table renders the run as a paper-style per-class stat table.
 func (r *Result) Table() string {
 	var b strings.Builder
+	// The header names the top-tier link. For tier-form scenarios that is
+	// the root tier's uplink — read it from the tree itself rather than
+	// Scenario.Uplink, which is only guaranteed to mirror the root after
+	// Normalize ran (a hand-built Result would print 0.0 Gb/s).
+	up := r.Scenario.Uplink
+	for i := range r.Scenario.Tiers {
+		if r.Scenario.Tiers[i].Parent == "" {
+			up = r.Scenario.Tiers[i].Uplink
+			break
+		}
+	}
 	fmt.Fprintf(&b, "scenario %-28s uplink %.1f Gb/s %-10s util %5.1f%%  drained %.2fs\n",
-		r.Scenario.Name, r.Scenario.Uplink.Gbps, r.Scenario.Uplink.Contention,
+		r.Scenario.Name, up.Gbps, up.Contention,
 		r.UplinkUtilization*100, r.SimEnd)
 	fmt.Fprintf(&b, "  %-22s %6s %9s %9s %7s %7s %8s %8s %8s %10s\n",
 		"class", "cams", "captured", "offload", "dropQ", "dropE", "p50", "p95", "p99", "J/frame")

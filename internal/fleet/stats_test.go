@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableHeaderRootTierUplink pins the header fix: a Result built
+// around an un-normalized tiers scenario (Scenario.Uplink left zero —
+// Normalize is what mirrors the root tier into it) must still print the
+// root tier's real capacity and contention, not "0.0 Gb/s".
+func TestTableHeaderRootTierUplink(t *testing.T) {
+	r := &Result{
+		Scenario: Scenario{
+			Name: "hand-built",
+			Tiers: []Tier{
+				{Name: "gw", Parent: "core", Uplink: UplinkConfig{Gbps: 1, Contention: ContentionFIFO}},
+				{Name: "core", Uplink: UplinkConfig{Gbps: 7.5, Contention: ContentionFairShare}},
+			},
+		},
+	}
+	head, _, _ := strings.Cut(r.Table(), "\n")
+	if !strings.Contains(head, "uplink 7.5 Gb/s fair-share") {
+		t.Fatalf("header does not name the root tier's uplink: %q", head)
+	}
+
+	// A normalized run keeps the exact same header (the golden contract):
+	// Normalize mirrors the root into Scenario.Uplink, and Table now reads
+	// the root directly — both paths must agree.
+	sc := r.Scenario
+	sc.Duration = 0.1
+	sc.Classes = []Class{{Name: "edge", Count: 1, FPS: 1, FrameBytes: 100, Tier: "gw"}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runHead, _, _ := strings.Cut(res.Table(), "\n")
+	if !strings.Contains(runHead, "uplink 7.5 Gb/s fair-share") {
+		t.Fatalf("normalized run header diverged: %q", runHead)
+	}
+}

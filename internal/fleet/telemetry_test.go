@@ -1,0 +1,275 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"camsim/internal/fleet/quantile"
+)
+
+// checkQuantileWithinEps asserts a sketch estimate lies between the
+// exact sample values at ranks target±(Eps·n+1) — the value form of the
+// rank bound, which stays meaningful when many samples tie (periodic
+// identical-service traffic produces long runs of equal latencies, so
+// one value can legitimately occupy a wide rank range).
+func checkQuantileWithinEps(t *testing.T, label string, exact []float64, q, est float64) {
+	t.Helper()
+	n := len(exact)
+	if n == 0 {
+		if est != 0 {
+			t.Errorf("%s q=%v: estimate %v with no samples", label, q, est)
+		}
+		return
+	}
+	target := int(math.Ceil(q * float64(n)))
+	slack := int(math.Ceil(quantile.Eps*float64(n))) + 1
+	clamp := func(r int) int {
+		if r < 1 {
+			return 1
+		}
+		if r > n {
+			return n
+		}
+		return r
+	}
+	lo, hi := exact[clamp(target-slack)-1], exact[clamp(target+slack)-1]
+	if est < lo || est > hi {
+		t.Errorf("%s q=%v: estimate %v outside exact rank band [%v, %v] (n=%d)", label, q, est, lo, hi, n)
+	}
+}
+
+// TestStreamingDifferential runs randomized scenarios down both
+// statistics paths: the streaming run must reproduce every exact
+// counter bit-for-bit (the collector only changes how latencies are
+// accumulated, never the simulation), and its latency quantiles must
+// sit within the sketch's documented rank-error bound of the exact
+// nearest-rank answers.
+func TestStreamingDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for iter := 0; iter < 25; iter++ {
+		sc := randomScenario(rng)
+		exact, err := Run(sc)
+		if err != nil {
+			t.Fatalf("iter %d: exact: %v", iter, err)
+		}
+		scs := sc
+		scs.Telemetry = &TelemetryConfig{Streaming: true}
+		stream, err := Run(scs)
+		if err != nil {
+			t.Fatalf("iter %d: streaming: %v", iter, err)
+		}
+
+		if exact.SimEnd != stream.SimEnd || exact.UplinkUtilization != stream.UplinkUtilization {
+			t.Fatalf("iter %d (%s): run shape diverged: SimEnd %v vs %v", iter, sc.Name, exact.SimEnd, stream.SimEnd)
+		}
+		if !reflect.DeepEqual(exact.Tiers, stream.Tiers) {
+			t.Fatalf("iter %d (%s): tier stats diverged", iter, sc.Name)
+		}
+		if exact.Energy != stream.Energy {
+			t.Fatalf("iter %d (%s): energy diverged: %+v vs %+v", iter, sc.Name, exact.Energy, stream.Energy)
+		}
+		for ci := range exact.Classes {
+			e, s := &exact.Classes[ci], &stream.Classes[ci]
+			if e.Captured != s.Captured || e.Offloaded != s.Offloaded ||
+				e.DroppedQueue != s.DroppedQueue || e.DroppedEnergy != s.DroppedEnergy ||
+				e.EnergyJ != s.EnergyJ || e.Switches != s.Switches {
+				t.Fatalf("iter %d (%s): class %s counters diverged:\n%+v\nvs\n%+v", iter, sc.Name, e.Name, e, s)
+			}
+			// finalize left the exact path's samples sorted in place.
+			checkQuantileWithinEps(t, e.Name, e.latencies, 0.50, s.LatencyP50)
+			checkQuantileWithinEps(t, e.Name, e.latencies, 0.95, s.LatencyP95)
+			checkQuantileWithinEps(t, e.Name, e.latencies, 0.99, s.LatencyP99)
+		}
+		checkQuantileWithinEps(t, "fleet", exact.Total.latencies, 0.50, stream.Total.LatencyP50)
+		checkQuantileWithinEps(t, "fleet", exact.Total.latencies, 0.95, stream.Total.LatencyP95)
+		checkQuantileWithinEps(t, "fleet", exact.Total.latencies, 0.99, stream.Total.LatencyP99)
+	}
+}
+
+// TestStreamingDeterministic pins the streaming path's replayability:
+// the seeded compaction coin means two runs agree byte for byte.
+func TestStreamingDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sc := randomScenario(rng)
+	sc.Telemetry = &TelemetryConfig{Streaming: true, WindowSec: 0.25}
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Fatalf("streaming tables diverged:\n%s\nvs\n%s", a.Table(), b.Table())
+	}
+	if !reflect.DeepEqual(a.TimeSeries, b.TimeSeries) {
+		t.Fatal("time series diverged between identical runs")
+	}
+}
+
+// windowedDemo is a small deterministic scenario with enough traffic to
+// populate several windows, including queue pressure.
+func windowedDemo() Scenario {
+	return Scenario{
+		Name:     "windowed",
+		Seed:     42,
+		Duration: 2,
+		Tiers: []Tier{
+			{Name: "gw", Parent: "core", Uplink: UplinkConfig{Gbps: 0.002}},
+			{Name: "core", Uplink: UplinkConfig{Gbps: 0.004}},
+		},
+		Classes: []Class{
+			{Name: "edge", Count: 20, FPS: 10, FrameBytes: 20_000, Tier: "gw", QueueDepth: 2},
+			{Name: "hub", Count: 5, FPS: 4, FrameBytes: 10_000},
+		},
+		Telemetry: &TelemetryConfig{Streaming: true, WindowSec: 0.5},
+	}
+}
+
+// TestWindowedTimeSeries checks the windowed output's accounting: the
+// windows tile [0, SimEnd) in order, every window's counters sum to the
+// run totals, utilizations are sane, and the rendered CSV/JSON agree
+// with the structure.
+func TestWindowedTimeSeries(t *testing.T) {
+	res, err := Run(windowedDemo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.TimeSeries
+	if ts == nil {
+		t.Fatal("no time series")
+	}
+	if ts.WindowSec != 0.5 {
+		t.Fatalf("window = %v", ts.WindowSec)
+	}
+	if want := []string{"edge", "hub"}; !reflect.DeepEqual(ts.Classes, want) {
+		t.Fatalf("classes = %v", ts.Classes)
+	}
+	if want := []string{"gw", "core"}; !reflect.DeepEqual(ts.Tiers, want) {
+		t.Fatalf("tiers = %v", ts.Tiers)
+	}
+	if len(ts.Windows) < 4 {
+		t.Fatalf("only %d windows over %.1fs sim end", len(ts.Windows), res.SimEnd)
+	}
+	var offl, dropQ, dropE int64
+	prevEnd := 0.0
+	for i, win := range ts.Windows {
+		if win.Index != i || win.Start != prevEnd || win.End <= win.Start {
+			t.Fatalf("window %d malformed: %+v (prev end %v)", i, win, prevEnd)
+		}
+		prevEnd = win.End
+		if len(win.Classes) != 2 || len(win.TierUtil) != 2 {
+			t.Fatalf("window %d shape: %+v", i, win)
+		}
+		for ci, wc := range win.Classes {
+			offl += wc.Offloaded
+			dropQ += wc.DroppedQueue
+			dropE += wc.DroppedEnergy
+			if wc.Offloaded > 0 && (wc.P50 <= 0 || wc.P50 > wc.P95 || wc.P95 > wc.P99) {
+				t.Fatalf("window %d class %d quantiles not ordered: %+v", i, ci, wc)
+			}
+			if wc.Offloaded == 0 && wc.P99 != 0 {
+				t.Fatalf("window %d class %d quantiles without samples: %+v", i, ci, wc)
+			}
+		}
+		for li, u := range win.TierUtil {
+			if !(u >= 0) || math.IsInf(u, 0) {
+				t.Fatalf("window %d tier %d utilization %v", i, li, u)
+			}
+		}
+	}
+	if prevEnd != res.SimEnd {
+		t.Fatalf("windows end at %v, sim at %v", prevEnd, res.SimEnd)
+	}
+	// Conservation: bytes credit at completion, so a single window can
+	// exceed utilization 1 — but the time-weighted mean across windows
+	// must equal each link's run-wide utilization.
+	for li, name := range ts.Tiers {
+		ti := res.TierNamed(name)
+		var weighted float64
+		for _, win := range ts.Windows {
+			weighted += win.TierUtil[li] * (win.End - win.Start)
+		}
+		if got := weighted / res.SimEnd; math.Abs(got-ti.Utilization) > 1e-9 {
+			t.Fatalf("tier %s: windowed mean utilization %v, run-wide %v", name, got, ti.Utilization)
+		}
+	}
+	if offl != res.Total.Offloaded || dropQ != res.Total.DroppedQueue || dropE != res.Total.DroppedEnergy {
+		t.Fatalf("window sums %d/%d/%d, run totals %d/%d/%d",
+			offl, dropQ, dropE, res.Total.Offloaded, res.Total.DroppedQueue, res.Total.DroppedEnergy)
+	}
+	if res.Total.Offloaded == 0 || res.Total.DroppedQueue == 0 {
+		t.Fatal("scenario no longer exercises offloads and queue drops")
+	}
+
+	var csv, js strings.Builder
+	if err := ts.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if want := 1 + len(ts.Windows)*(len(ts.Classes)+len(ts.Tiers)); len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "window,start_sec,end_sec,kind,name,") {
+		t.Fatalf("CSV header: %q", lines[0])
+	}
+	if err := ts.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"window_sec\": 0.5") {
+		t.Fatalf("JSON missing window_sec: %.120s", js.String())
+	}
+}
+
+// TestTelemetryValidation walks the section's rejection surface and the
+// accepted forms.
+func TestTelemetryValidation(t *testing.T) {
+	base := windowedDemo()
+	ok := base
+	ok.Telemetry = &TelemetryConfig{Streaming: true}
+	if _, err := Run(ok); err != nil {
+		t.Fatalf("streaming without window rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		tel  *TelemetryConfig
+		want string
+	}{
+		{"window without streaming", &TelemetryConfig{WindowSec: 1}, "streaming"},
+		{"negative window", &TelemetryConfig{Streaming: true, WindowSec: -1}, "window"},
+		{"infinite window", &TelemetryConfig{Streaming: true, WindowSec: math.Inf(1)}, "window"},
+	} {
+		sc := base
+		sc.Telemetry = tc.tel
+		if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTelemetryOffIsExact pins that a present-but-disabled telemetry
+// section (streaming: false) runs the legacy exact path: the table is
+// byte-identical to one with no telemetry section at all.
+func TestTelemetryOffIsExact(t *testing.T) {
+	sc := windowedDemo()
+	sc.Telemetry = nil
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Telemetry = &TelemetryConfig{}
+	off, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Table() != off.Table() {
+		t.Fatalf("disabled telemetry perturbed the run:\n%s\nvs\n%s", plain.Table(), off.Table())
+	}
+	if off.TimeSeries != nil {
+		t.Fatal("disabled telemetry produced a time series")
+	}
+}
