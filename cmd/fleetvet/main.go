@@ -1,0 +1,178 @@
+// Command fleetvet runs the repo's determinism-invariant analyzer suite
+// (internal/lint) over the module:
+//
+//	go run ./cmd/fleetvet ./...
+//
+// Patterns are module-relative: "./..." (or no argument) analyzes every
+// package in the module, "./internal/fleet/..." one subtree, and
+// "./internal/fleet" a single package. Only packages a rule guards are
+// loaded and type-checked at all, so a whole-module run costs what the
+// guarded subtree costs.
+//
+// Diagnostics print as file:line:col: rule: message — the go-vet shape
+// CI's problem matchers annotate — and any diagnostic makes the exit
+// status 1 (2 for usage or load errors).
+package main
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"camsim/internal/lint"
+)
+
+func main() {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(run(cwd, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected: the directory whose module
+// is analyzed, the patterns, and the output streams.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetvet:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetvet:", err)
+		return 2
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	rels, err := expandPatterns(root, args)
+	if err != nil {
+		fmt.Fprintln(stderr, "fleetvet:", err)
+		return 2
+	}
+
+	analyzers := lint.All()
+	var diags []lint.Diagnostic
+	for _, rel := range rels {
+		var active []*lint.Analyzer
+		for _, a := range analyzers {
+			if a.AppliesTo(rel) {
+				active = append(active, a)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		importPath := loader.Module()
+		if rel != "" {
+			importPath += "/" + rel
+		}
+		pkg, err := loader.Load(importPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetvet:", err)
+			return 2
+		}
+		diags = append(diags, lint.RunPackage(pkg, active)...)
+	}
+
+	for _, d := range diags {
+		// Paths print module-relative so CI annotations resolve regardless
+		// of the runner's checkout directory.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "fleetvet: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns resolves module-relative package patterns — "./...",
+// "./dir/...", "./dir" — into the sorted set of module-relative package
+// directories containing Go files.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = path.Clean(filepath.ToSlash(pat))
+		rel, recursive := strings.CutSuffix(pat, "/...")
+		if pat == "..." {
+			rel, recursive = "", true
+		}
+		if rel == "." || rel == "" {
+			rel = ""
+		} else {
+			rel = strings.TrimPrefix(rel, "./")
+		}
+		base := filepath.Join(root, filepath.FromSlash(rel))
+		fi, err := os.Stat(base)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("pattern %q: no directory %s", pat, base)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				set[rel] = true
+			}
+			continue
+		}
+		err = filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			if hasGoFiles(p) {
+				r, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				if r == "." {
+					r = ""
+				}
+				set[filepath.ToSlash(r)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	rels := make([]string, 0, len(set))
+	for rel := range set {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+// hasGoFiles reports whether the directory holds at least one non-test
+// Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanTree runs the suite over this repository itself: the tree
+// must be diagnostic-free, because CI gates on exactly this invocation.
+func TestRunCleanTree(t *testing.T) {
+	var out, errw bytes.Buffer
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(cwd, []string{"./..."}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("fleetvet on the repo tree exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", out.String())
+	}
+}
+
+// TestRunFlagsViolations builds a throwaway module seeded with one
+// violation per rule and checks the driver reports each with file:line
+// positions and a failing exit status.
+func TestRunFlagsViolations(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.24\n")
+	write("internal/fleet/scenario.go", `package fleet
+
+// Scenario carries a violation for scenariocopy.
+type Scenario struct {
+	Name  string `+"`json:\"name\"`"+`
+	NoTag int
+}
+`)
+	write("internal/fleet/bad.go", `package fleet
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().Unix()
+}
+
+func order(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func spawn() {
+	go func() {}()
+}
+`)
+	write("cmd/other/main.go", `package main
+
+import "time"
+
+// Outside the guarded scope: fleetvet must ignore this entirely.
+func main() { _ = time.Now() }
+`)
+
+	var out, errw bytes.Buffer
+	code := run(filepath.Join(root, "internal"), []string{"./..."}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"internal/fleet/bad.go:6:", "detsource: wall-clock read time.Now",
+		"internal/fleet/bad.go:11:", "detmap: range over map m collects into",
+		"internal/fleet/bad.go:18:", "detconc: go statement",
+		"internal/fleet/scenario.go:6:", "scenariocopy: field Scenario.NoTag has no json tag",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "cmd/other") {
+		t.Errorf("diagnostic outside the guarded scope:\n%s", got)
+	}
+}
+
+// TestExpandPatterns pins the pattern grammar the driver accepts.
+func TestExpandPatterns(t *testing.T) {
+	root := t.TempDir()
+	for _, rel := range []string{"a", "a/b", "c", "c/testdata/pkg", "d"} {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if rel == "d" {
+			continue // directory with no Go files
+		}
+		if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte("package p\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		patterns []string
+		want     []string
+	}{
+		{[]string{"./..."}, []string{"a", "a/b", "c"}},
+		{[]string{"./a/..."}, []string{"a", "a/b"}},
+		{[]string{"./c"}, []string{"c"}},
+		{[]string{"./a/b", "./c/..."}, []string{"a/b", "c"}},
+	}
+	for _, c := range cases {
+		got, err := expandPatterns(root, c.patterns)
+		if err != nil {
+			t.Errorf("expandPatterns(%v): %v", c.patterns, err)
+			continue
+		}
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("expandPatterns(%v) = %v, want %v", c.patterns, got, c.want)
+		}
+	}
+	if _, err := expandPatterns(root, []string{"./missing"}); err == nil {
+		t.Error("expandPatterns accepted a pattern with no directory")
+	}
+}

@@ -16,6 +16,22 @@
 // sweeper, surfaced as the `camsim fleet` subcommand and the
 // examples/fleet-sweep program.
 //
+// # Determinism invariants
+//
+// Every result the repo reports is reproducible from a scenario's seed:
+// the fleet simulator's goldens are byte-identical across GOMAXPROCS
+// 1, 2 and 8 (the nightly matrix replays them), every seeded draw flows
+// through the value-embedded splitmix64 PRNG with per-entity streams
+// pinned by reference vectors, and one simulation run is one sequential
+// event loop — parallelism exists only between runs, in the sweep
+// worker pool. These invariants are machine-checked by fleetvet
+// (internal/lint, driven by cmd/fleetvet): five analyzers reject map
+// iteration leaks, wall-clock and math/rand sources, in-run
+// concurrency, order-dependent float accumulation, and scenario
+// sections the reflection deep copy or the JSON round trip could not
+// cover. CI's lint job and the nightly matrix both run
+// `go run ./cmd/fleetvet ./...` and fail on any diagnostic.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for
 // paper-vs-measured results, and cmd/camsim for the experiment driver
 // that regenerates every table and figure.

@@ -1,0 +1,253 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// deepCopyScenario clones a scenario by reflection: every pointer,
+// slice and map reachable from the root gets fresh backing storage, and
+// nil-ness is preserved exactly (a nil slice stays nil, a non-nil empty
+// slice stays non-nil empty — the distinction Normalize idempotency
+// checks care about). Because the walk enumerates struct fields by
+// reflection, a new scenario section is covered the moment it is added;
+// the old hand-maintained copy list this replaces had to be extended by
+// hand every time (and PRs 6 and 7 nearly forgot).
+func deepCopyScenario(sc Scenario) Scenario {
+	return deepCopyValue(reflect.ValueOf(sc)).Interface().(Scenario)
+}
+
+// deepCopyValue returns a deep copy of v. It panics on kinds the
+// scenario graph must never contain — channels, funcs, non-nil
+// interfaces, unexported fields — so the fuzz harness fails loudly the
+// moment the Scenario shape breaks the contract scenariocopy enforces
+// statically.
+func deepCopyValue(v reflect.Value) reflect.Value {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return reflect.Zero(v.Type())
+		}
+		out := reflect.New(v.Type().Elem())
+		out.Elem().Set(deepCopyValue(v.Elem()))
+		return out
+	case reflect.Slice:
+		if v.IsNil() {
+			return reflect.Zero(v.Type())
+		}
+		out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out.Index(i).Set(deepCopyValue(v.Index(i)))
+		}
+		return out
+	case reflect.Map:
+		if v.IsNil() {
+			return reflect.Zero(v.Type())
+		}
+		out := reflect.MakeMapWithSize(v.Type(), v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			out.SetMapIndex(deepCopyValue(iter.Key()), deepCopyValue(iter.Value()))
+		}
+		return out
+	case reflect.Struct:
+		out := reflect.New(v.Type()).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			if !out.Field(i).CanSet() {
+				panic(fmt.Sprintf("deepCopy: unexported field %s.%s", v.Type(), v.Type().Field(i).Name))
+			}
+			out.Field(i).Set(deepCopyValue(v.Field(i)))
+		}
+		return out
+	case reflect.Array:
+		out := reflect.New(v.Type()).Elem()
+		for i := 0; i < v.Len(); i++ {
+			out.Index(i).Set(deepCopyValue(v.Index(i)))
+		}
+		return out
+	case reflect.Interface:
+		if v.IsNil() {
+			return reflect.Zero(v.Type())
+		}
+		panic(fmt.Sprintf("deepCopy: non-nil interface of %s", v.Type()))
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		panic(fmt.Sprintf("deepCopy: uncopyable kind %s", v.Kind()))
+	default:
+		return v
+	}
+}
+
+// fillValue sets every field reachable from v to a distinct non-zero
+// value: pointers are allocated, slices get two filled elements, maps
+// one filled entry. The counter makes every leaf unique, so an aliasing
+// bug cannot hide behind two fields that happen to hold equal values.
+func fillValue(v reflect.Value, counter *int) {
+	*counter++
+	switch v.Kind() {
+	case reflect.Pointer:
+		v.Set(reflect.New(v.Type().Elem()))
+		fillValue(v.Elem(), counter)
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < 2; i++ {
+			fillValue(s.Index(i), counter)
+		}
+		v.Set(s)
+	case reflect.Map:
+		m := reflect.MakeMap(v.Type())
+		k := reflect.New(v.Type().Key()).Elem()
+		e := reflect.New(v.Type().Elem()).Elem()
+		fillValue(k, counter)
+		fillValue(e, counter)
+		m.SetMapIndex(k, e)
+		v.Set(m)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillValue(v.Field(i), counter)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillValue(v.Index(i), counter)
+		}
+	case reflect.String:
+		v.SetString(fmt.Sprintf("v%d", *counter))
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(*counter))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(*counter))
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(float64(*counter))
+	default:
+		panic(fmt.Sprintf("fill: unhandled kind %s", v.Kind()))
+	}
+}
+
+// assertNoAliasing walks two structurally equal values in parallel and
+// fails if any pointer, slice backing array, or map is shared between
+// them.
+func assertNoAliasing(t *testing.T, path string, a, b reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Pointer:
+		if a.IsNil() {
+			return
+		}
+		if a.Pointer() == b.Pointer() {
+			t.Errorf("%s: copy shares the pointer with the original", path)
+			return
+		}
+		assertNoAliasing(t, path+".*", a.Elem(), b.Elem())
+	case reflect.Slice:
+		if a.IsNil() {
+			return
+		}
+		if a.Pointer() == b.Pointer() {
+			t.Errorf("%s: copy shares the slice backing array with the original", path)
+			return
+		}
+		for i := 0; i < a.Len(); i++ {
+			assertNoAliasing(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))
+		}
+	case reflect.Map:
+		if a.IsNil() {
+			return
+		}
+		if a.Pointer() == b.Pointer() {
+			t.Errorf("%s: copy shares the map with the original", path)
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			assertNoAliasing(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i))
+		}
+	case reflect.Array:
+		for i := 0; i < a.Len(); i++ {
+			assertNoAliasing(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))
+		}
+	}
+}
+
+// assertAllNonZero fails if any leaf under v is still the zero value —
+// the guarantee that makes the coverage test meaningful: every Scenario
+// field, present and future, is exercised by the copy.
+func assertAllNonZero(t *testing.T, path string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Map:
+		if v.IsNil() {
+			t.Errorf("%s: fill left a nil %s", path, v.Kind())
+			return
+		}
+		switch v.Kind() {
+		case reflect.Pointer:
+			assertAllNonZero(t, path+".*", v.Elem())
+		case reflect.Slice:
+			for i := 0; i < v.Len(); i++ {
+				assertAllNonZero(t, fmt.Sprintf("%s[%d]", path, i), v.Index(i))
+			}
+		case reflect.Map:
+			iter := v.MapRange()
+			for iter.Next() {
+				assertAllNonZero(t, path+"[key]", iter.Value())
+			}
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			assertAllNonZero(t, path+"."+v.Type().Field(i).Name, v.Field(i))
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			assertAllNonZero(t, fmt.Sprintf("%s[%d]", path, i), v.Index(i))
+		}
+	default:
+		if v.IsZero() {
+			t.Errorf("%s: fill left a zero %s", path, v.Kind())
+		}
+	}
+}
+
+// TestDeepCopyScenarioCoversAllFields fills every field of a Scenario —
+// the whole graph, nested sections included — with distinct non-zero
+// values, deep-copies it, and checks the copy is equal but shares no
+// storage. Because fill, copy and the checks all enumerate fields by
+// reflection, adding a Scenario section keeps this test exhaustive with
+// no edits; an unexported or uncopyable field makes the copy panic.
+func TestDeepCopyScenarioCoversAllFields(t *testing.T) {
+	var sc Scenario
+	counter := 0
+	fillValue(reflect.ValueOf(&sc).Elem(), &counter)
+	assertAllNonZero(t, "Scenario", reflect.ValueOf(sc))
+
+	cp := deepCopyScenario(sc)
+	if !reflect.DeepEqual(cp, sc) {
+		t.Fatalf("deep copy differs from original:\n%+v\nvs\n%+v", cp, sc)
+	}
+	assertNoAliasing(t, "Scenario", reflect.ValueOf(cp), reflect.ValueOf(sc))
+
+	// Mutating the copy's nested storage must leave the original intact.
+	cp.Classes[0].Name = "mutated"
+	if sc.Classes[0].Name == "mutated" {
+		t.Error("mutating the copy's Classes wrote through to the original")
+	}
+}
+
+// TestDeepCopyPreservesNilness pins the property the fuzz harness
+// depends on: nil and empty-but-non-nil slices and pointers survive the
+// copy exactly, so reflect.DeepEqual across a copy is an identity
+// check, not a normalization.
+func TestDeepCopyPreservesNilness(t *testing.T) {
+	sc := Scenario{Classes: []Class{}} // non-nil empty
+	cp := deepCopyScenario(sc)
+	if cp.Classes == nil {
+		t.Error("non-nil empty Classes became nil")
+	}
+	if cp.Gateways != nil || cp.Tiers != nil || cp.Global != nil ||
+		cp.Federated != nil || cp.Telemetry != nil {
+		t.Error("nil sections became non-nil")
+	}
+	if !reflect.DeepEqual(cp, sc) {
+		t.Errorf("copy differs: %+v vs %+v", cp, sc)
+	}
+}

@@ -211,46 +211,15 @@ func FuzzScenarioDecode(f *testing.F) {
 		if sc.Cameras() <= 0 {
 			t.Fatalf("valid scenario with %d cameras", sc.Cameras())
 		}
-		// Normalize must be idempotent. Deep-copy the slices first — a
-		// plain struct copy would alias the backing arrays and hide any
-		// second-pass mutation. JSON cannot produce NaN, so DeepEqual's
-		// NaN != NaN quirk cannot misfire here. Gateways and Tiers compare
-		// by elements because the copy turns a non-nil empty slice into nil.
-		norm := sc
-		norm.Classes = append([]Class(nil), sc.Classes...)
-		norm.Gateways = append([]Gateway(nil), sc.Gateways...)
-		norm.Tiers = append([]Tier(nil), sc.Tiers...)
-		for i := range norm.Tiers {
-			if d := norm.Tiers[i].Downlink; d != nil {
-				dd := *d
-				norm.Tiers[i].Downlink = &dd
-			}
-		}
-		if sc.Global != nil {
-			g := *sc.Global
-			norm.Global = &g
-		}
-		if sc.Telemetry != nil {
-			tc := *sc.Telemetry
-			norm.Telemetry = &tc
-		}
-		// Federated is cloned so the second Normalize pass cannot write
-		// through to sc; its idempotency is checked by before/after
-		// snapshot of the same clone, sidestepping the clone's
-		// nil-vs-empty slice normalization.
-		norm.Federated = sc.Federated.Clone()
-		flBefore, _ := json.Marshal(norm.Federated)
+		// Normalize must be idempotent. Deep-copy first — a plain struct
+		// copy would alias the backing storage and hide any second-pass
+		// mutation. The reflection copy (deepcopy_test.go) preserves
+		// nil-vs-empty exactly and covers every section by construction,
+		// so one DeepEqual is the whole check. JSON cannot produce NaN,
+		// so DeepEqual's NaN != NaN quirk cannot misfire here.
+		norm := deepCopyScenario(sc)
 		norm.Normalize()
-		flAfter, _ := json.Marshal(norm.Federated)
-		if string(flBefore) != string(flAfter) {
-			t.Fatalf("Normalize not idempotent on the federated section:\n%s\nvs\n%s", flBefore, flAfter)
-		}
-		gwSame := len(norm.Gateways) == 0 && len(sc.Gateways) == 0 ||
-			reflect.DeepEqual(norm.Gateways, sc.Gateways)
-		tiersSame := len(norm.Tiers) == 0 && len(sc.Tiers) == 0 ||
-			reflect.DeepEqual(norm.Tiers, sc.Tiers)
-		if norm.Uplink != sc.Uplink || !gwSame || !tiersSame || !reflect.DeepEqual(norm.Classes, sc.Classes) ||
-			!reflect.DeepEqual(norm.Global, sc.Global) || !reflect.DeepEqual(norm.Telemetry, sc.Telemetry) {
+		if !reflect.DeepEqual(norm, sc) {
 			t.Fatalf("Normalize not idempotent:\n%+v\nvs\n%+v", norm, sc)
 		}
 		// A parsed scenario must survive a JSON round trip.

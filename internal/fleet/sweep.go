@@ -27,12 +27,14 @@ func Sweep(scenarios []Scenario, workers int) []Outcome {
 	if len(scenarios) == 0 {
 		return out
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
+	jobs := make(chan int) //fleetvet:allow work distribution only; scenario indices carry no simulation state
+	var wg sync.WaitGroup  //fleetvet:allow pool shutdown barrier; no result passes through it
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//fleetvet:allow workers parallelize across independent scenarios; each run stays single-threaded
 		go func() {
 			defer wg.Done()
+			//fleetvet:allow job order is irrelevant: out[i] slots are disjoint per scenario
 			for i := range jobs {
 				res, err := Run(scenarios[i])
 				out[i] = Outcome{Result: res, Err: err}
@@ -40,7 +42,7 @@ func Sweep(scenarios []Scenario, workers int) []Outcome {
 		}()
 	}
 	for i := range scenarios {
-		jobs <- i
+		jobs <- i //fleetvet:allow dispatch order cannot reach results; outcomes index by input position
 	}
 	close(jobs)
 	wg.Wait()

@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestDetmap(t *testing.T)       { runTestdata(t, Detmap, "detmap") }
+func TestDetsource(t *testing.T)    { runTestdata(t, Detsource, "detsource") }
+func TestDetconc(t *testing.T)      { runTestdata(t, Detconc, "detconc") }
+func TestFloatsum(t *testing.T)     { runTestdata(t, Floatsum, "floatsum") }
+func TestScenariocopy(t *testing.T) { runTestdata(t, Scenariocopy, "scenariocopy") }

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detconc flags concurrency inside the deterministic core: go
+// statements, channel types and operations, select, and references to
+// the sync / sync/atomic packages. One simulation run must be a single
+// sequential event loop — the byte-identical-across-GOMAXPROCS golden
+// contract holds because parallelism exists only *between* runs. The
+// sole sanctioned exception today is sweep.go's worker pool, which
+// parallelizes across already-independent scenarios and carries
+// //fleetvet:allow annotations at each site.
+var Detconc = &Analyzer{
+	Name:  "detconc",
+	Doc:   "no goroutines, channels, select or sync primitives inside the deterministic core",
+	Scope: "internal/fleet",
+	Run:   runDetconc,
+}
+
+func runDetconc(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "go statement in the deterministic core: one run is one sequential event loop")
+			case *ast.SendStmt:
+				p.Reportf(n.Pos(), "channel send in the deterministic core")
+			case *ast.SelectStmt:
+				p.Reportf(n.Pos(), "select in the deterministic core")
+			case *ast.ChanType:
+				p.Reportf(n.Pos(), "channel type in the deterministic core")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					p.Reportf(n.Pos(), "channel receive in the deterministic core")
+				}
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						p.Reportf(n.Pos(), "range over channel in the deterministic core")
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj, path, ok := p.PkgFunc(n); ok && (path == "sync" || path == "sync/atomic") {
+					p.Reportf(n.Pos(), "%s primitive %s.%s in the deterministic core: scheduling order would leak into results",
+						path, n.X.(*ast.Ident).Name, obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

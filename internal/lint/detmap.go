@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detmap flags `range` over a map inside the deterministic core. Go
+// randomizes map iteration order per run, so any map range whose body
+// can observe the order — appending to output, accumulating floats,
+// starting transfers — makes a seeded run diverge. The one shape the
+// rule recognizes as order-insensitive by construction is key/value
+// collection: a body consisting solely of append statements whose
+// targets are all passed to a sort call later in the same function.
+// Anything else needs an explicit //fleetvet:allow <reason>.
+var Detmap = &Analyzer{
+	Name:  "detmap",
+	Doc:   "range over a map in the deterministic core must collect-and-sort or carry an allow annotation",
+	Scope: "internal/fleet",
+	Run:   runDetmap,
+}
+
+func runDetmap(p *Pass) {
+	for _, f := range p.Files {
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			inspectShallow(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(p.Info, rng.X) {
+					return true
+				}
+				targets := collectTargets(rng.Body)
+				if targets == nil {
+					p.Reportf(rng.Pos(), "range over map %s: iteration order is randomized per run; collect the keys and sort, or annotate %s <reason>",
+						types.ExprString(rng.X), AllowDirective)
+					return true
+				}
+				for name := range targets {
+					if !sortedAfter(p, body, rng.End(), name) {
+						p.Reportf(rng.Pos(), "range over map %s collects into %q but never sorts it: the collected order is the randomized map order",
+							types.ExprString(rng.X), name)
+						break
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// collectTargets reports whether the loop body is pure key/value
+// collection — every statement an append into a local slice — and
+// returns the target names. nil means the body does something else.
+// Map order reaches the targets, so they must be sorted before use.
+func collectTargets(body *ast.BlockStmt) map[string]bool {
+	targets := make(map[string]bool)
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return nil
+		}
+		arg0, ok := call.Args[0].(*ast.Ident)
+		if !ok || arg0.Name != lhs.Name {
+			return nil
+		}
+		targets[lhs.Name] = true
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	return targets
+}
+
+// sortedAfter reports whether, past pos, the enclosing function body
+// passes the named variable to a sort.* or slices.* call — the "then
+// sorted" half of the collect-then-sort exemption.
+func sortedAfter(p *Pass, body *ast.BlockStmt, pos token.Pos, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		_, path, ok := p.PkgFunc(sel)
+		if !ok || (path != "sort" && path != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

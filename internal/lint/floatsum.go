@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatsum flags floating-point accumulation inside a map-range loop:
+// `sum += v` or `sum = sum + v` where sum is a float and the loop ranges
+// over a map. Float addition is not associative, so a total folded in
+// randomized map order differs in the last bits from run to run — the
+// exact kind of drift that shifts a golden three PRs after the loop
+// landed. Integer accumulation commutes exactly and is not flagged
+// (detmap still governs the loop itself). Fix by collecting and sorting
+// before summing, or annotate //fleetvet:allow with the bound argument.
+var Floatsum = &Analyzer{
+	Name:  "floatsum",
+	Doc:   "no floating-point accumulation in map-range loops: the rounded total depends on iteration order",
+	Scope: "internal/fleet",
+	Run:   runFloatsum,
+}
+
+func runFloatsum(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p.Info, rng.X) {
+				return true
+			}
+			inspectShallow(rng.Body, func(b ast.Node) bool {
+				as, ok := b.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				switch {
+				case as.Tok == token.ADD_ASSIGN && isFloatType(p.Info, as.Lhs[0]):
+					p.Reportf(as.Pos(), "floating-point += of %s inside a map-range loop: the rounded sum depends on randomized iteration order",
+						types.ExprString(as.Lhs[0]))
+				case as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 &&
+					isFloatType(p.Info, as.Lhs[0]) && readdsLhs(as):
+					p.Reportf(as.Pos(), "floating-point accumulation of %s inside a map-range loop: the rounded sum depends on randomized iteration order",
+						types.ExprString(as.Lhs[0]))
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// readdsLhs reports whether a plain assignment is self-accumulation in
+// disguise: x = x + ... (or ... + x).
+func readdsLhs(as *ast.AssignStmt) bool {
+	bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	lhs := types.ExprString(as.Lhs[0])
+	return types.ExprString(bin.X) == lhs || types.ExprString(bin.Y) == lhs
+}

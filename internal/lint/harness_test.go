@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runTestdata loads testdata/src/<name> as one package, runs the single
+// analyzer over it, and diffs the diagnostics against the `// want`
+// comments in the sources: a comment `// want "re"` (several quoted
+// regexps allowed per comment) on a line asserts one matching
+// diagnostic at that line, and any line without one asserts silence.
+func runTestdata(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading testdata package %s: %v", name, err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{filepath.Base(pos.Filename), pos.Line}
+				for _, pat := range splitQuoted(t, pos.String(), rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted segments of a want comment.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			break
+		}
+		s = s[start+1:]
+		end := strings.IndexByte(s, '"')
+		if end < 0 {
+			t.Fatalf("%s: unterminated quote in want comment", pos)
+		}
+		pats = append(pats, s[:end])
+		s = s[end+1:]
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s: want comment with no quoted regexp", pos)
+	}
+	return pats
+}
+
+// countFuncs is a trivial Run helper for framework-level tests: an
+// analyzer that reports every function declaration.
+func reportAllFuncs(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				p.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// TestBareAllowIsDiagnosed: a //fleetvet:allow with no reason is itself
+// reported, and — being a framework diagnostic — cannot be suppressed,
+// while it still does NOT suppress the rule diagnostic on its line.
+func TestBareAllowIsDiagnosed(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "allowbare"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &Analyzer{Name: "probe", Doc: "test probe", Scope: "", Run: reportAllFuncs}
+	diags := RunPackage(pkg, []*Analyzer{probe})
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d", d.Analyzer, d.Pos.Line))
+	}
+	// Expect: the framework diagnostic for the bare allow, plus the probe
+	// diagnostic it failed to suppress, plus the probe diagnostic on the
+	// unannotated function. The reasoned allow on the third function
+	// suppresses its probe diagnostic.
+	want := map[string]bool{}
+	for _, d := range diags {
+		want[d.Analyzer] = true
+	}
+	if len(diags) != 3 || !want["fleetvet"] || !want["probe"] {
+		t.Fatalf("got diagnostics %v, want one fleetvet bare-allow report and two unsuppressed probe reports", got)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "fleetvet" && !strings.Contains(d.Message, "needs a reason") {
+			t.Errorf("bare allow diagnostic has message %q", d.Message)
+		}
+	}
+}
+
+// TestAnalyzerScopes pins which subtrees each rule guards.
+func TestAnalyzerScopes(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		rel  string
+		want bool
+	}{
+		{Detmap, "internal/fleet", true},
+		{Detmap, "internal/fleet/fl", true},
+		{Detmap, "internal/fleetother", false},
+		{Detmap, "cmd/camsim", false},
+		{Detsource, "internal/fleet/fl", true},
+		{Detconc, "internal/fleet", true},
+		{Floatsum, "internal/fleet/fl", true},
+		{Scenariocopy, "internal/fleet", true},
+		{Scenariocopy, "internal/fleet/fl", false}, // RootOnly
+		{Scenariocopy, "", false},
+	}
+	for _, c := range cases {
+		if got := c.a.AppliesTo(c.rel); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.a.Name, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestAllAnalyzersDocumented: every analyzer has a name, doc line, scope
+// and run function — the listing contract.
+func TestAllAnalyzersDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Scope != "internal/fleet" {
+			t.Errorf("analyzer %s guards %q; the suite guards the deterministic core", a.Name, a.Scope)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("All() returned %d analyzers, want 5", len(seen))
+	}
+}

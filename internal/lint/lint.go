@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one determinism-invariant rule: a name, a scope (which
+// module-relative package paths it guards), and a Run over one package.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line rule statement shown in listings.
+	Doc string
+	// Scope is the module-relative import-path prefix the rule guards:
+	// "internal/fleet" covers that package and its whole subtree.
+	Scope string
+	// RootOnly restricts the rule to exactly Scope, excluding
+	// subpackages (scenariocopy inspects one specific type).
+	RootOnly bool
+	Run      func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer guards the module-relative
+// package path.
+func (a *Analyzer) AppliesTo(rel string) bool {
+	if rel == a.Scope {
+		return true
+	}
+	if a.RootOnly {
+		return false
+	}
+	return strings.HasPrefix(rel, a.Scope+"/")
+}
+
+// All returns the fleetvet analyzer suite, in fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{Detmap, Detsource, Detconc, Floatsum, Scenariocopy}
+}
+
+// A Pass is one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	report   func(Diagnostic)
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the base name of the file holding pos — the hook for
+// per-file exemptions like detsource's prng.go carve-out.
+func (p *Pass) Filename(pos token.Pos) string {
+	full := p.Fset.Position(pos).Filename
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// PkgFunc resolves a selector to a package-level object: the *types.Func
+// (or other object) behind pkg.Name when X names an imported package,
+// plus that package's import path. ok is false for ordinary field and
+// method selections.
+func (p *Pass) PkgFunc(sel *ast.SelectorExpr) (obj types.Object, path string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return nil, "", false
+	}
+	pn, isPkg := p.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return nil, "", false
+	}
+	obj = p.Info.Uses[sel.Sel]
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, pn.Imported().Path(), true
+}
+
+// A Diagnostic is one rule violation at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowDirective is the suppression annotation: a comment of the form
+// //fleetvet:allow <reason> on — or immediately above — the offending
+// line silences every diagnostic there. The reason is mandatory: an
+// unexplained exemption is itself a diagnostic.
+const AllowDirective = "//fleetvet:allow"
+
+// allowSite is one annotation's location.
+type allowSite struct {
+	file string
+	line int
+}
+
+// RunPackage executes the analyzers over the package, applies the allow
+// annotations, and returns the surviving diagnostics sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+
+	allows := make(map[allowSite]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(rest) == "" {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "fleetvet",
+						Message:  "fleetvet:allow needs a reason: say why this site cannot perturb a seeded run",
+					})
+					continue
+				}
+				allows[allowSite{pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "fleetvet" &&
+			(allows[allowSite{d.Pos.Filename, d.Pos.Line}] || allows[allowSite{d.Pos.Filename, d.Pos.Line - 1}]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// eachFuncBody visits every function body in the file — declarations and
+// literals — exactly once each.
+func eachFuncBody(f *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals: their statements belong to the inner function's own visit.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, isLit := c.(*ast.FuncLit); isLit && c != n {
+			return false
+		}
+		return visit(c)
+	})
+}
+
+// isMapType reports whether the expression's type is a map.
+func isMapType(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloatType reports whether the expression's type is a floating-point
+// kind.
+func isFloatType(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

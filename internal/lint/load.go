@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked package: everything a Pass needs.
+type Package struct {
+	// Path is the package's import path; Rel is the module-relative form
+	// the analyzer scopes match against ("" for the module root package).
+	Path string
+	Rel  string
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the package's non-test sources, in file-name order so
+	// every run visits them identically.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module from source. It is
+// deliberately stdlib-only: module-internal import paths resolve through
+// go.mod's module line plus the directory layout, and everything else
+// (the standard library) is delegated to go/importer's source importer,
+// so the module's no-external-dependency invariant holds for the
+// analysis tooling too.
+type Loader struct {
+	fset   *token.FileSet
+	root   string // module root directory
+	module string // module path from go.mod
+	std    types.Importer
+	pkgs   map[string]*Package
+	active map[string]bool // import-cycle guard
+}
+
+// NewLoader returns a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*Package),
+		active: make(map[string]bool),
+	}, nil
+}
+
+// Module returns the module path go.mod declares.
+func (l *Loader) Module() string { return l.module }
+
+// modulePath reads the module line out of a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Load parses and type-checks the module package at the given import
+// path (which must be the module path or below it), caching the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	rel, ok := l.relPath(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is outside module %s", path, l.module)
+	}
+	if l.active[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.active[path] = true
+	defer delete(l.active, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := newInfo()
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Rel:   rel,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// relPath maps a module import path to its module-relative directory.
+func (l *Loader) relPath(path string) (string, bool) {
+	if path == l.module {
+		return "", true
+	}
+	rel, ok := strings.CutPrefix(path, l.module+"/")
+	return rel, ok
+}
+
+// Import implements types.Importer: module-internal paths load through
+// the loader itself, everything else through the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.relPath(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses every non-test Go file of one directory, with
+// comments (the allow annotations live there), in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo allocates the types.Info maps every pass reads.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// testdataLoad shares one file set and source importer across LoadDir
+// calls, so a test suite type-checks the standard library once instead
+// of once per testdata package.
+var testdataLoad struct {
+	once sync.Once
+	mu   sync.Mutex
+	fset *token.FileSet
+	std  types.Importer
+}
+
+// LoadDir parses and type-checks a single self-contained directory as
+// one package — the golden-diagnostic test harness's loader. The
+// package may import only the standard library.
+func LoadDir(dir string) (*Package, error) {
+	testdataLoad.once.Do(func() {
+		testdataLoad.fset = token.NewFileSet()
+		testdataLoad.std = importer.ForCompiler(testdataLoad.fset, "source", nil)
+	})
+	testdataLoad.mu.Lock()
+	defer testdataLoad.mu.Unlock()
+	fset := testdataLoad.fset
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := newInfo()
+	cfg := types.Config{Importer: testdataLoad.std}
+	path := "fleetvet.test/" + filepath.ToSlash(dir)
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		Path:  path,
+		Rel:   filepath.ToSlash(dir),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory holding a
+// go.mod — the tree fleetvet analyzes.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}

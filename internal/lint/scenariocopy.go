@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// Scenariocopy guards the Scenario type graph: every field of Scenario
+// and every struct reachable from it (nested sections, slices of
+// sections, pointered sections — fl.Config included) must be exported,
+// carry a json tag, and be built from plain data kinds. Three repo
+// invariants lean on that shape at once: the strict JSON decode and
+// marshal/re-parse round trip, reflect.DeepEqual in the Normalize
+// idempotency check, and the reflection-based deep copy the fuzz
+// harness clones scenarios with (an unexported field cannot be set by
+// reflection; a chan, func or interface field cannot be cloned or
+// serialized at all). PRs 6 and 7 each had to remember the old
+// hand-maintained deep copy by hand — this rule plus the reflective
+// copy make forgetting impossible.
+var Scenariocopy = &Analyzer{
+	Name:     "scenariocopy",
+	Doc:      "every Scenario field must be exported, json-tagged, plain data — deep-copyable by reflection",
+	Scope:    "internal/fleet",
+	RootOnly: true,
+	Run:      runScenariocopy,
+}
+
+// scenarioTypeName is the root of the guarded type graph.
+const scenarioTypeName = "Scenario"
+
+func runScenariocopy(p *Pass) {
+	obj := p.Pkg.Scope().Lookup(scenarioTypeName)
+	if obj == nil {
+		p.Reportf(p.Files[0].Name.Pos(), "package %s declares no %s type to guard", p.Pkg.Name(), scenarioTypeName)
+		return
+	}
+	named, ok := types.Unalias(obj.Type()).(*types.Named)
+	if !ok {
+		p.Reportf(obj.Pos(), "%s is not a named type", scenarioTypeName)
+		return
+	}
+	w := &copyWalker{p: p, seen: make(map[*types.Named]bool)}
+	w.walkStruct(named)
+}
+
+// copyWalker traverses the Scenario struct graph once per named type.
+type copyWalker struct {
+	p    *Pass
+	seen map[*types.Named]bool
+}
+
+func (w *copyWalker) walkStruct(named *types.Named) {
+	if w.seen[named] {
+		return
+	}
+	w.seen[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	owner := named.Obj().Name()
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			w.p.Reportf(f.Pos(), "unexported field %s.%s: the reflection deep copy cannot set it and DeepEqual comparisons silently include it",
+				owner, f.Name())
+			continue
+		}
+		switch tag := reflect.StructTag(st.Tag(i)).Get("json"); tag {
+		case "":
+			w.p.Reportf(f.Pos(), "field %s.%s has no json tag: scenario sections must survive the strict decode / re-marshal round trip under a stable name",
+				owner, f.Name())
+		case "-":
+			w.p.Reportf(f.Pos(), "field %s.%s is excluded from JSON: a section the round trip drops is a section the goldens cannot pin",
+				owner, f.Name())
+		}
+		w.walkType(f, owner, f.Type())
+	}
+}
+
+// walkType recurses through a field's type, reporting kinds the
+// reflection copy and the JSON round trip cannot handle, and descending
+// into reachable named structs.
+func (w *copyWalker) walkType(f *types.Var, owner string, t types.Type) {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Named:
+		if _, isStruct := tt.Underlying().(*types.Struct); isStruct {
+			w.walkStruct(tt)
+			return
+		}
+		w.walkType(f, owner, tt.Underlying())
+	case *types.Pointer:
+		w.walkType(f, owner, tt.Elem())
+	case *types.Slice:
+		w.walkType(f, owner, tt.Elem())
+	case *types.Array:
+		w.walkType(f, owner, tt.Elem())
+	case *types.Map:
+		w.walkType(f, owner, tt.Key())
+		w.walkType(f, owner, tt.Elem())
+	case *types.Struct:
+		// An anonymous struct type: check its fields in place against the
+		// same rules (no named type to recurse into).
+		for i := 0; i < tt.NumFields(); i++ {
+			sf := tt.Field(i)
+			if !sf.Exported() {
+				w.p.Reportf(f.Pos(), "unexported field %s in the anonymous struct under %s.%s", sf.Name(), owner, f.Name())
+				continue
+			}
+			w.walkType(sf, owner+"."+f.Name(), sf.Type())
+		}
+	case *types.Chan:
+		w.p.Reportf(f.Pos(), "field %s.%s contains a channel: not serializable, not deep-copyable", owner, f.Name())
+	case *types.Signature:
+		w.p.Reportf(f.Pos(), "field %s.%s contains a func: not serializable, not deep-copyable", owner, f.Name())
+	case *types.Interface:
+		w.p.Reportf(f.Pos(), "field %s.%s contains an interface: the concrete type is invisible to the round trip and the deep copy", owner, f.Name())
+	}
+}

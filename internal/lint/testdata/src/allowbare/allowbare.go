@@ -1,0 +1,11 @@
+// Package allowbare exercises the annotation framework itself: a bare
+// //fleetvet:allow is a diagnostic and suppresses nothing; a reasoned
+// one suppresses the line it covers.
+package allowbare
+
+func one() {} //fleetvet:allow
+
+func two() {}
+
+//fleetvet:allow covered by the integration suite; probe noise only
+func three() {}

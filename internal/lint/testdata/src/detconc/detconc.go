@@ -1,0 +1,60 @@
+// Package detconc exercises the detconc rule: no goroutines, channels,
+// select or sync primitives in the deterministic core.
+package detconc
+
+import "sync"
+
+// spawn starts a goroutine and feeds it through a channel.
+func spawn(n int) {
+	ch := make(chan int) // want "channel type in the deterministic core"
+	go func() {          // want "go statement in the deterministic core"
+		for range ch { // want "range over channel in the deterministic core"
+		}
+	}()
+	ch <- n // want "channel send in the deterministic core"
+	close(ch)
+}
+
+// receive pulls from a channel parameter; the parameter's own channel
+// type is flagged too.
+func receive(ch chan int) int { // want "channel type in the deterministic core"
+	return <-ch // want "channel receive in the deterministic core"
+}
+
+// locked reaches for a sync primitive.
+func locked() {
+	var mu sync.Mutex // want "sync primitive sync.Mutex"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// choose multiplexes over channels.
+func choose(a, b chan int) int { // want "channel type in the deterministic core"
+	select { // want "select in the deterministic core"
+	case v := <-a: // want "channel receive in the deterministic core"
+		return v
+	case v := <-b: // want "channel receive in the deterministic core"
+		return v
+	}
+}
+
+// sequential is the shape the core is made of: nothing to flag.
+func sequential(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// annotatedPool mirrors sweep.go's sanctioned sites: reasoned allows
+// silence every diagnostic.
+func annotatedPool(n int) {
+	done := make(chan bool) //fleetvet:allow completion signal only; no simulation state crosses it
+	//fleetvet:allow parallelism between independent units, not within a run
+	go func() {
+		done <- true //fleetvet:allow completion signal only
+	}()
+	<-done //fleetvet:allow completion signal only
+	_ = n
+}

@@ -1,0 +1,76 @@
+// Package detmap exercises the detmap rule: range over a map must be
+// collect-then-sort, annotated, or flagged.
+package detmap
+
+import (
+	"sort"
+	"strings"
+)
+
+// bad observes map iteration order directly.
+func bad(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "iteration order is randomized per run"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// collectThenSort is the blessed shape: append-only body, sorted after.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSortSlice sorts through sort.Slice instead of sort.Strings.
+func collectThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// collectUnsorted collects but never sorts: the slice holds map order.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorts it"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// annotated carries a reasoned allow and is silenced.
+func annotated(m map[string]int) int {
+	n := 0
+	//fleetvet:allow order-insensitive count; the body only increments
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sliceRange is out of the rule's jurisdiction entirely.
+func sliceRange(xs []string) string {
+	var b strings.Builder
+	for _, x := range xs {
+		b.WriteString(x)
+	}
+	return b.String()
+}
+
+// sortedBefore collects into a slice sorted only BEFORE the loop: the
+// post-loop order is still map order, so the rule fires.
+func sortedBefore(m map[string]int) []string {
+	keys := []string{"seed"}
+	sort.Strings(keys)
+	for k := range m { // want "never sorts it"
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,47 @@
+// Package detsource exercises the detsource rule: wall-clock reads and
+// math/rand use outside prng.go are flagged; types and the exempt file
+// are not.
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clockRead draws from the host clock.
+func clockRead() int64 {
+	t := time.Now() // want "wall-clock read time.Now"
+	return t.Unix()
+}
+
+// clockDelta measures wall time.
+func clockDelta(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+// globalDraw pulls from the process-global stream.
+func globalDraw() float64 {
+	return rand.Float64() // want "global math/rand draw rand.Float64"
+}
+
+// freshGenerator builds a second PRNG family: two diagnostics on one
+// line, the constructor and the source constructor.
+func freshGenerator() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want "rand.New outside prng.go" "rand.NewSource outside prng.go"
+}
+
+// typeReference names math/rand types without drawing: inert.
+func typeReference(src rand.Source64) rand.Source {
+	return src
+}
+
+// durationArith uses time the deterministic way: constants and
+// arithmetic, no clock.
+func durationArith(d time.Duration) time.Duration {
+	return d + 5*time.Second
+}
+
+// annotated carries a reasoned allow and is silenced.
+func annotated() float64 {
+	return rand.Float64() //fleetvet:allow test fixture jitter outside any golden path
+}

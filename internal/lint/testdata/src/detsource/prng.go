@@ -1,0 +1,9 @@
+package detsource
+
+import "math/rand"
+
+// newStream lives in prng.go, the one file sanctioned to build
+// generators; detsource must stay silent here.
+func newStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,67 @@
+// Package floatsum exercises the floatsum rule: floating-point
+// accumulation in map-range loops depends on iteration order.
+package floatsum
+
+import "sort"
+
+// plusEquals folds floats in map order.
+func plusEquals(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point \+= of total inside a map-range loop"
+	}
+	return total
+}
+
+// rewritten hides the fold behind a plain assignment.
+func rewritten(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "floating-point accumulation of total inside a map-range loop"
+	}
+	return total
+}
+
+// intFold accumulates integers: exact, commutative, not flagged by this
+// rule (detmap still owns the loop itself).
+func intFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceFold folds floats over a slice: order is the slice order,
+// deterministic, not flagged.
+func sliceFold(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// sortedFold is the fix the rule's message prescribes: collect, sort,
+// then fold in deterministic order.
+func sortedFold(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// annotated carries a reasoned allow on the accumulation line.
+func annotated(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //fleetvet:allow diagnostic-only counter; never compared against a golden
+	}
+	return total
+}

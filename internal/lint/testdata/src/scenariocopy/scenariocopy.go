@@ -1,0 +1,37 @@
+// Package scenariocopy exercises the scenariocopy rule over a Scenario
+// type graph seeded with every violation class.
+package scenariocopy
+
+// Scenario is the guarded root type.
+type Scenario struct {
+	Name     string         `json:"name"`
+	Seed     uint64         `json:"seed"`
+	hidden   int            // want "unexported field Scenario.hidden"
+	NoTag    int            // want "field Scenario.NoTag has no json tag"
+	Skipped  int            `json:"-"`       // want "field Scenario.Skipped is excluded from JSON"
+	Notify   chan int       `json:"notify"`  // want "field Scenario.Notify contains a channel"
+	Hook     func() error   `json:"hook"`    // want "field Scenario.Hook contains a func"
+	Payload  any            `json:"payload"` // want "field Scenario.Payload contains an interface"
+	Sections []Section      `json:"sections"`
+	Extra    *Extra         `json:"extra,omitempty"`
+	Counts   map[string]int `json:"counts"`
+	Loose    any            `json:"loose"` //fleetvet:allow scratch field under migration; excluded from every golden
+}
+
+// Section is reachable through a slice: its fields are checked too.
+type Section struct {
+	Label string `json:"label"`
+	debug bool   // want "unexported field Section.debug"
+	Items []Item `json:"items"`
+}
+
+// Item is fully clean: nothing wanted here.
+type Item struct {
+	ID    int     `json:"id"`
+	Value float64 `json:"value"`
+}
+
+// Extra is reached through a pointer; arrays of plain data are fine.
+type Extra struct {
+	Weights [4]float64 `json:"weights"`
+}
