@@ -25,6 +25,7 @@ func cmdFleet(args []string) error {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	scenario := fs.String("scenario", "", "run one JSON scenario file instead of the built-in sweep (other flags ignored)")
 	timeseries := fs.String("timeseries", "", "with -scenario: write the windowed telemetry time series to this file (.json for JSON, else CSV)")
+	fs.Usage = fleetUsage(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

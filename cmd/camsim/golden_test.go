@@ -61,6 +61,7 @@ func TestGoldenOutputsAcrossGOMAXPROCS(t *testing.T) {
 		{"topo", cmdTopo, []string{"-duration", "3", "-seed", "1"}},
 		{"topo-depth", cmdTopo, []string{"-duration", "3", "-seed", "1", "-depth", "3"}},
 		{"topo-global", cmdTopo, []string{"-duration", "6", "-seed", "1", "-global"}},
+		{"topo-compute", cmdTopo, []string{"-duration", "6", "-seed", "1", "-compute"}},
 		{"topo-fl", cmdTopo, []string{"-duration", "8", "-seed", "1", "-fl"}},
 	}
 	for _, tc := range cases {

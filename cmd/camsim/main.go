@@ -39,7 +39,11 @@
 // where per-link forwarding costs make raw offload expensive, compared
 // across no energy policy, the per-class energy-latency policy, and the
 // global controller that sheds watts only down to a fleet-wide power
-// budget. `camsim topo -fl` makes the tier tree bidirectional: the fleet
+// budget. `camsim topo -compute` gives every tier a finite core pool:
+// frames queue for service after transit, so a fleet with half-idle
+// links can still congest a gateway's cores, and placement becomes the
+// joint network+compute decision — shipping fewer bytes also needs less
+// tier service. `camsim topo -fl` makes the tier tree bidirectional: the fleet
 // trains a model with round-structured federated learning, update blobs
 // aggregated in-network on the way up and the merged model broadcast
 // back down per-tier downlinks. Both `fleet` and `topo` also accept
@@ -48,6 +52,11 @@
 // rejected); a scenario whose telemetry section sets streaming with a
 // window_sec can add `-timeseries out.csv` (or out.json) to write its
 // windowed per-class latency/drop/utilization time series to disk.
+//
+// The scenario format is documented in the camsim/internal/fleet package
+// comment; ARCHITECTURE.md at the repository root maps the simulator
+// design (event loop, link layout, seed families, controllers) these
+// experiments drive.
 package main
 
 import (

@@ -18,6 +18,7 @@ import (
 const (
 	exampleScenario   = "../../examples/energy-placement/scenario.json"
 	federatedScenario = "../../examples/federated-fleet/scenario.json"
+	computeScenario   = "../../examples/compute-placement/scenario.json"
 )
 
 // TestScenarioFileRoundTrip pins the file-driven scenario surface: the
@@ -75,6 +76,46 @@ func TestFederatedScenarioFileRoundTrip(t *testing.T) {
 	}
 	if sc.Federated == nil || sc.Tiers[0].Downlink == nil {
 		t.Fatalf("example scenario lost its federated sections: %+v", sc)
+	}
+	out, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := fleet.ParseScenario(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\njson: %s", err, out)
+	}
+	if !reflect.DeepEqual(sc, again) {
+		t.Fatalf("round trip changed the scenario:\n%+v\nvs\n%+v", sc, again)
+	}
+	r1, err := fleet.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fleet.Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() {
+		t.Fatalf("round-tripped scenario runs differently:\n%s\nvs\n%s", r1.Table(), r2.Table())
+	}
+}
+
+// TestComputeScenarioFileRoundTrip gives the compute example the same
+// codec guarantee: the per-tier compute sections — core pools, service
+// rates, per-class service_sec overrides, disciplines — must survive a
+// marshal → re-parse round trip and replay to the identical table.
+func TestComputeScenarioFileRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(computeScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fleet.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Tiers[0].Compute == nil || len(sc.Tiers[0].Compute.ServiceSec) == 0 {
+		t.Fatalf("example scenario lost its compute sections: %+v", sc)
 	}
 	out, err := json.Marshal(sc)
 	if err != nil {

@@ -32,6 +32,12 @@ import (
 // round-structured federated learning over the frame traffic, pushing
 // per-camera updates up the tree (aggregated in-network at each tier)
 // and receiving the merged model back down the new tier downlinks.
+//
+// With -compute every tier owns a finite core pool and frames queue for
+// service after transit, so the experiment becomes the joint
+// network+compute placement problem: a fleet whose links are half idle
+// can still drown a gateway's cores, and only placement that shrinks
+// the shipped payload relieves them.
 func cmdTopo(args []string) error {
 	fs := flag.NewFlagSet("topo", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -39,9 +45,11 @@ func cmdTopo(args []string) error {
 	depth := fs.Int("depth", 0, "network tiers between camera and cloud (0 = classic two-gateway demo, ≥2 = gateway→metro→core chain)")
 	global := fs.Bool("global", false, "run the energy-aware placement demo (static vs energy-latency vs global budget)")
 	flDemo := fs.Bool("fl", false, "run the federated-learning demo (in-network aggregation over bidirectional tiers)")
+	compute := fs.Bool("compute", false, "run the finite-compute demo (per-tier core pools; static vs adaptive vs global)")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	scenario := fs.String("scenario", "", "run one JSON scenario file instead of the built-in demo (other flags ignored)")
 	timeseries := fs.String("timeseries", "", "with -scenario: write the windowed telemetry time series to this file (.json for JSON, else CSV)")
+	fs.Usage = topoUsage(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,16 +62,22 @@ func cmdTopo(args []string) error {
 	if *depth != 0 && *depth < 2 {
 		return fmt.Errorf("topo: -depth must be 0 (classic demo) or ≥ 2, got %d", *depth)
 	}
-	if *flDemo && (*global || *depth != 0) {
-		return fmt.Errorf("topo: -fl, -global and -depth are separate demos; pick one")
+	demos := 0
+	for _, on := range []bool{*flDemo, *global, *compute, *depth != 0} {
+		if on {
+			demos++
+		}
+	}
+	if demos > 1 {
+		return fmt.Errorf("topo: -fl, -global, -compute and -depth are separate demos; pick one")
 	}
 	if *flDemo {
 		return reportFederatedTopo(*seed, *duration)
 	}
+	if *compute {
+		return reportComputeTopo(*seed, *duration, *workers)
+	}
 	if *global {
-		if *depth != 0 {
-			return fmt.Errorf("topo: -global and -depth are separate demos; pick one")
-		}
 		return reportGlobalTopo(*seed, *duration, *workers)
 	}
 

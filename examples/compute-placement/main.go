@@ -1,0 +1,82 @@
+// Compute-placement: finite compute at every tier, driven from a JSON
+// scenario file (the same format `camsim topo -scenario` loads).
+//
+// The gateway owns a single core that services 25 reference frames a
+// second, and four cameras offload 40 raw frames a second at it: the
+// network link is half idle, but every frame must be serviced before the
+// uplink forwards it, so a compute queue grows where a network-only
+// model sees a healthy fleet. Service demand scales with the bytes a
+// placement ships — the "edge" row offloads a 10×-smaller payload and
+// needs 10× less tier service — so the cameras' hysteresis policy, which
+// only watches end-to-end latency, ends up relieving the core pool too:
+// the program runs the scenario once with the policy pinned static and
+// once adaptive, and prints the gateway pool's utilization and
+// queueing-wait p95 next to each class's latency, plus the per-row delay
+// floors (Scenario.RowDelaySeconds) the controllers price.
+package main
+
+import (
+	_ "embed"
+	"fmt"
+
+	"camsim/internal/fleet"
+)
+
+//go:embed scenario.json
+var scenarioJSON []byte
+
+func main() {
+	adaptive, err := fleet.ParseScenario(scenarioJSON)
+	if err != nil {
+		panic(err)
+	}
+	static := adaptive
+	static.Name = adaptive.Name + "/static"
+	static.Classes = append([]fleet.Class(nil), adaptive.Classes...)
+	for i := range static.Classes {
+		static.Classes[i].Policy.Kind = fleet.PolicyStatic
+	}
+
+	outcomes := fleet.Sweep([]fleet.Scenario{static, adaptive}, 0)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			panic(o.Err)
+		}
+	}
+
+	fmt.Printf("compute-placement: %d cameras, %gs simulated\n\n",
+		adaptive.Cameras(), adaptive.Duration)
+
+	fmt.Println("placement delay floors at the gateway (in-camera compute + expected tier service):")
+	for _, cl := range adaptive.Classes {
+		rows, err := adaptive.RowDelaySeconds(cl.Name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-4s", cl.Name)
+		for ri, d := range rows {
+			name := fmt.Sprintf("row%d", ri)
+			if ri < len(cl.Placements) {
+				name = cl.Placements[ri].Name
+			}
+			fmt.Printf("  %s %s", name, fleet.FormatLatency(d))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	fmt.Printf("%-10s %10s %12s %10s %10s %8s\n",
+		"policy", "gw-cpu", "gw-wait-p95", "cam-p95", "fa-p95", "dropQ")
+	for i, name := range []string{"static", "hysteresis"} {
+		r := outcomes[i].Result
+		gw := r.TierNamed("gw").Compute
+		fmt.Printf("%-10s %9.1f%% %12s %10s %10s %8d\n",
+			name, gw.Utilization*100, fleet.FormatLatency(gw.WaitP95),
+			fleet.FormatLatency(r.Classes[0].LatencyP95),
+			fleet.FormatLatency(r.Classes[1].LatencyP95),
+			r.Total.DroppedQueue)
+	}
+
+	fmt.Println("\nadaptive run in full:")
+	fmt.Print(outcomes[1].Result.Table())
+}

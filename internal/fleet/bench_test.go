@@ -145,3 +145,44 @@ func BenchmarkFederatedRound(b *testing.B) {
 	}
 	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/run")
 }
+
+// BenchmarkComputeTiers prices the finite-core-pool path: the 10k-camera
+// deep topology with a compute section on all 41 tiers, sized so every
+// pool runs near 80% utilization — each frame queues for service at
+// three pools (gateway, metro, core) on top of its link transits, with
+// the gateways on egalitarian fair-share and the upper tiers on FIFO so
+// both service heaps are in the hot loop. The alloc counters are the
+// regression surface: pool stepping reuses the same free-listed transfer
+// records the links do, so allocs/op must not grow with the frame count.
+// Baselines live in BENCH_topology.json and are gated by cmd/benchgate
+// in CI.
+func BenchmarkComputeTiers(b *testing.B) {
+	sc := deepFleetScenario(10_000)
+	// 625 offered fps per gateway × 5 ms service = 3.125 core-sec/s.
+	for i := range sc.Tiers {
+		t := &sc.Tiers[i]
+		switch {
+		case t.Name == "core":
+			t.Compute = &ComputeConfig{Cores: 128, ServiceRateFPS: 200}
+		case len(t.Name) > 5 && t.Name[:5] == "metro":
+			t.Compute = &ComputeConfig{Cores: 16, ServiceRateFPS: 200}
+		default:
+			t.Compute = &ComputeConfig{Cores: 4, ServiceRateFPS: 200,
+				Discipline: ContentionFairShare}
+		}
+	}
+	b.ReportAllocs()
+	var busy float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ts := range res.Tiers {
+			if ts.Compute != nil {
+				busy += ts.Compute.BusySec
+			}
+		}
+	}
+	b.ReportMetric(busy/float64(b.N), "core-sec/run")
+}

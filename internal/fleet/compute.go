@@ -1,0 +1,496 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+)
+
+// ComputeConfig is the optional per-tier "compute" scenario section: a
+// finite pool of identical cores that services every offloaded frame a
+// tier forwards, before the frame enters the tier's uplink. Without it a
+// tier's processing is free and instantaneous — only links are contended
+// — which prices gateway and cloud compute as infinite and lets the
+// placement controllers solve only half of the paper's problem. With it,
+// end-to-end latency becomes capture → in-camera compute → per-hop
+// (queueing + service + transmission + propagation) → done, and a
+// congested tier costs real delay.
+//
+// Service demand scales with the payload. The per-class service time
+// (an explicit ServiceSec entry, or 1/ServiceRateFPS) is the cost of the
+// class's *reference* payload — its largest placement row, or FrameBytes
+// when it has no table. A frame carrying fewer bytes is serviced
+// proportionally faster: the byte count is the simulator's proxy for how
+// much of the vision pipeline remains (each in-camera stage shrinks the
+// payload it ships), so a placement row that does more work in the
+// camera leaves less work for every tier on the path. That coupling is
+// what makes placement a joint network+compute decision rather than a
+// pure bandwidth one.
+//
+// Federated-learning traffic (update blobs and model broadcasts) rides
+// the links directly and never queues for tier compute: the rounds model
+// aggregation as free at the tier, and pricing it would change FL
+// scenarios that predate this section.
+type ComputeConfig struct {
+	// Cores is the number of identical servers in the pool. Normalize
+	// defaults an unset (zero) value to 1.
+	Cores int `json:"cores,omitempty"`
+	// ServiceRateFPS is the default per-core service rate, in
+	// reference-payload frames per second, for classes without an explicit
+	// ServiceSec entry. One frame at the class's reference payload
+	// occupies one core for 1/ServiceRateFPS seconds.
+	ServiceRateFPS float64 `json:"service_rate_fps,omitempty"`
+	// ServiceSec gives per-class service times that override
+	// ServiceRateFPS. Every offloading class whose path crosses the tier
+	// must resolve a service time one way or the other.
+	ServiceSec []ClassServiceSec `json:"service_sec,omitempty"`
+	// Discipline is how waiting frames share the pool: ContentionFIFO
+	// (the default — frames are served in arrival order, one core each)
+	// or ContentionFairShare (egalitarian processor sharing across the
+	// pool, each frame capped at one core's rate).
+	Discipline string `json:"discipline,omitempty"`
+}
+
+// ClassServiceSec is one per-class service-time override in a tier's
+// compute section: frames of Class occupy one core for Sec seconds at
+// the class's reference payload.
+type ClassServiceSec struct {
+	Class string  `json:"class"`
+	Sec   float64 `json:"sec"`
+}
+
+// normalize fills the section's defaulted fields in place (idempotent).
+func (cc *ComputeConfig) normalize() {
+	if cc.Cores == 0 {
+		cc.Cores = 1
+	}
+	if cc.Discipline == "" {
+		cc.Discipline = ContentionFIFO
+	}
+}
+
+// serviceSecFor resolves the per-frame service time for the named class
+// at its reference payload: an explicit ServiceSec entry wins, then the
+// ServiceRateFPS default. Zero means unresolvable (validation rejects
+// that for classes whose frames actually cross the tier).
+func (cc *ComputeConfig) serviceSecFor(class string) float64 {
+	for _, e := range cc.ServiceSec {
+		if e.Class == class {
+			return e.Sec
+		}
+	}
+	if cc.ServiceRateFPS > 0 {
+		return 1 / cc.ServiceRateFPS
+	}
+	return 0
+}
+
+// referenceBytes is the payload the class's compute service times are
+// quoted against: the largest placement row, or FrameBytes without a
+// table. Zero means the class never offloads a frame.
+func (c *Class) referenceBytes() float64 {
+	ref := float64(c.FrameBytes)
+	for _, p := range c.Placements {
+		if b := float64(p.FrameBytes); b > ref {
+			ref = b
+		}
+	}
+	return ref
+}
+
+// validateComputeNodes checks every tier's compute section against the
+// resolved tree: well-formed pool parameters, known discipline and
+// classes, and a resolvable service time for every offloading class
+// whose offload path crosses the tier.
+func (sc *Scenario) validateComputeNodes(nodes []tierNode) error {
+	any := false
+	for _, nd := range nodes {
+		cc := nd.Compute
+		if cc == nil {
+			continue
+		}
+		any = true
+		if cc.Cores < 0 {
+			return fmt.Errorf("fleet: tier %q: compute cores %d must be positive", nd.Name, cc.Cores)
+		}
+		if !(cc.ServiceRateFPS >= 0) || math.IsInf(cc.ServiceRateFPS, 0) {
+			return fmt.Errorf("fleet: tier %q: compute service rate %v fps must be finite and non-negative",
+				nd.Name, cc.ServiceRateFPS)
+		}
+		if cc.Discipline != "" && cc.Discipline != ContentionFIFO && cc.Discipline != ContentionFairShare {
+			return fmt.Errorf("fleet: tier %q: unknown compute discipline %q", nd.Name, cc.Discipline)
+		}
+		if cc.ServiceRateFPS == 0 && len(cc.ServiceSec) == 0 {
+			return fmt.Errorf("fleet: tier %q: compute needs service_rate_fps or service_sec", nd.Name)
+		}
+		seen := make(map[string]bool, len(cc.ServiceSec))
+		for _, e := range cc.ServiceSec {
+			if e.Class == "" {
+				return fmt.Errorf("fleet: tier %q: compute service_sec entry names no class", nd.Name)
+			}
+			if seen[e.Class] {
+				return fmt.Errorf("fleet: tier %q: duplicate compute service_sec for class %q", nd.Name, e.Class)
+			}
+			seen[e.Class] = true
+			known := false
+			for i := range sc.Classes {
+				if sc.Classes[i].Name == e.Class {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("fleet: tier %q: compute service_sec names unknown class %q", nd.Name, e.Class)
+			}
+			if !(e.Sec > 0) || math.IsInf(e.Sec, 0) {
+				return fmt.Errorf("fleet: tier %q: compute service %v sec for class %q must be positive and finite",
+					nd.Name, e.Sec, e.Class)
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Every offloading class must resolve a service time at every compute
+	// tier its frames actually pass through (attach tier up to the root).
+	for ci := range sc.Classes {
+		c := &sc.Classes[ci]
+		if c.referenceBytes() <= 0 {
+			continue // never offloads, never queues for compute
+		}
+		for ti := classAttachIndex(nodes, c); ti >= 0; ti = nodes[ti].parent {
+			cc := nodes[ti].Compute
+			if cc == nil {
+				continue
+			}
+			if cc.serviceSecFor(c.Name) <= 0 {
+				return fmt.Errorf("fleet: tier %q: compute has no service time for class %q (add a service_sec entry or a service_rate_fps default)",
+					nodes[ti].Name, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// classAttachIndex resolves the class's attach tier to a node index;
+// the root when the class names none.
+func classAttachIndex(nodes []tierNode, c *Class) int {
+	at := c.attach()
+	root := -1
+	for i := range nodes {
+		if at != "" && nodes[i].Name == at {
+			return i
+		}
+		if nodes[i].parent < 0 {
+			root = i
+		}
+	}
+	return root
+}
+
+// computePlan resolves each tier's service scaling: plan[ti][ci] is the
+// service demand in core-seconds per payload byte for class ci's frames
+// at tier ti, so a frame of b bytes occupies plan[ti][ci]×b core-seconds
+// there. plan is nil when no tier declares compute (the infinite-compute
+// fast path), and plan[ti] is nil for tiers without a compute section.
+func computePlan(nodes []tierNode, classes []Class) [][]float64 {
+	var plan [][]float64
+	for ti := range nodes {
+		cc := nodes[ti].Compute
+		if cc == nil {
+			continue
+		}
+		if plan == nil {
+			plan = make([][]float64, len(nodes))
+		}
+		row := make([]float64, len(classes))
+		for ci := range classes {
+			if ref := classes[ci].referenceBytes(); ref > 0 {
+				row[ci] = cc.serviceSecFor(classes[ci].Name) / ref
+			}
+		}
+		plan[ti] = row
+	}
+	return plan
+}
+
+// classPathScale sums a class's per-byte service demand over every
+// compute tier between its attach point and the root: the deterministic
+// compute cost, in core-seconds per byte, of offloading one payload byte
+// end to end. Zero when no compute tier sits on the path.
+func classPathScale(nodes []tierNode, plan [][]float64, ci int, attach int) float64 {
+	if plan == nil {
+		return 0
+	}
+	s := 0.0
+	for ti := attach; ti >= 0; ti = nodes[ti].parent {
+		if plan[ti] != nil {
+			s += plan[ti][ci]
+		}
+	}
+	return s
+}
+
+// classRowDelays prices each placement row's deterministic per-frame
+// delay floor: the row's in-camera compute plus the expected path
+// service time of its payload (offload probability × per-byte path
+// demand × row bytes). Queueing rides on top of this floor at run time;
+// the floor is what the controllers can price before observing it. A
+// class without a placements table gets a single-row table.
+func classRowDelays(c *Class, pathScale float64) []float64 {
+	if len(c.Placements) == 0 {
+		return []float64{c.ComputeSeconds + c.OffloadProb*pathScale*float64(c.FrameBytes)}
+	}
+	rows := make([]float64, len(c.Placements))
+	for i, p := range c.Placements {
+		rows[i] = p.ComputeSeconds + c.OffloadProb*pathScale*float64(p.FrameBytes)
+	}
+	return rows
+}
+
+// RowDelaySeconds reports the named class's per-placement-row delay
+// floor (see classRowDelays) under this scenario's topology and compute
+// sections: index i is the deterministic seconds per frame of placement
+// row i — in-camera compute plus expected tier service — before any
+// queueing. Rows through a congested tier therefore never observe less
+// than this. Returns nil (no error) when no compute tier sits on the
+// class's offload path, and an error for an unknown class or topology.
+func (sc Scenario) RowDelaySeconds(class string) ([]float64, error) {
+	// Normalize a private copy: the receiver is a value, but its slices
+	// are shared with the caller, so re-back anything Normalize writes.
+	sc.Classes = append([]Class(nil), sc.Classes...)
+	sc.Gateways = append([]Gateway(nil), sc.Gateways...)
+	sc.Tiers = append([]Tier(nil), sc.Tiers...)
+	for i := range sc.Tiers {
+		if cp := sc.Tiers[i].Compute; cp != nil {
+			cc := *cp
+			sc.Tiers[i].Compute = &cc
+		}
+		if d := sc.Tiers[i].Downlink; d != nil {
+			dd := *d
+			sc.Tiers[i].Downlink = &dd
+		}
+	}
+	sc.Normalize()
+	nodes, _, err := sc.topology()
+	if err != nil {
+		return nil, err
+	}
+	ci := -1
+	for i := range sc.Classes {
+		if sc.Classes[i].Name == class {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return nil, fmt.Errorf("fleet: scenario %q: unknown class %q", sc.Name, class)
+	}
+	plan := computePlan(nodes, sc.Classes)
+	c := &sc.Classes[ci]
+	scale := classPathScale(nodes, plan, ci, classAttachIndex(nodes, c))
+	if scale == 0 {
+		return nil, nil
+	}
+	return classRowDelays(c, scale), nil
+}
+
+// newComputeServer builds a tier's core pool as a Link whose "bytes" are
+// core-seconds of service demand: the event loop drives it with the
+// same Start/NextFinish/Finish protocol as the network links, so
+// compute completions need no new event kinds and inherit the
+// deterministic (time, link index) tie-break.
+func newComputeServer(cc *ComputeConfig) Link {
+	if cc.Discipline == ContentionFairShare {
+		return &psCompute{cores: float64(cc.Cores)}
+	}
+	return &fifoCompute{cores: cc.Cores}
+}
+
+// --- FIFO core pool ---
+
+// busyItem is one frame in service on a fifoCompute core.
+type busyItem struct {
+	finish float64
+	seq    int64 // admission order, for deterministic tie-breaking
+	id     int
+	work   float64
+}
+
+// busyHeap is a specialized binary min-heap ordered by (finish, seq) —
+// the unique admission seq makes the order total, so equal finish times
+// pop in admission order, deterministically.
+type busyHeap []busyItem
+
+func (h busyHeap) less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *busyHeap) push(it busyItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *busyHeap) pop() busyItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s.less(j2, j) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
+	return it
+}
+
+// fifoCompute is a multi-server FIFO queue: up to cores frames are in
+// service concurrently, each on its own core at full rate; the rest wait
+// in arrival order and take the core freed by the earliest completion.
+// The waiting queue is the same power-of-two ring as fifoUplink.
+type fifoCompute struct {
+	cores   int
+	busy    busyHeap
+	ring    []fifoItem // waiting frames, arrival order
+	head, n int
+	seq     int64
+	served  float64 // core-seconds of completed service
+}
+
+func (s *fifoCompute) Name() string { return ContentionFIFO }
+
+func (s *fifoCompute) push(it fifoItem) {
+	if s.n == len(s.ring) {
+		grown := make([]fifoItem, max(4, 2*len(s.ring)))
+		mask := len(s.ring) - 1
+		for i := 0; i < s.n; i++ {
+			grown[i] = s.ring[(s.head+i)&mask]
+		}
+		s.ring, s.head = grown, 0
+	}
+	s.ring[(s.head+s.n)&(len(s.ring)-1)] = it
+	s.n++
+}
+
+func (s *fifoCompute) pop() fifoItem {
+	it := s.ring[s.head]
+	s.head = (s.head + 1) & (len(s.ring) - 1)
+	s.n--
+	return it
+}
+
+func (s *fifoCompute) Start(now float64, id int, work float64) {
+	if len(s.busy) < s.cores {
+		s.busy.push(busyItem{finish: now + work, seq: s.seq, id: id, work: work})
+		s.seq++
+		return
+	}
+	s.push(fifoItem{id: id, bytes: work})
+}
+
+func (s *fifoCompute) NextFinish() (float64, bool) {
+	if len(s.busy) == 0 {
+		return 0, false
+	}
+	return s.busy[0].finish, true
+}
+
+func (s *fifoCompute) Finish() int {
+	it := s.busy.pop()
+	s.served += it.work
+	if s.n > 0 {
+		// The freed core immediately takes the longest-waiting frame.
+		next := s.pop()
+		s.busy.push(busyItem{finish: it.finish + next.bytes, seq: s.seq, id: next.id, work: next.bytes})
+		s.seq++
+	}
+	return it.id
+}
+
+func (s *fifoCompute) InFlight() int        { return len(s.busy) + s.n }
+func (s *fifoCompute) ServedBytes() float64 { return s.served }
+
+// --- fair-share core pool ---
+
+// psCompute shares the pool by egalitarian processor sharing with the
+// same virtual-time machinery as psUplink, with one extra constraint: a
+// frame cannot run faster than one core, so with n frames in flight each
+// progresses at min(1, cores/n) core-seconds per second — an underloaded
+// pool runs every frame at full speed instead of splitting idle cores.
+type psCompute struct {
+	cores  float64
+	vnow   float64 // virtual service accrued by every in-flight frame
+	tlast  float64 // wall time at which vnow was computed
+	h      psHeap
+	seq    int64
+	served float64 // core-seconds of completed service
+}
+
+func (s *psCompute) Name() string { return ContentionFairShare }
+
+// rate is each in-flight frame's service rate in core-seconds/second.
+func (s *psCompute) rate() float64 {
+	if n := float64(len(s.h)); n > s.cores {
+		return s.cores / n
+	}
+	return 1
+}
+
+// advance moves the virtual clock to wall time t.
+func (s *psCompute) advance(t float64) {
+	if len(s.h) > 0 && t > s.tlast {
+		s.vnow += (t - s.tlast) * s.rate()
+	}
+	s.tlast = t
+}
+
+func (s *psCompute) Start(now float64, id int, work float64) {
+	s.advance(now)
+	s.h.push(psItem{id: id, bytes: work, vfinish: s.vnow + work, seq: s.seq})
+	s.seq++
+}
+
+func (s *psCompute) NextFinish() (float64, bool) {
+	if len(s.h) == 0 {
+		return 0, false
+	}
+	remaining := s.h[0].vfinish - s.vnow
+	if remaining < 0 {
+		remaining = 0 // float drift guard
+	}
+	return s.tlast + remaining/s.rate(), true
+}
+
+func (s *psCompute) Finish() int {
+	t, _ := s.NextFinish()
+	s.advance(t)
+	item := s.h.pop()
+	s.vnow = item.vfinish // pin exactly, absorbing float drift
+	s.served += item.bytes
+	return item.id
+}
+
+func (s *psCompute) InFlight() int        { return len(s.h) }
+func (s *psCompute) ServedBytes() float64 { return s.served }

@@ -13,6 +13,12 @@
 // can carry a runtime placement cost table that an adaptive per-class
 // controller walks as observed conditions change.
 //
+// This comment documents the scenario surface section by section;
+// ARCHITECTURE.md at the repository root maps the machinery underneath —
+// the event loop and its heap discipline, the link layout and tie-break
+// order, the PRNG seed families, the placement controllers, the two
+// telemetry paths, and the fleetvet-enforced determinism invariants.
+//
 // # Scenario format
 //
 // A simulation run is described by a Scenario, decodable from JSON.
@@ -110,6 +116,48 @@
 // broadcast below. Per-tier downlink stats come back in TierStats
 // (DownGbps, DownServedBytes, DownTransfers, DownlinkUtilization, and
 // the propagation total DownPropDelayTotal).
+//
+// # Compute tiers
+//
+// A tier may declare a "compute" section — a finite pool of cores that
+// every offloaded frame must be serviced by before the tier's uplink
+// forwards it, making latency capture → transit → queueing + service →
+// done instead of transit alone:
+//
+//	{"name": "gw-a", "parent": "core",
+//	 "uplink": {"gbps": 4},
+//	 "compute": {"cores": 1, "service_rate_fps": 16, "discipline": "fifo",
+//	             "service_sec": [{"class": "fa", "sec": 0.002}]}}
+//
+// "service_rate_fps" prices a frame of the class's reference payload (its
+// largest placement row, or its fixed frame bytes) at 1/rate core-seconds;
+// a "service_sec" entry overrides that per class. Service demand scales
+// with the bytes a frame actually ships — a placement that offloads an
+// 11×-smaller payload needs 11× less tier service — so moving cameras
+// toward in-camera compute is also what relieves a congested pool, and
+// placement becomes a joint network+compute decision. Every offloading
+// class crossing a compute tier must resolve a service time there;
+// federated update blobs bypass the pools (they are not frames). The pool
+// runs "fifo" (default: frames serialize through the cores in arrival
+// order, a heavy frame head-of-line-blocking the light ones behind it) or
+// "fair-share" (egalitarian processor sharing, a job never spanning
+// cores).
+//
+// Compute feeds back into every placement decision: each placement row
+// gains a deterministic delay floor — its own in-camera compute seconds
+// plus the expected tier service of the bytes it ships along the attach
+// path (Scenario.RowDelaySeconds) — which the energy-latency policy adds
+// to the latency a step risks and the global controller uses to refuse
+// energy moves whose floor, stacked on the observed p95, would break
+// HighSec. Per-tier results come back in TierStats.Compute (cores,
+// discipline, frames served, busy seconds, utilization, and queueing-wait
+// p50/p95 from a KLL sketch), and streaming telemetry windows carry each
+// pool as a "name:compute" series with capacity = cores. A scenario
+// without compute sections is byte-identical to what it always produced —
+// the pools, their link slots and their sketches exist only when
+// configured. ComputeDemoScenario builds the undersized-gateway demo
+// behind `camsim topo -compute`, and examples/compute-placement runs an
+// embedded scenario of the same shape.
 //
 // # Federated rounds
 //

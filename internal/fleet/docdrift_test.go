@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sectionTags walks the Scenario type graph and collects the json tag of
+// every struct-valued field — the "sections" of the strictly-decoded
+// scenario format (a struct, a pointer to one, or a slice of them), as
+// opposed to scalar knobs. Growing the format grows this set
+// automatically.
+func sectionTags(t reflect.Type, visited map[reflect.Type]bool, tags map[string]bool) {
+	if visited[t] {
+		return
+	}
+	visited[t] = true
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" {
+			continue // unexported: not part of the decoded format
+		}
+		name := strings.Split(f.Tag.Get("json"), ",")[0]
+		ft := f.Type
+		for ft.Kind() == reflect.Ptr || ft.Kind() == reflect.Slice || ft.Kind() == reflect.Array {
+			ft = ft.Elem()
+		}
+		if ft.Kind() != reflect.Struct {
+			continue
+		}
+		if name != "" && name != "-" {
+			tags[name] = true
+		}
+		sectionTags(ft, visited, tags)
+	}
+}
+
+// TestDocMentionsEveryScenarioSection is the docs-drift gate (run in the
+// CI lint job): every section of the strictly-decoded scenario format
+// must appear, quoted, in the package comment. A new section that ships
+// without documentation fails here, naming itself.
+func TestDocMentionsEveryScenarioSection(t *testing.T) {
+	doc, err := os.ReadFile("doc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := map[string]bool{}
+	sectionTags(reflect.TypeOf(Scenario{}), map[reflect.Type]bool{}, tags)
+	if len(tags) < 10 {
+		t.Fatalf("section walk found only %d sections — walker broken?", len(tags))
+	}
+	for tag := range tags {
+		if !strings.Contains(string(doc), `"`+tag+`"`) {
+			t.Errorf("scenario section %q is strictly decoded but undocumented in doc.go", tag)
+		}
+	}
+}

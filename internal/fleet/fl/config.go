@@ -23,6 +23,8 @@
 // traffic model. The engine itself is pure accounting — it owns no
 // links and schedules no events; the fleet simulator drives it with
 // Arrive/Delivered calls and obeys the emissions they request.
+// ARCHITECTURE.md at the repository root places this package in the
+// simulator's overall design — seed families, link layout, event loop.
 package fl
 
 import (

@@ -1,0 +1,44 @@
+package fl_test
+
+import (
+	"fmt"
+
+	"camsim/internal/fleet/fl"
+)
+
+// ExampleConfig sizes a federated round's payloads the way the simulator
+// does: the update blob from the trained network's parameter count times
+// the compression knob, the broadcast model uncompressed. The paper's
+// face-authentication MLP ([400, 8, 1] with biases) carries 3217 weights.
+func ExampleConfig() {
+	cfg := &fl.Config{
+		Rounds: 4,
+		Model: &fl.ModelConfig{
+			Layers:         []int{400, 8, 1},
+			BytesPerWeight: 4,
+			Compress:       0.5,
+		},
+	}
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("update %dB up per camera per round\n", cfg.ResolvedUpdateBytes())
+	fmt.Printf("model  %dB back down per round\n", cfg.ResolvedModelBytes())
+	// Output:
+	// update 6434B up per camera per round
+	// model  12868B back down per round
+}
+
+// ExampleConfig_fixedBytes skips the model section and fixes the payload
+// sizes directly — the "update_bytes" form of the scenario JSON.
+func ExampleConfig_fixedBytes() {
+	cfg := &fl.Config{Rounds: 2, UpdateBytes: 100_000}
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("update %dB, model %dB\n", cfg.ResolvedUpdateBytes(), cfg.ResolvedModelBytes())
+	// Output:
+	// update 100000B, model 100000B
+}

@@ -167,6 +167,46 @@ var fuzzSeeds = []string{
 	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
 	  "downlink": {"gbps": 1, "contention": "magic"}}],
 	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
+	// finite tier compute: a valid two-tier pool with a per-class service
+	// override, then the shapes the validator must reject — an unknown
+	// discipline, a pool with no way to price service, a service entry for
+	// a class that does not exist, a duplicated entry, negative cores, and
+	// an offloading class crossing a pool that cannot price it
+	`{
+	  "duration_sec": 2, "seed": 7,
+	  "tiers": [
+	    {"name": "gw", "parent": "core", "uplink": {"gbps": 2},
+	     "compute": {"cores": 2, "service_rate_fps": 30,
+	                 "service_sec": [{"class": "fa", "sec": 0.002}],
+	                 "discipline": "fair-share"}},
+	    {"name": "core", "uplink": {"gbps": 8},
+	     "compute": {"cores": 4, "service_rate_fps": 200}}
+	  ],
+	  "classes": [
+	    {"name": "fa", "count": 4, "fps": 2, "tier": "gw", "frame_bytes": 4096}
+	  ]
+	}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
+	  "compute": {"cores": 1, "service_rate_fps": 10, "discipline": "magic"}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
+	  "compute": {"cores": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
+	  "compute": {"cores": 1, "service_rate_fps": 10,
+	              "service_sec": [{"class": "ghost", "sec": 0.1}]}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
+	  "compute": {"cores": 1, "service_rate_fps": 10,
+	              "service_sec": [{"class": "c", "sec": 0.1}, {"class": "c", "sec": 0.2}]}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
+	  "compute": {"cores": -1, "service_rate_fps": 10}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}]}`,
+	`{"duration_sec": 1, "tiers": [{"name": "a", "uplink": {"gbps": 1},
+	  "compute": {"cores": 1, "service_sec": [{"class": "c", "sec": 0.1}]}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10},
+	              {"name": "d", "count": 1, "fps": 1, "frame_bytes": 10, "tier": "a"}]}`,
 	// streaming telemetry: sketch-backed quantiles with a windowed time
 	// series
 	`{

@@ -19,6 +19,12 @@ type globalController struct {
 	// rowJ prices every class's placement rows (one row for table-less
 	// classes) in expected J per captured frame, forwarding included.
 	rowJ [][]float64
+	// rowDelay prices every class's placement rows in deterministic delay
+	// seconds per frame (classRowDelays); nil — per class or whole — when
+	// no finite-compute tier sits on the class's path. With it the energy
+	// knapsack is joint network+compute: it refuses to shed watts into a
+	// step whose delay floor would break the latency target.
+	rowDelay [][]float64
 	// Per-class epoch windows, consumed at each tick.
 	winLat   [][]float64
 	winDrops []int64
@@ -29,7 +35,7 @@ type globalController struct {
 // configure one. Its stream is derived like the per-class controller
 // streams — two full splitmix64 rounds — under its own tag, so the three
 // stream families (cameras, class controllers, global) stay disjoint.
-func newGlobal(sc *Scenario, rowJ [][]float64) *globalController {
+func newGlobal(sc *Scenario, rowJ, rowDelay [][]float64) *globalController {
 	if sc.Global == nil {
 		return nil
 	}
@@ -38,6 +44,7 @@ func newGlobal(sc *Scenario, rowJ [][]float64) *globalController {
 		cfg:      *sc.Global,
 		rng:      newPRNG(int64(h)),
 		rowJ:     rowJ,
+		rowDelay: rowDelay,
 		winLat:   make([][]float64, len(sc.Classes)),
 		winDrops: make([]int64, len(sc.Classes)),
 		stats:    GlobalStats{BudgetW: sc.Global.BudgetW},
@@ -152,6 +159,15 @@ func (g *globalController) epoch(t float64, sc *Scenario, cams []camera, classCa
 				save, n := g.meanSavingJ(sc, cams, classCams[ci], ci, dir)
 				if n == 0 || save <= 0 {
 					continue
+				}
+				if g.rowDelay != nil && g.rowDelay[ci] != nil && g.cfg.HighSec > 0 {
+					// Joint admission: a step that saves watts is still
+					// refused when its deterministic delay-floor increase,
+					// stacked on the observed p95 (which already carries
+					// compute queueing), would break the latency target.
+					if d, dn := meanRowDelta(g.rowDelay[ci], cams, classCams[ci], dir); dn > 0 && d > 0 && p95[ci]+d > g.cfg.HighSec {
+						continue
+					}
 				}
 				saveW := save * sc.Classes[ci].FPS
 				if saveW > bestSave || (saveW == bestSave && best >= 0 && head > bestHead) {

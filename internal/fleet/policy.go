@@ -17,6 +17,11 @@ type controller struct {
 	// row, including per-hop network forwarding along the class's uplink
 	// path — the quantity the energy-latency rule weighs against latency.
 	rowJ []float64
+	// rowDelay is the deterministic delay floor per placement row
+	// (in-camera compute plus expected tier service, classRowDelays) —
+	// nil unless a finite-compute tier sits on the class's offload path,
+	// keeping pre-compute scenarios' decisions bit-identical.
+	rowDelay []float64
 }
 
 // newControllers builds one controller per adaptive class (nil entries for
@@ -24,8 +29,10 @@ type controller struct {
 // scenario seed and the class index through two splitmix64 rounds — the
 // same full-width mixing as the per-camera streams, kept disjoint from
 // them by the controller tag folded into the seed round. rowJ is the
-// per-class, per-row energy table (classRowEnergies for every class).
-func newControllers(sc *Scenario, rowJ [][]float64) []*controller {
+// per-class, per-row energy table (classRowEnergies for every class);
+// rowDelay the per-class, per-row delay floors — nil, per class or
+// whole, when no tier compute prices the class's path.
+func newControllers(sc *Scenario, rowJ, rowDelay [][]float64) []*controller {
 	ctls := make([]*controller, len(sc.Classes))
 	for ci := range sc.Classes {
 		if !sc.Classes[ci].adaptive() {
@@ -36,8 +43,32 @@ func newControllers(sc *Scenario, rowJ [][]float64) []*controller {
 			rng:  newPRNG(int64(h)),
 			rowJ: rowJ[ci],
 		}
+		if rowDelay != nil {
+			ctls[ci].rowDelay = rowDelay[ci]
+		}
 	}
 	return ctls
+}
+
+// meanRowDelta returns the mean per-frame table delta of stepping the
+// movable member cameras one step dir — rows[to]−rows[at], positive when
+// the step costs more of whatever the table prices — and how many
+// cameras could move.
+func meanRowDelta(rows []float64, cams []camera, members []int32, dir int) (float64, int) {
+	sum, n := 0.0, 0
+	for _, idx := range members {
+		at := cams[idx].placement
+		to := at + dir
+		if to < 0 || to >= len(rows) {
+			continue
+		}
+		sum += rows[to] - rows[at]
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
 }
 
 // classRowEnergies prices every placement row of the class in expected
@@ -133,6 +164,15 @@ func (c *controller) energyStep(p PolicyConfig, cams []camera, members []int32, 
 		risk := 0.0
 		if dir < 0 {
 			risk = p95
+		}
+		if c.rowDelay != nil {
+			// Finite tier compute gives the step a deterministic delay
+			// floor: pay a positive mean increase as extra risk, whichever
+			// direction it comes from (toward offload it is path service;
+			// toward in-camera it is the row's own compute seconds).
+			if d, dn := meanRowDelta(c.rowDelay, cams, members, dir); dn > 0 && d > 0 {
+				risk += d
+			}
 		}
 		if gain := p.EnergyWeight*saved/float64(n) - risk; gain > bestGain {
 			best, bestGain = dir, gain

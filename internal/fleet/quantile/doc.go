@@ -35,5 +35,7 @@
 // fixed constant at construction, never the global math/rand source, so
 // the same insertion order always produces the identical sketch and the
 // identical query answers — the property the simulator's byte-identical
-// golden contract requires.
+// golden contract requires. ARCHITECTURE.md at the repository root shows
+// where the sketches sit in the simulator's telemetry paths; the
+// Example functions in this package's tests show the API.
 package quantile

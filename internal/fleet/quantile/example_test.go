@@ -1,0 +1,56 @@
+package quantile_test
+
+import (
+	"fmt"
+
+	"camsim/internal/fleet/quantile"
+)
+
+// ExampleSketch feeds a latency-like stream into a sketch and reads the
+// usual tail quantiles back. The sketch's compaction coin is
+// deterministic, so the same stream always prints the same estimates —
+// the property the fleet simulator's byte-identical replays rely on.
+func ExampleSketch() {
+	s := quantile.NewSketch()
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i) / 1000) // 1ms .. 1s, uniformly
+	}
+	// 1000 values exceed the sketch's retained capacity, so these are
+	// estimates — off by at most Eps (1%) of rank, hence the 0.501.
+	fmt.Printf("count %d\n", s.Count())
+	fmt.Printf("p50 %.3f\n", s.Quantile(0.50))
+	fmt.Printf("p95 %.3f\n", s.Quantile(0.95))
+	// Output:
+	// count 1000
+	// p50 0.501
+	// p95 0.950
+}
+
+// ExampleSketch_Merge merges per-window sketches into a run-wide one —
+// how the simulator's streaming telemetry gets whole-run quantiles for
+// free from its windowed ones.
+func ExampleSketch_Merge() {
+	total := quantile.NewSketch()
+	for w := 0; w < 4; w++ {
+		window := quantile.NewSketch()
+		for i := 0; i < 250; i++ {
+			window.Add(float64(w*250+i) / 1000)
+		}
+		total.Merge(window)
+	}
+	fmt.Printf("count %d p95 %.2f\n", total.Count(), total.Quantile(0.95))
+	// Output:
+	// count 1000 p95 0.95
+}
+
+// ExampleNearestRank shows the exact-path percentile rule the sketch
+// estimates converge to: the value whose rank is ceil(q·n) in the sorted
+// sample.
+func ExampleNearestRank() {
+	sorted := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	fmt.Println(quantile.NearestRank(sorted, 0.50))
+	fmt.Println(quantile.NearestRank(sorted, 0.95))
+	// Output:
+	// 0.3
+	// 0.5
+}

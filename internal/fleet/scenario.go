@@ -271,6 +271,9 @@ func (sc *Scenario) Normalize() {
 		if d := sc.Tiers[i].Downlink; d != nil && d.Contention == "" {
 			d.Contention = ContentionFairShare
 		}
+		if cc := sc.Tiers[i].Compute; cc != nil {
+			cc.normalize()
+		}
 		if sc.Tiers[i].Parent == "" && root < 0 {
 			root = i
 		}
@@ -365,6 +368,9 @@ func (sc *Scenario) validate(nodes []tierNode) error {
 		}
 	}
 	if err := sc.validateTopologyNodes(nodes); err != nil {
+		return err
+	}
+	if err := sc.validateComputeNodes(nodes); err != nil {
 		return err
 	}
 	if len(sc.Classes) == 0 {

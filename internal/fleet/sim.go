@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"camsim/internal/fleet/fl"
+	"camsim/internal/fleet/quantile"
 )
 
 // event kinds: a camera captures a frame; an in-camera-processed frame
@@ -125,6 +126,10 @@ type transfer struct {
 	capturedAt float64
 	bytes      float64
 	round      int32
+	// compAt is when the frame entered the compute pool it currently
+	// occupies (scenarios with per-tier compute only), the epoch its
+	// queueing wait is measured from.
+	compAt float64
 }
 
 // flPart is one federated participant: a camera's attach tier plus its
@@ -199,6 +204,10 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			dd := *d
 			sc.Tiers[i].Downlink = &dd
 		}
+		if cp := sc.Tiers[i].Compute; cp != nil {
+			cc := *cp
+			sc.Tiers[i].Compute = &cc
+		}
 	}
 	if sc.Global != nil {
 		g := *sc.Global
@@ -252,6 +261,32 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		downOwner = append(downOwner, i)
 		links = append(links, dn)
 	}
+	// Tier core pools are links too ("bytes" = core-seconds of service
+	// demand), appended after every downlink: uplink and downlink indices
+	// — and therefore every legacy tie-break — are untouched, and a
+	// compute completion tying a network completion resolves last.
+	// compPlan is nil without any compute section, the infinite-compute
+	// fast path: no servers exist, no routing changes, and the run is
+	// byte-identical to a build that predates the section. compLink maps
+	// a tier to its pool's link index (-1 without one); compOwner maps
+	// back; compWait sketches each pool's queueing delay.
+	compPlan := computePlan(nodes, sc.Classes)
+	compLink := make([]int, len(nodes))
+	var compOwner []int
+	var compWait []*quantile.Sketch
+	for i := range nodes {
+		compLink[i] = -1
+		if compPlan == nil || nodes[i].Compute == nil {
+			continue
+		}
+		if compWait == nil {
+			compWait = make([]*quantile.Sketch, len(nodes))
+		}
+		compLink[i] = len(links)
+		compOwner = append(compOwner, i)
+		links = append(links, newComputeServer(nodes[i].Compute))
+		compWait[i] = quantile.NewSketch()
+	}
 
 	// The streaming-telemetry collector, when the scenario opts in. It
 	// observes the same completions and drops at the same event times the
@@ -270,6 +305,12 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			labels = append(labels, nodes[ti].Name+":down")
 			caps = append(caps, nodes[ti].Downlink.BytesPerSecond())
 		}
+		for _, ti := range compOwner {
+			// A pool's "capacity" is cores×1 core-seconds per second, so
+			// the shared utilization math reports busy fraction.
+			labels = append(labels, nodes[ti].Name+":compute")
+			caps = append(caps, float64(nodes[ti].Compute.Cores))
+		}
 		tel = newCollector(&sc, links, labels, caps)
 	}
 
@@ -280,6 +321,12 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 	// energy tables the placement controllers score against.
 	firstHop := make([]int, len(sc.Classes))
 	rowJ := make([][]float64, len(sc.Classes))
+	// rowDelay prices every class's placement rows in deterministic delay
+	// seconds per frame (in-camera compute plus expected tier service, see
+	// classRowDelays) — nil per class unless a compute tier sits on its
+	// offload path, so scenarios without the section keep the controllers'
+	// legacy arithmetic bit for bit.
+	var rowDelay [][]float64
 	for ci := range sc.Classes {
 		firstHop[ci] = root
 		if at := sc.Classes[ci].attach(); at != "" {
@@ -290,6 +337,12 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			pathFwdJ += nodes[li].TxPerByteJ
 		}
 		rowJ[ci] = classRowEnergies(&sc.Classes[ci], pathFwdJ)
+		if scale := classPathScale(nodes, compPlan, ci, firstHop[ci]); scale > 0 {
+			if rowDelay == nil {
+				rowDelay = make([][]float64, len(sc.Classes))
+			}
+			rowDelay[ci] = classRowDelays(&sc.Classes[ci], scale)
+		}
 	}
 
 	// The federated round engine, when the scenario configures a job. It
@@ -368,8 +421,8 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 
 	cams := make([]camera, 0, sc.Cameras())
 	classCams := make([][]int32, len(sc.Classes))
-	ctls := newControllers(&sc, rowJ)
-	gctl := newGlobal(&sc, rowJ)
+	ctls := newControllers(&sc, rowJ, rowDelay)
+	gctl := newGlobal(&sc, rowJ, rowDelay)
 	res := newResult(sc)
 
 	// Steady-state storage is sized up front so the event loop never
@@ -490,6 +543,19 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		}
 		transfers = append(transfers, tr)
 		return len(transfers) - 1
+	}
+	// enterTier routes frame transfer id into tier ti at time now: through
+	// the tier's core pool first when it has one (service demand scales
+	// with the payload, compPlan), else straight onto the uplink — the
+	// no-compute degenerate case, identical to the pre-compute routing.
+	enterTier := func(now float64, ti, id int) {
+		if ci := compLink[ti]; ci >= 0 {
+			tr := &transfers[id]
+			tr.compAt = now
+			startLink(ci, now, id, compPlan[ti][cams[tr.cam].class]*tr.bytes)
+			return
+		}
+		startLink(ti, now, id, transfers[id].bytes)
 	}
 	// complete lands transfer id in the cloud at time arrive: only then
 	// does the camera's queue slot free, the latency sample exist, and the
@@ -644,6 +710,20 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			}
 			id := finishLink(li)
 			tr := transfers[id]
+			if li >= len(nodes)+len(downOwner) {
+				// A core pool drained: record the frame's queueing wait
+				// (sojourn minus service, clamped against fair-share float
+				// drift), then the frame starts transmission on the owning
+				// tier's uplink at the same instant.
+				ti := compOwner[li-len(nodes)-len(downOwner)]
+				w := lt - tr.compAt - compPlan[ti][cams[tr.cam].class]*tr.bytes
+				if w < 0 {
+					w = 0
+				}
+				compWait[ti].Add(w)
+				startLink(ti, lt, id, tr.bytes)
+				continue
+			}
 			if li >= len(nodes) {
 				// A downlink drained: the model blob is delivered at the
 				// owning tier one downlink propagation later.
@@ -674,7 +754,7 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 				// enters the parent link at the instant it drains,
 				// preserving the legacy two-tier event order exactly.
 				if nd.PropagationSec == 0 {
-					startLink(nd.parent, lt, id, tr.bytes)
+					enterTier(lt, nd.parent, id)
 				} else {
 					push(event{t: lt + nd.PropagationSec, kind: evHop, tr: id, link: int32(nd.parent)})
 				}
@@ -704,9 +784,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			}
 		case evReady:
 			id := newTransfer(transfer{cam: ev.cam, capturedAt: ev.capturedAt, bytes: ev.bytes})
-			startLink(firstHop[cams[ev.cam].class], ev.t, id, ev.bytes)
+			enterTier(ev.t, firstHop[cams[ev.cam].class], id)
 		case evHop:
-			startLink(int(ev.link), ev.t, ev.tr, transfers[ev.tr].bytes)
+			enterTier(ev.t, int(ev.link), ev.tr)
 		case evArrive:
 			complete(ev.t, ev.tr)
 		case evControl:
@@ -774,6 +854,25 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			ts.DownServedBytes = dl.ServedBytes()
 			ts.DownTransfers = linkTransfers[downLink[i]]
 			ts.DownlinkUtilization = utilization(dl.ServedBytes(), d.BytesPerSecond(), res.SimEnd)
+		}
+		if li := compLink[i]; li >= 0 {
+			cc := nd.Compute
+			// Once the run drains, a pool's served "bytes" are exactly the
+			// core-seconds it was busy (the conservation the property tests
+			// pin), so utilization is busy-share of cores × wall time.
+			busy := links[li].ServedBytes()
+			cs := &ComputeStats{
+				Cores:       cc.Cores,
+				Discipline:  cc.Discipline,
+				Frames:      linkTransfers[li],
+				BusySec:     busy,
+				Utilization: utilization(busy, float64(cc.Cores), res.SimEnd),
+			}
+			if s := compWait[i]; s.Count() > 0 {
+				cs.WaitP50 = s.Quantile(0.50)
+				cs.WaitP95 = s.Quantile(0.95)
+			}
+			ts.Compute = cs
 		}
 		res.Tiers = append(res.Tiers, ts)
 	}

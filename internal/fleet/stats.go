@@ -89,6 +89,30 @@ type TierStats struct {
 	DownServedBytes     float64
 	DownTransfers       int64
 	DownlinkUtilization float64
+
+	// Compute is the tier's core-pool accounting; nil for tiers without a
+	// compute section (every tier, in scenarios predating it).
+	Compute *ComputeStats
+}
+
+// ComputeStats is the accounting of one tier's finite core pool over a
+// run: how busy the cores were and how long frames queued for them. The
+// wait quantiles come from a KLL sketch (internal/fleet/quantile), so
+// they carry its ±1% rank error; BusySec is exact — the conservation the
+// compute property tests pin is BusySec = Σ (per-frame service seconds)
+// over Frames, never exceeding Cores × wall time.
+type ComputeStats struct {
+	Cores      int
+	Discipline string
+	// Frames counts frames the pool finished servicing.
+	Frames int64
+	// BusySec is the total core-seconds of service delivered.
+	BusySec float64
+	// Utilization is BusySec over Cores × SimEnd.
+	Utilization float64
+	// WaitP50/WaitP95 are queueing-delay quantiles: a frame's sojourn in
+	// the pool minus its service time, zero when a core was free.
+	WaitP50, WaitP95 float64
 }
 
 // Label renders the tier's display name: "name->parent" below the root,
@@ -314,7 +338,17 @@ func (r *Result) Table() string {
 			FormatLatency(s.LatencyP50), FormatLatency(s.LatencyP95), FormatLatency(s.LatencyP99),
 			s.EnergyPerFrame())
 	}
-	if len(r.Tiers) > 1 {
+	// Tier lines appear for multi-tier topologies, and for any topology
+	// once a tier carries a core pool — a flat scenario with compute still
+	// has pool stats worth a line.
+	anyCompute := false
+	for i := range r.Tiers {
+		if r.Tiers[i].Compute != nil {
+			anyCompute = true
+			break
+		}
+	}
+	if len(r.Tiers) > 1 || anyCompute {
 		for _, ti := range r.Tiers {
 			fmt.Fprintf(&b, "  tier %-22s %5.1f Gb/s %-10s util %5.1f%%  xfers %d",
 				ti.Label(), ti.Gbps, ti.Contention, ti.Utilization*100, ti.Transfers)
@@ -329,6 +363,10 @@ func (r *Result) Table() string {
 			}
 			if ti.HasDownlink() {
 				fmt.Fprintf(&b, "  down %.1f Gb/s util %5.2f%%", ti.DownGbps, ti.DownlinkUtilization*100)
+			}
+			if c := ti.Compute; c != nil {
+				fmt.Fprintf(&b, "  cpu %dx%s util %5.1f%% wait-p95 %s",
+					c.Cores, c.Discipline, c.Utilization*100, FormatLatency(c.WaitP95))
 			}
 			fmt.Fprintln(&b)
 		}

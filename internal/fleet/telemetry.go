@@ -52,8 +52,9 @@ type TimeSeries struct {
 	WindowSec float64 `json:"window_sec"`
 	// Classes and Tiers name the columns of every window's Classes and
 	// TierUtil slices: class declaration order, then links in resolved
-	// tier order (uplinks first, declared downlinks after, as
-	// "name:down").
+	// tier order (uplinks first, declared downlinks after as "name:down",
+	// compute pools last as "name:compute" — a pool's "utilization" is
+	// core-seconds served over cores × window length).
 	Classes []string `json:"classes"`
 	Tiers   []string `json:"tiers"`
 	Windows []Window `json:"windows"`
@@ -146,8 +147,9 @@ type collector struct {
 
 // newCollector builds the run's collector: per-class run-wide sketches
 // always, window state when the scenario sets a window. links must be
-// the simulator's live link slice (uplinks then declared downlinks);
-// labels and caps name and size them in the same order.
+// the simulator's live link slice (uplinks, then declared downlinks,
+// then compute pools); labels and caps name and size them in the same
+// order.
 func newCollector(sc *Scenario, links []Link, labels []string, caps []float64) *collector {
 	tel := &collector{window: sc.Telemetry.WindowSec}
 	tel.run = make([]*quantile.Sketch, len(sc.Classes))

@@ -24,6 +24,12 @@ type Tier struct {
 	// and leaves the uplink untouched: a scenario without downlinks
 	// simulates exactly as before.
 	Downlink *DownlinkConfig `json:"downlink,omitempty"`
+	// Compute, when present, gives the tier a finite pool of cores that
+	// every offloaded frame must be serviced by before this tier forwards
+	// it up its uplink — queueing plus service become part of end-to-end
+	// latency (see ComputeConfig). A tier without the section processes
+	// frames instantaneously, exactly as before the section existed.
+	Compute *ComputeConfig `json:"compute,omitempty"`
 	// TxPerByteJ is the network-side forwarding energy this link spends
 	// per payload byte it serves (switch fabric, line drivers, backhaul
 	// radio — see energy.ForwardPerByteJ for a default figure). It feeds

@@ -192,6 +192,125 @@ func EnergyDemoScenario(seed int64, mode string) (Scenario, error) {
 	return sc, nil
 }
 
+// FaceAuthAdaptiveClass is FaceAuthClass with a runtime placement table:
+// the battery-free face-auth camera can either ship the detected face
+// crop and let the cloud authenticate it (row 0, "crop": a 64×64 region,
+// the NN sweep skipped in camera) or run the full authentication chain
+// locally and ship only the 20×20 chip (row 1, "chip" — the fixed
+// FaceAuthClass behavior). On a backscatter radio the byte delta is
+// nearly free, so without finite tier compute the rows are almost
+// indistinguishable; a compute section on the camera's gateway is what
+// gives the harvesting class a real cost signal — the crop needs tier
+// service the chip does not, and the queueing behind heavier traffic
+// lands in the class's observed latency. policy decides how cameras move
+// through the table.
+func FaceAuthAdaptiveClass(count int, policy PolicyConfig) Class {
+	const cropB = 64 * 64 // 8-bit face crop shipped for cloud-side auth
+	c := FaceAuthClass(count)
+	c.Name = "fa-adaptive"
+	c.Placements = []PlacementCost{
+		{Name: "crop", FrameBytes: cropB, ComputeSeconds: 0.012, ComputeJ: c.ComputeJ * 0.8},
+		{Name: "chip", FrameBytes: c.FrameBytes, ComputeSeconds: c.ComputeSeconds, ComputeJ: c.ComputeJ},
+	}
+	c.Policy = policy
+	return c
+}
+
+// ComputeModeAdaptive selects the per-class-controller variant of
+// ComputeDemoScenario; the other accepted modes are PolicyStatic and
+// GlobalModeBudget.
+const ComputeModeAdaptive = "adaptive"
+
+// ComputeDemoScenario builds the finite-compute fleet behind `camsim
+// topo -compute`: the EnergyDemoScenario tier tree (two 4 Gb/s gateways
+// into an 8 Gb/s core, links near half utilization at raw offload) with
+// every tier given a finite core pool. gw-a gets a single 16-frames/sec
+// core behind a FIFO queue — undersized for its two raw VR heads at
+// 10 FPS (20 reference frames/sec of demand), so a compute queue grows
+// where the network alone was a free lunch; gw-b gets four fair-shared
+// cores (uncongested, for contrast) and the core tier a wide 4×200
+// pool. Face-auth crops take an explicit 2 ms service_sec entry, and on
+// gw-a's FIFO queue they wait behind multi-megabyte VR frames. Service
+// demand scales with payload, so the in-camera VR placement (~11× fewer
+// bytes) also needs ~11× less tier service — placement is the lever
+// that relieves the pool. mode picks who pulls it:
+//
+//   - PolicyStatic: nobody; gw-a's pool saturates and waits grow without
+//     bound for the whole run.
+//   - ComputeModeAdaptive: the VR heads run hysteresis and escalate
+//     in-camera when queueing blows their 200 ms target; the face-auth
+//     cameras run energy-latency, their placement rows now priced with
+//     real compute delay.
+//   - GlobalModeBudget: static locals under the global controller, whose
+//     observed p95 carries the compute queueing (latency relief) and
+//     whose energy knapsack refuses steps whose delay floor breaks the
+//     target — the joint network+compute placement decision.
+func ComputeDemoScenario(seed int64, mode string) (Scenario, error) {
+	pls := []core.Placement{
+		{}, // raw sensor offload
+		{InCamera: 4, Impl: []string{"CPU", "CPU", "FPGA", "FPGA"}}, // full in-camera pipeline
+	}
+	vrPol := PolicyConfig{Kind: PolicyStatic}
+	faPol := PolicyConfig{Kind: PolicyStatic}
+	switch mode {
+	case PolicyStatic, GlobalModeBudget:
+	case ComputeModeAdaptive:
+		vrPol = PolicyConfig{
+			Kind:         PolicyHysteresis,
+			IntervalSec:  0.5,
+			HighSec:      0.2,
+			LowSec:       0.01,
+			MoveFraction: 0.5,
+		}
+		faPol = PolicyConfig{
+			Kind:         PolicyEnergyLatency,
+			IntervalSec:  1,
+			HighSec:      0.2,
+			EnergyWeight: 1,
+			MoveFraction: 0.5,
+		}
+	default:
+		return Scenario{}, fmt.Errorf("fleet: unknown compute demo mode %q", mode)
+	}
+	sc := Scenario{
+		Name:     "compute-2gw/" + mode,
+		Seed:     seed,
+		Duration: 8,
+		Tiers: []Tier{
+			{Name: "gw-a", Parent: "core", Uplink: UplinkConfig{Gbps: 4, Contention: ContentionFairShare},
+				PropagationSec: 0.0002, TxPerByteJ: 2e-8,
+				Compute: &ComputeConfig{Cores: 1, ServiceRateFPS: 16, Discipline: ContentionFIFO,
+					ServiceSec: []ClassServiceSec{{Class: "fa-gw-a", Sec: 0.002}}}},
+			{Name: "gw-b", Parent: "core", Uplink: UplinkConfig{Gbps: 4, Contention: ContentionFairShare},
+				PropagationSec: 0.0002, TxPerByteJ: 2e-8,
+				Compute: &ComputeConfig{Cores: 4, ServiceRateFPS: 16, Discipline: ContentionFairShare,
+					ServiceSec: []ClassServiceSec{{Class: "fa-gw-b", Sec: 0.002}}}},
+			{Name: "core", Uplink: UplinkConfig{Gbps: 8, Contention: ContentionFairShare},
+				PropagationSec: 0.002, TxPerByteJ: 1e-8,
+				Compute: &ComputeConfig{Cores: 4, ServiceRateFPS: 200}},
+		},
+	}
+	if mode == GlobalModeBudget {
+		// The budget sits between all-raw and all-in-camera placement
+		// power, and the latency target is what the compute queueing at
+		// gw-a breaks: both controller phases have work to do.
+		sc.Global = &GlobalConfig{EpochSec: 1, BudgetW: 26, HighSec: 0.25, MoveFraction: 0.5}
+	}
+	for _, gw := range []string{"gw-a", "gw-b"} {
+		vr, err := VRAdaptiveClass(2, pls, 10, vrPol)
+		if err != nil {
+			return Scenario{}, err
+		}
+		vr.Name = "vr-" + gw
+		vr.Tier = gw
+		fa := FaceAuthAdaptiveClass(40, faPol)
+		fa.Name = "fa-" + gw
+		fa.Tier = gw
+		sc.Classes = append(sc.Classes, vr, fa)
+	}
+	return sc, nil
+}
+
 // FederatedDemoScenario builds the bidirectional fleet behind `camsim
 // topo -fl`: two gateways and a core, every tier carrying a downlink
 // alongside its uplink, and a federated-learning job training the

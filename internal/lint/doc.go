@@ -13,6 +13,8 @@
 //
 // It exits 0 on a clean tree and 1 with file:line:col diagnostics
 // otherwise; the CI lint job and the nightly matrix both gate on it.
+// ARCHITECTURE.md at the repository root explains the determinism
+// contract these rules defend and how they fit the simulator's design.
 //
 // # Rules
 //
