@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+
+	"camsim/internal/fleet"
+)
+
+// reportDynamicsTopo renders the -dynamics variant of the topo
+// experiment: the two-gateway fleet of DynamicsDemoScenario living
+// through a scheduled day of fleet weather — a diurnal rate swell,
+// camera churn, a gateway outage with re-homing to the sibling, a
+// backhaul degradation — next to the identical fleet with the schedule
+// stripped, so every divergence in the comparison is the dynamics
+// engine's doing.
+func reportDynamicsTopo(seed int64, duration float64, workers int) error {
+	dyn := fleet.DynamicsDemoScenario(seed)
+	dyn.Duration = duration
+	steady := dyn
+	steady.Name = "topo-dynamics/steady"
+	steady.Dynamics = nil
+	scenarios := []fleet.Scenario{steady, dyn}
+	outcomes := fleet.Sweep(scenarios, workers)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+
+	fmt.Printf("fleet dynamics: %d cameras behind 2 gateways, %gs of capture, seed %d\n",
+		dyn.Cameras(), duration, seed)
+	for _, ti := range outcomes[0].Result.Tiers {
+		line := fmt.Sprintf("  %-8s %.1f Gb/s %-10s", ti.Label(), ti.Gbps, ti.Contention)
+		if ti.Compute != nil {
+			line += fmt.Sprintf("  %d core(s)", ti.Compute.Cores)
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println("\nfault schedule:")
+	for _, ev := range dyn.Dynamics.Events {
+		target := ev.Class
+		if target == "" {
+			target = ev.Tier
+		}
+		detail := ""
+		switch ev.Kind {
+		case fleet.DynCameraJoin, fleet.DynCameraLeave:
+			detail = fmt.Sprintf("×%d", ev.Count)
+		case fleet.DynLinkDegrade:
+			detail = fmt.Sprintf("factor %g", ev.Factor)
+		case fleet.DynTierOutage:
+			detail = "fallback " + ev.Fallback
+		case fleet.DynFPSProfile:
+			detail = fmt.Sprintf("×%g", ev.Multiplier)
+		case fleet.DynComputeScale:
+			detail = fmt.Sprintf("%d cores", ev.Cores)
+		}
+		fmt.Printf("  t=%-5g %-14s %-9s %s\n", ev.Time, ev.Kind, target, detail)
+	}
+	fmt.Println()
+
+	fmt.Printf("%-9s %10s %10s %9s %9s %8s %8s\n",
+		"run", "captured", "offloaded", "east-p95", "west-p95", "drops", "outage")
+	labels := []string{"steady", "dynamic"}
+	for i, o := range outcomes {
+		r := o.Result
+		fmt.Printf("%-9s %10d %10d %9s %9s %7.1f%% %8d\n",
+			labels[i], r.Total.Captured, r.Total.Offloaded,
+			fleet.FormatLatency(r.Classes[0].LatencyP95),
+			fleet.FormatLatency(r.Classes[1].LatencyP95),
+			r.Total.DropRate()*100, r.Total.DroppedOutage)
+	}
+
+	d := outcomes[1].Result.Dynamics
+	fmt.Printf("\ndynamics ledger: %d events  joined %d  left %d  rehomed %d  outage-drops %d\n",
+		d.Events, d.Joined, d.Left, d.Rehomed, d.DroppedOutage)
+	for _, ti := range outcomes[1].Result.Tiers {
+		if ti.DowntimeSec > 0 || ti.OutageDrops > 0 {
+			fmt.Printf("  %-8s down %.2fs  outage-drops %d\n", ti.Label(), ti.DowntimeSec, ti.OutageDrops)
+		}
+	}
+
+	fmt.Println("\nper-tier and per-class detail:")
+	for _, o := range outcomes {
+		fmt.Print(o.Result.Table())
+	}
+	fmt.Println("\ndynamics reading of the paper's tradeoff: a fleet provisioned for its")
+	fmt.Println("nominal rates meets a real day — the diurnal swell and the day-shift")
+	fmt.Println("joiners push the east gateway toward saturation, the outage drops every")
+	fmt.Println("frame it was carrying and re-homes the east cameras onto the sibling")
+	fmt.Println("gateway (which then carries both populations through its own degraded")
+	fmt.Println("window), and recovery re-homes them back. The steady run is the control:")
+	fmt.Println("every extra capture, drop and re-homing in the dynamic column is the")
+	fmt.Println("scheduled weather, replayed bit-for-bit from the scenario's seed.")
+	return nil
+}

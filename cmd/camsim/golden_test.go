@@ -63,6 +63,7 @@ func TestGoldenOutputsAcrossGOMAXPROCS(t *testing.T) {
 		{"topo-global", cmdTopo, []string{"-duration", "6", "-seed", "1", "-global"}},
 		{"topo-compute", cmdTopo, []string{"-duration", "6", "-seed", "1", "-compute"}},
 		{"topo-fl", cmdTopo, []string{"-duration", "8", "-seed", "1", "-fl"}},
+		{"topo-dynamics", cmdTopo, []string{"-duration", "8", "-seed", "1", "-dynamics"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

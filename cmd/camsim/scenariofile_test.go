@@ -19,6 +19,7 @@ const (
 	exampleScenario   = "../../examples/energy-placement/scenario.json"
 	federatedScenario = "../../examples/federated-fleet/scenario.json"
 	computeScenario   = "../../examples/compute-placement/scenario.json"
+	dynamicsScenario  = "../../examples/fleet-dynamics/scenario.json"
 )
 
 // TestScenarioFileRoundTrip pins the file-driven scenario surface: the
@@ -116,6 +117,46 @@ func TestComputeScenarioFileRoundTrip(t *testing.T) {
 	}
 	if sc.Tiers[0].Compute == nil || len(sc.Tiers[0].Compute.ServiceSec) == 0 {
 		t.Fatalf("example scenario lost its compute sections: %+v", sc)
+	}
+	out, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := fleet.ParseScenario(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\njson: %s", err, out)
+	}
+	if !reflect.DeepEqual(sc, again) {
+		t.Fatalf("round trip changed the scenario:\n%+v\nvs\n%+v", sc, again)
+	}
+	r1, err := fleet.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fleet.Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() {
+		t.Fatalf("round-tripped scenario runs differently:\n%s\nvs\n%s", r1.Table(), r2.Table())
+	}
+}
+
+// TestDynamicsScenarioFileRoundTrip gives the dynamics example the same
+// codec guarantee: the fault schedule — event times, kinds, churn
+// counts, fallbacks, factors — must survive a marshal → re-parse round
+// trip and replay to the identical table.
+func TestDynamicsScenarioFileRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.FromSlash(dynamicsScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := fleet.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Dynamics == nil || len(sc.Dynamics.Events) == 0 {
+		t.Fatalf("example scenario lost its dynamics section: %+v", sc)
 	}
 	out, err := json.Marshal(sc)
 	if err != nil {

@@ -38,6 +38,11 @@ import (
 // network+compute placement problem: a fleet whose links are half idle
 // can still drown a gateway's cores, and only placement that shrinks
 // the shipped payload relieves them.
+//
+// With -dynamics the fleet lives through a scheduled day of weather —
+// a diurnal rate swell, camera churn, a gateway outage whose cameras
+// re-home to the sibling and back, a degraded backhaul — compared
+// against the identical fleet with the schedule stripped.
 func cmdTopo(args []string) error {
 	fs := flag.NewFlagSet("topo", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -46,6 +51,7 @@ func cmdTopo(args []string) error {
 	global := fs.Bool("global", false, "run the energy-aware placement demo (static vs energy-latency vs global budget)")
 	flDemo := fs.Bool("fl", false, "run the federated-learning demo (in-network aggregation over bidirectional tiers)")
 	compute := fs.Bool("compute", false, "run the finite-compute demo (per-tier core pools; static vs adaptive vs global)")
+	dynamics := fs.Bool("dynamics", false, "run the fleet-dynamics demo (churn, outage with re-homing, link degradation on a fault schedule)")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	scenario := fs.String("scenario", "", "run one JSON scenario file instead of the built-in demo (other flags ignored)")
 	timeseries := fs.String("timeseries", "", "with -scenario: write the windowed telemetry time series to this file (.json for JSON, else CSV)")
@@ -63,19 +69,22 @@ func cmdTopo(args []string) error {
 		return fmt.Errorf("topo: -depth must be 0 (classic demo) or ≥ 2, got %d", *depth)
 	}
 	demos := 0
-	for _, on := range []bool{*flDemo, *global, *compute, *depth != 0} {
+	for _, on := range []bool{*flDemo, *global, *compute, *dynamics, *depth != 0} {
 		if on {
 			demos++
 		}
 	}
 	if demos > 1 {
-		return fmt.Errorf("topo: -fl, -global, -compute and -depth are separate demos; pick one")
+		return fmt.Errorf("topo: -fl, -global, -compute, -dynamics and -depth are separate demos; pick one")
 	}
 	if *flDemo {
 		return reportFederatedTopo(*seed, *duration)
 	}
 	if *compute {
 		return reportComputeTopo(*seed, *duration, *workers)
+	}
+	if *dynamics {
+		return reportDynamicsTopo(*seed, *duration, *workers)
 	}
 	if *global {
 		return reportGlobalTopo(*seed, *duration, *workers)

@@ -33,7 +33,8 @@ func groupedUsage(fs *flag.FlagSet, synopsis string, groups []flagGroup) func() 
 		fmt.Fprintln(o, "camsim/internal/fleet docs for every field):")
 		fmt.Fprintln(o, "  required   duration, classes (each with fps, frame_bytes or placements)")
 		fmt.Fprintln(o, "  topology   uplink — or gateways, or tiers (per-tier downlink, compute)")
-		fmt.Fprintln(o, "  optional   global, federated (model), telemetry, per-class policy")
+		fmt.Fprintln(o, "  optional   global, federated (model), telemetry, dynamics (events),")
+		fmt.Fprintln(o, "             per-class policy")
 	}
 }
 
@@ -42,7 +43,7 @@ func groupedUsage(fs *flag.FlagSet, synopsis string, groups []flagGroup) func() 
 func topoUsage(fs *flag.FlagSet) func() {
 	return groupedUsage(fs, "topo [flags]", []flagGroup{
 		{"demo selection (default: adaptive-placement policy comparison)",
-			[]string{"compute", "depth", "fl", "global"}},
+			[]string{"compute", "depth", "dynamics", "fl", "global"}},
 		{"simulation", []string{"seed", "duration", "workers"}},
 		{"scenario files", []string{"scenario", "timeseries"}},
 	})

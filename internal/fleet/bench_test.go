@@ -146,6 +146,36 @@ func BenchmarkFederatedRound(b *testing.B) {
 	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/run")
 }
 
+// BenchmarkChurnFleet prices the fleet-dynamics path: the 10k-camera
+// deep topology under a live fault schedule — recurring join and leave
+// entries churning two gateway populations for the whole run, plus one
+// gateway outage (with re-homing onto a sibling leaf) and recovery.
+// Joins append cameras and leaves swap-remove them, so the cost to
+// watch is churn bookkeeping against the flat per-camera state; the
+// outage exercises the drain/re-home path at scale. The alloc counters
+// are the regression surface: a join allocates at most its camera
+// record, and firing an event must not allocate at all. Baselines live
+// in BENCH_topology.json and are gated by cmd/benchgate in CI.
+func BenchmarkChurnFleet(b *testing.B) {
+	sc := deepFleetScenario(10_000)
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 0.2, Kind: DynCameraJoin, Class: "cams-gw-0", Count: 8, EverySec: 0.1},
+		{Time: 0.3, Kind: DynCameraLeave, Class: "cams-gw-1", Count: 8, EverySec: 0.1},
+		{Time: 1.5, Kind: DynTierOutage, Tier: "gw-2", Fallback: "gw-10"},
+		{Time: 2.5, Kind: DynTierRecover, Tier: "gw-2"},
+	}}
+	b.ReportAllocs()
+	var churn int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		churn += res.Dynamics.Joined + res.Dynamics.Left
+	}
+	b.ReportMetric(float64(churn)/float64(b.N), "churn/run")
+}
+
 // BenchmarkComputeTiers prices the finite-core-pool path: the 10k-camera
 // deep topology with a compute section on all 41 tiers, sized so every
 // pool runs near 80% utilization — each frame queues for service at

@@ -270,6 +270,11 @@ func (sc Scenario) RowDelaySeconds(class string) ([]float64, error) {
 			sc.Tiers[i].Downlink = &dd
 		}
 	}
+	if sc.Dynamics != nil {
+		dd := *sc.Dynamics
+		dd.Events = append([]FleetEvent(nil), dd.Events...)
+		sc.Dynamics = &dd
+	}
 	sc.Normalize()
 	nodes, _, err := sc.topology()
 	if err != nil {
@@ -420,8 +425,11 @@ func (s *fifoCompute) NextFinish() (float64, bool) {
 func (s *fifoCompute) Finish() int {
 	it := s.busy.pop()
 	s.served += it.work
-	if s.n > 0 {
-		// The freed core immediately takes the longest-waiting frame.
+	if s.n > 0 && len(s.busy) < s.cores {
+		// The freed core immediately takes the longest-waiting frame. The
+		// cores check only bites after a dynamics shrink: frames already
+		// in service run to completion, and the pool promotes nothing
+		// until the busy population fits the new size.
 		next := s.pop()
 		s.busy.push(busyItem{finish: it.finish + next.bytes, seq: s.seq, id: next.id, work: next.bytes})
 		s.seq++
@@ -431,6 +439,31 @@ func (s *fifoCompute) Finish() int {
 
 func (s *fifoCompute) InFlight() int        { return len(s.busy) + s.n }
 func (s *fifoCompute) ServedBytes() float64 { return s.served }
+
+// setCores resizes the pool at time now. Growth promotes waiting frames
+// onto the new cores immediately; shrink never preempts — in-service
+// frames finish, and the pool re-admits only below the new size.
+func (s *fifoCompute) setCores(now float64, cores int) {
+	s.cores = cores
+	for len(s.busy) < s.cores && s.n > 0 {
+		next := s.pop()
+		s.busy.push(busyItem{finish: now + next.bytes, seq: s.seq, id: next.id, work: next.bytes})
+		s.seq++
+	}
+}
+
+// drain removes every frame — in-service completion order first, then
+// waiting order — crediting no served core-seconds.
+func (s *fifoCompute) drain() []int {
+	ids := make([]int, 0, len(s.busy)+s.n)
+	for len(s.busy) > 0 {
+		ids = append(ids, s.busy.pop().id)
+	}
+	for s.n > 0 {
+		ids = append(ids, s.pop().id)
+	}
+	return ids
+}
 
 // --- fair-share core pool ---
 
@@ -494,3 +527,21 @@ func (s *psCompute) Finish() int {
 
 func (s *psCompute) InFlight() int        { return len(s.h) }
 func (s *psCompute) ServedBytes() float64 { return s.served }
+
+// setCores resizes the pool at time now, conserving virtual progress:
+// the clock advances at the old rate first, then every in-flight frame
+// continues at the new min(1, cores/n).
+func (s *psCompute) setCores(now float64, cores int) {
+	s.advance(now)
+	s.cores = float64(cores)
+}
+
+// drain removes every in-flight frame in completion order, crediting no
+// served core-seconds.
+func (s *psCompute) drain() []int {
+	ids := make([]int, 0, len(s.h))
+	for len(s.h) > 0 {
+		ids = append(ids, s.h.pop().id)
+	}
+	return ids
+}

@@ -230,6 +230,60 @@
 // file.json -timeseries out.csv` writes them from the command line, and
 // examples/long-horizon walks a two-minute run window by window.
 //
+// # Fleet dynamics
+//
+// A scenario-level "dynamics" section turns the steady-state calculator
+// into a robustness harness: a time-ordered fault/load schedule of
+// "events" executed inside the same sequential event loop —
+//
+//	"dynamics": {"events": [
+//	  {"time_sec": 2, "kind": "fps_profile",  "class": "vr", "multiplier": 2},
+//	  {"time_sec": 3, "kind": "camera_join",  "class": "fa", "count": 50},
+//	  {"time_sec": 4, "kind": "link_degrade", "tier": "metro", "factor": 0.25},
+//	  {"time_sec": 5, "kind": "tier_outage",  "tier": "gw-a", "fallback": "gw-b"},
+//	  {"time_sec": 7, "kind": "tier_recover", "tier": "gw-a"},
+//	  {"time_sec": 8, "kind": "link_restore", "tier": "metro"},
+//	  {"time_sec": 9, "kind": "compute_scale", "tier": "gw-b", "cores": 4}
+//	]}
+//
+// "camera_join"/"camera_leave" churn a class: joiners continue the global
+// camera-seed sequence (existing cameras' streams untouched) and leavers
+// are drawn from the entry's own seeded stream; "every_sec" makes a churn
+// entry recurring with exponential inter-arrival gaps from that stream —
+// a fourth seed family, so churn never perturbs frame-traffic draws. A
+// departed camera's in-flight frames still complete; it just captures
+// nothing further. "link_degrade" rescales a tier's uplink to base ×
+// factor with in-flight progress conserved (the fair-share virtual clock
+// advances at the old rate first; FIFO recomputes the head's remaining
+// bytes); factor 0 parks the link until "link_restore". "tier_outage"
+// takes a tier down: in-flight transfers through its uplink and core
+// pool are dropped and accounted, frames arriving while it is down drop
+// on arrival, and directly attached classes re-home to the declared
+// "fallback" tier — repricing their forwarding-energy and delay tables,
+// which both controller kinds then score against — until "tier_recover"
+// re-homes them back. "fps_profile" sets a class's capture-rate
+// multiplier (piecewise diurnal/bursty load), and "compute_scale"
+// resizes a tier's core pool. Validation is strict per kind: unknown
+// kinds, out-of-order times, ghost tiers/classes, out-of-range factors,
+// misplaced knobs, a failing root, or an outage stranding attached
+// cameras without a fallback all fail before the run starts; dynamics
+// cannot combine with a federated job (dropping a round's blobs would
+// deadlock its barrier).
+//
+// Accounting conserves every emitted frame: captured = completed +
+// queued + dropped, with outage losses in ClassStats.DroppedOutage,
+// per-tier downtime seconds and drops in TierStats, the run-wide totals
+// in Result.Dynamics, and — with windowed telemetry — per-window
+// availability columns (outage drops per class, downtime seconds and
+// mean capacity fraction per tier) in the JSON and CSV series. Tier
+// utilization stays denominated in nominal capacity while degraded (the
+// capacity-fraction column carries the degradation). A scenario without
+// the section — or with an empty event list — is byte-identical to every
+// release before it existed, and dynamics runs replay deterministically
+// like any other. DynamicsDemoScenario builds the diurnal-swell +
+// gateway-outage demo behind `camsim topo -dynamics`, and
+// examples/fleet-dynamics runs an embedded scenario of the same shape.
+//
 // # Placement policies
 //
 // A class may carry a runtime cost table ("placements", ordered from

@@ -1,0 +1,453 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// dynamicsDemo is a two-gateway tree with enough traffic that an outage
+// catches transfers in flight: slow gateway uplinks keep several frames
+// resident per event.
+func dynamicsDemo(seed int64) Scenario {
+	return Scenario{
+		Name:     "dynamics-demo",
+		Seed:     seed,
+		Duration: 8,
+		Tiers: []Tier{
+			{Name: "gw-a", Parent: "core", Uplink: UplinkConfig{Gbps: 0.002}},
+			{Name: "gw-b", Parent: "core", Uplink: UplinkConfig{Gbps: 0.002, Contention: ContentionFIFO}},
+			{Name: "core", Uplink: UplinkConfig{Gbps: 0.008}},
+		},
+		Classes: []Class{
+			{Name: "east", Count: 12, FPS: 6, FrameBytes: 40_000, Tier: "gw-a", QueueDepth: 4},
+			{Name: "west", Count: 12, FPS: 6, FrameBytes: 40_000, Tier: "gw-b", QueueDepth: 4},
+		},
+	}
+}
+
+// assertConserved checks the dynamics conservation property: every
+// captured frame is accounted exactly once — completed, queue-dropped,
+// energy-dropped, or dropped by an outage. The run has drained when the
+// loop exits, so nothing can remain "queued" invisibly.
+func assertConserved(t *testing.T, label string, res *Result) {
+	t.Helper()
+	for i := range res.Classes {
+		s := &res.Classes[i]
+		if got := s.Offloaded + s.DroppedQueue + s.DroppedEnergy + s.DroppedOutage; got != s.Captured {
+			t.Errorf("%s: class %s: %d offloaded + %d dropQ + %d dropE + %d dropOutage = %d, captured %d",
+				label, s.Name, s.Offloaded, s.DroppedQueue, s.DroppedEnergy, s.DroppedOutage, got, s.Captured)
+		}
+	}
+}
+
+// TestDynamicsEmptyScheduleIsIdentical pins the opt-in contract: a
+// present dynamics section with an empty event list must be
+// byte-identical to no section at all — the engine is never constructed.
+func TestDynamicsEmptyScheduleIsIdentical(t *testing.T) {
+	plain, err := Run(dynamicsDemo(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := dynamicsDemo(7)
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{}}
+	empty, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Table() != empty.Table() {
+		t.Fatalf("empty schedule perturbed the run:\n%s\nvs\n%s", plain.Table(), empty.Table())
+	}
+	if empty.Dynamics != nil {
+		t.Fatal("empty schedule produced dynamics stats")
+	}
+	if !reflect.DeepEqual(plain.Classes, empty.Classes) || !reflect.DeepEqual(plain.Tiers, empty.Tiers) {
+		t.Fatal("empty schedule perturbed class or tier stats")
+	}
+}
+
+// TestDynamicsConservation drives churn, an outage/recovery cycle and a
+// never-restored dead link across several seeds and holds the
+// conservation property each time, alongside run-twice determinism.
+func TestDynamicsConservation(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 11, 42} {
+		sc := dynamicsDemo(seed)
+		sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+			{Time: 0.5, Kind: DynCameraJoin, Class: "east", Count: 3, EverySec: 1.5},
+			{Time: 1.0, Kind: DynCameraLeave, Class: "west", EverySec: 2},
+			{Time: 2.0, Kind: DynTierOutage, Tier: "gw-a", Fallback: "gw-b"},
+			{Time: 4.0, Kind: DynTierRecover, Tier: "gw-a"},
+			{Time: 6.0, Kind: DynLinkDegrade, Tier: "gw-b", Factor: 0},
+			// gw-b is never restored: everything parked on it at the end
+			// must drain as accounted outage drops, not hang or vanish.
+		}}
+		a, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		assertConserved(t, sc.Name, a)
+		if a.Dynamics == nil || a.Dynamics.Events != 5 {
+			t.Fatalf("seed %d: dynamics stats %+v", seed, a.Dynamics)
+		}
+		if a.Dynamics.Joined == 0 || a.Dynamics.Left == 0 || a.Dynamics.DroppedOutage == 0 {
+			t.Fatalf("seed %d: schedule did not exercise churn and outage drops: %+v", seed, a.Dynamics)
+		}
+		b, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d: rerun: %v", seed, err)
+		}
+		if a.Table() != b.Table() {
+			t.Fatalf("seed %d: dynamics run is not deterministic:\n%s\nvs\n%s", seed, a.Table(), b.Table())
+		}
+		if !reflect.DeepEqual(a.Dynamics, b.Dynamics) {
+			t.Fatalf("seed %d: dynamics stats diverged between identical runs", seed)
+		}
+	}
+}
+
+// TestDynamicsOutageRehoming pins the outage lifecycle: downtime
+// accrues exactly outage→recovery, in-flight transfers through the dead
+// tier are dropped and attributed to it, the attached class re-homes to
+// the fallback for the window (the fallback carries its traffic) and
+// re-homes back on recovery.
+func TestDynamicsOutageRehoming(t *testing.T) {
+	sc := dynamicsDemo(3)
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 2, Kind: DynTierOutage, Tier: "gw-a", Fallback: "gw-b"},
+		{Time: 5, Kind: DynTierRecover, Tier: "gw-a"},
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConserved(t, sc.Name, res)
+	gwa := res.TierNamed("gw-a")
+	if gwa.DowntimeSec != 3 {
+		t.Fatalf("gw-a downtime = %v, want 3", gwa.DowntimeSec)
+	}
+	if gwa.OutageDrops == 0 || res.Classes[0].DroppedOutage == 0 {
+		t.Fatalf("outage caught nothing in flight: tier %d, class %d", gwa.OutageDrops, res.Classes[0].DroppedOutage)
+	}
+	// 12 east cameras re-home out and back: 24 re-homings.
+	if res.Dynamics.Rehomed != 24 || res.Classes[0].Rehomed != 24 {
+		t.Fatalf("rehomed = %d (class %d), want 24", res.Dynamics.Rehomed, res.Classes[0].Rehomed)
+	}
+	if res.TierNamed("gw-b").DowntimeSec != 0 {
+		t.Fatal("downtime leaked onto the healthy gateway")
+	}
+	// The fallback carried east's traffic during the window, so it served
+	// strictly more than in the undisturbed run.
+	plain, err := Run(dynamicsDemo(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TierNamed("gw-b").ServedBytes <= plain.TierNamed("gw-b").ServedBytes {
+		t.Fatalf("fallback served %v, undisturbed %v — re-homed traffic missing",
+			res.TierNamed("gw-b").ServedBytes, plain.TierNamed("gw-b").ServedBytes)
+	}
+	if res.Classes[0].Offloaded == 0 {
+		t.Fatal("east completed nothing despite the fallback")
+	}
+}
+
+// TestDynamicsLinkDegradeRestore pins mid-run capacity rescale with
+// conserved progress on both contention models: a degraded window slows
+// completions (higher p95), a zero-factor park with a later restore
+// loses nothing, and the tier's served bytes are conserved.
+func TestDynamicsLinkDegradeRestore(t *testing.T) {
+	for _, contention := range []string{ContentionFairShare, ContentionFIFO} {
+		sc := dynamicsDemo(5)
+		sc.Tiers[0].Uplink.Contention = contention
+		sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+			{Time: 2, Kind: DynLinkDegrade, Tier: "gw-a", Factor: 0},
+			{Time: 4, Kind: DynLinkRestore, Tier: "gw-a"},
+		}}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", contention, err)
+		}
+		assertConserved(t, contention, res)
+		// A parked-then-restored link drops nothing: frames stall and then
+		// finish (or are queue-dropped at their cameras while parked).
+		if res.Dynamics.DroppedOutage != 0 {
+			t.Fatalf("%s: park+restore dropped %d frames", contention, res.Dynamics.DroppedOutage)
+		}
+		plain, err := Run(dynamicsDemo(5))
+		if err != nil {
+			t.Fatalf("%s: %v", contention, err)
+		}
+		if res.Classes[0].LatencyP95 <= plain.Classes[0].LatencyP95 {
+			t.Fatalf("%s: two-second park did not raise east's p95 (%v vs %v)",
+				contention, res.Classes[0].LatencyP95, plain.Classes[0].LatencyP95)
+		}
+	}
+}
+
+// TestDynamicsStallDrain pins the terminal stall path: a link degraded
+// to zero and never restored must not hang the run — everything parked
+// on it drains as accounted outage drops and the loop terminates.
+func TestDynamicsStallDrain(t *testing.T) {
+	for _, contention := range []string{ContentionFairShare, ContentionFIFO} {
+		sc := dynamicsDemo(9)
+		sc.Tiers[0].Uplink.Contention = contention
+		sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+			{Time: 2, Kind: DynLinkDegrade, Tier: "gw-a", Factor: 0},
+		}}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", contention, err)
+		}
+		assertConserved(t, contention, res)
+		if res.Dynamics.DroppedOutage == 0 {
+			t.Fatalf("%s: dead link stranded no frames — the stall path was not exercised", contention)
+		}
+		if res.TierNamed("gw-a").OutageDrops != res.Dynamics.DroppedOutage {
+			t.Fatalf("%s: stall drops not attributed to the dead tier", contention)
+		}
+	}
+}
+
+// TestDynamicsFPSProfile pins the rate multiplier: doubling a class's
+// rate mid-run captures more frames than the undisturbed run, halving
+// captures fewer, and the other class is untouched either way.
+func TestDynamicsFPSProfile(t *testing.T) {
+	plain, err := Run(dynamicsDemo(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		mul  float64
+		more bool
+	}{{2, true}, {0.5, false}} {
+		sc := dynamicsDemo(4)
+		sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+			{Time: 4, Kind: DynFPSProfile, Class: "east", Multiplier: tc.mul},
+		}}
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("mul %v: %v", tc.mul, err)
+		}
+		if more := res.Classes[0].Captured > plain.Classes[0].Captured; more != tc.more {
+			t.Fatalf("mul %v: east captured %d vs %d", tc.mul, res.Classes[0].Captured, plain.Classes[0].Captured)
+		}
+		if res.Classes[1].Captured != plain.Classes[1].Captured {
+			t.Fatalf("mul %v: west's captures moved (%d vs %d)", tc.mul, res.Classes[1].Captured, plain.Classes[1].Captured)
+		}
+	}
+}
+
+// TestDynamicsChurnCounters pins churn bookkeeping: joins and leaves
+// land in the class and run-wide counters, the final camera count moves
+// accordingly, and joiners actually capture frames.
+func TestDynamicsChurnCounters(t *testing.T) {
+	sc := dynamicsDemo(6)
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 1, Kind: DynCameraJoin, Class: "east", Count: 5},
+		{Time: 2, Kind: DynCameraLeave, Class: "west", Count: 3},
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConserved(t, sc.Name, res)
+	if res.Classes[0].Joined != 5 || res.Classes[0].Cameras != 17 {
+		t.Fatalf("east joined %d, cameras %d", res.Classes[0].Joined, res.Classes[0].Cameras)
+	}
+	if res.Classes[1].Left != 3 || res.Classes[1].Cameras != 9 {
+		t.Fatalf("west left %d, cameras %d", res.Classes[1].Left, res.Classes[1].Cameras)
+	}
+	if res.Dynamics.Joined != 5 || res.Dynamics.Left != 3 {
+		t.Fatalf("run-wide churn %+v", res.Dynamics)
+	}
+	plain, err := Run(dynamicsDemo(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[0].Captured <= plain.Classes[0].Captured {
+		t.Fatal("joiners captured nothing")
+	}
+	if res.Classes[1].Captured >= plain.Classes[1].Captured {
+		t.Fatal("leavers kept capturing")
+	}
+}
+
+// TestDynamicsJoinDoesNotPerturbExistingCameras pins seed-family
+// isolation: adding a second, traffic-free class plus a churn schedule
+// for it leaves the first class's results bit-identical — existing
+// cameras' streams and the shared links never see the difference.
+func TestDynamicsJoinDoesNotPerturbExistingCameras(t *testing.T) {
+	base := dynamicsDemo(8)
+	base.Classes = base.Classes[:1]
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := dynamicsDemo(8)
+	sc.Classes = append(sc.Classes[:1], Class{Name: "ghost", Count: 2, FPS: 1, Tier: "gw-b"})
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 1, Kind: DynCameraJoin, Class: "ghost", Count: 4, EverySec: 1},
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Classes[0], res.Classes[0]) {
+		t.Fatalf("ghost churn perturbed east:\n%+v\nvs\n%+v", plain.Classes[0], res.Classes[0])
+	}
+}
+
+// TestDynamicsComputeScale pins the scheduled core-pool resize: scaling
+// the pool up mid-run relieves queueing (lower wait p95 than the
+// undersized constant pool), conserves frames, and replays exactly.
+func TestDynamicsComputeScale(t *testing.T) {
+	shape := func() Scenario {
+		sc := dynamicsDemo(10)
+		sc.Tiers[0].Compute = &ComputeConfig{Cores: 1, ServiceRateFPS: 40}
+		return sc
+	}
+	slow, err := Run(shape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := shape()
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 1, Kind: DynComputeScale, Tier: "gw-a", Cores: 8},
+	}}
+	fast, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConserved(t, sc.Name, fast)
+	sw, fw := slow.TierNamed("gw-a").Compute, fast.TierNamed("gw-a").Compute
+	if fw.WaitP95 >= sw.WaitP95 {
+		t.Fatalf("8-core rescale did not relieve queueing: wait p95 %v vs %v", fw.WaitP95, sw.WaitP95)
+	}
+	again, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Table() != again.Table() {
+		t.Fatal("compute_scale run is not deterministic")
+	}
+}
+
+// TestDynamicsTelemetryAvailability pins the per-window availability
+// columns: downtime seconds sum to the tier's run-wide downtime, the
+// capacity fraction reflects the degraded window, outage drops land in
+// their windows, and the CSV gains exactly the three new columns.
+func TestDynamicsTelemetryAvailability(t *testing.T) {
+	sc := dynamicsDemo(12)
+	sc.Telemetry = &TelemetryConfig{Streaming: true, WindowSec: 1}
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 2, Kind: DynTierOutage, Tier: "gw-a", Fallback: "gw-b"},
+		{Time: 4, Kind: DynTierRecover, Tier: "gw-a"},
+		{Time: 5, Kind: DynLinkDegrade, Tier: "gw-b", Factor: 0.5},
+		{Time: 7, Kind: DynLinkRestore, Tier: "gw-b"},
+	}}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.TimeSeries
+	if ts == nil || len(ts.Windows) == 0 {
+		t.Fatal("no time series")
+	}
+	var downA, dropOutage float64
+	for _, win := range ts.Windows {
+		if len(win.TierDownSec) != len(win.TierUtil) || len(win.TierCapFrac) != len(win.TierUtil) {
+			t.Fatalf("availability columns misshapen: %+v", win)
+		}
+		downA += win.TierDownSec[0]
+		for ci := range win.Classes {
+			dropOutage += float64(win.Classes[ci].DroppedOutage)
+		}
+		for li, f := range win.TierCapFrac {
+			if !(f >= 0) || math.IsInf(f, 0) {
+				t.Fatalf("window %d link %d cap frac %v", win.Index, li, f)
+			}
+		}
+	}
+	if math.Abs(downA-res.TierNamed("gw-a").DowntimeSec) > 1e-9 {
+		t.Fatalf("windowed downtime %v, run-wide %v", downA, res.TierNamed("gw-a").DowntimeSec)
+	}
+	if int64(dropOutage) != res.Total.DroppedOutage {
+		t.Fatalf("windowed outage drops %v, run-wide %d", dropOutage, res.Total.DroppedOutage)
+	}
+	// Window [5,6) ran gw-b at factor 0.5 throughout.
+	if got := ts.Windows[5].TierCapFrac[1]; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("degraded window cap frac = %v, want 0.5", got)
+	}
+	if got := ts.Windows[2].TierDownSec[0]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("outage window downtime = %v, want 1", got)
+	}
+	var csv strings.Builder
+	if err := ts.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header, _, _ := strings.Cut(csv.String(), "\n")
+	if !strings.HasSuffix(header, ",utilization,dropped_outage,down_sec,cap_frac") {
+		t.Fatalf("CSV header missing availability columns: %q", header)
+	}
+}
+
+// TestDynamicsValidation walks the schedule's rejection surface.
+func TestDynamicsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		evs  []FleetEvent
+		want string
+	}{
+		{"unknown kind", []FleetEvent{{Time: 1, Kind: "meteor_strike"}}, "unknown event kind"},
+		{"negative time", []FleetEvent{{Time: -1, Kind: DynCameraJoin, Class: "east"}}, "finite and non-negative"},
+		{"out of order", []FleetEvent{
+			{Time: 2, Kind: DynCameraJoin, Class: "east"},
+			{Time: 1, Kind: DynCameraJoin, Class: "east"},
+		}, "time-ordered"},
+		{"ghost class", []FleetEvent{{Time: 1, Kind: DynCameraJoin, Class: "nope"}}, `unknown class "nope"`},
+		{"ghost tier", []FleetEvent{{Time: 1, Kind: DynLinkDegrade, Tier: "nope", Factor: 0.5}}, `unknown tier "nope"`},
+		{"negative factor", []FleetEvent{{Time: 1, Kind: DynLinkDegrade, Tier: "gw-a", Factor: -0.5}}, "out of range"},
+		{"misplaced factor", []FleetEvent{{Time: 1, Kind: DynCameraJoin, Class: "east", Factor: 0.5}}, "factor belongs"},
+		{"misplaced multiplier", []FleetEvent{{Time: 1, Kind: DynTierRecover, Tier: "gw-a", Multiplier: 2}}, "multiplier belongs"},
+		{"root outage", []FleetEvent{{Time: 1, Kind: DynTierOutage, Tier: "core"}}, "root tier cannot fail"},
+		{"double outage", []FleetEvent{
+			{Time: 1, Kind: DynTierOutage, Tier: "gw-a", Fallback: "gw-b"},
+			{Time: 2, Kind: DynTierOutage, Tier: "gw-a", Fallback: "gw-b"},
+		}, "already down"},
+		{"recover while up", []FleetEvent{{Time: 1, Kind: DynTierRecover, Tier: "gw-a"}}, "not down"},
+		{"stranded without fallback", []FleetEvent{{Time: 1, Kind: DynTierOutage, Tier: "gw-a"}}, "needs a fallback"},
+		{"fallback is self", []FleetEvent{{Time: 1, Kind: DynTierOutage, Tier: "gw-a", Fallback: "gw-a"}}, "failing tier itself"},
+		{"zero multiplier", []FleetEvent{{Time: 1, Kind: DynFPSProfile, Class: "east", Multiplier: 0}}, "must be positive"},
+		{"compute scale without pool", []FleetEvent{{Time: 1, Kind: DynComputeScale, Tier: "gw-a", Cores: 2}}, "no compute section"},
+	} {
+		sc := dynamicsDemo(1)
+		sc.Dynamics = &DynamicsConfig{Events: tc.evs}
+		if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// A fallback whose offload path crosses the failing tier is useless.
+	sc := dynamicsDemo(1)
+	sc.Tiers = []Tier{
+		{Name: "leaf", Parent: "mid", Uplink: UplinkConfig{Gbps: 1}},
+		{Name: "mid", Parent: "core", Uplink: UplinkConfig{Gbps: 1}},
+		{Name: "core", Uplink: UplinkConfig{Gbps: 1}},
+	}
+	sc.Classes = []Class{{Name: "east", Count: 2, FPS: 1, FrameBytes: 1000, Tier: "mid"}}
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 1, Kind: DynTierOutage, Tier: "mid", Fallback: "leaf"},
+	}}
+	if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), "offloads through the failing tier") {
+		t.Errorf("fallback through failing tier: err = %v", err)
+	}
+	// Dynamics cannot ride alongside a federated job.
+	sc = dynamicsDemo(1)
+	fl := FederatedDemoScenario(1)
+	sc.Federated = fl.Federated
+	sc.Dynamics = &DynamicsConfig{Events: []FleetEvent{
+		{Time: 1, Kind: DynCameraJoin, Class: "east"},
+	}}
+	if _, err := Run(sc); err == nil || !strings.Contains(err.Error(), "federated") {
+		t.Errorf("federated combo: err = %v", err)
+	}
+}

@@ -230,6 +230,62 @@ var fuzzSeeds = []string{
 	`{"duration_sec": 1, "uplink": {"gbps": 1},
 	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
 	  "telemetry": {"streaming": true, "window_sec": -2}}`,
+	// fleet dynamics: a full fault schedule over a two-gateway tree —
+	// diurnal rate profile, recurring churn, an outage with a fallback,
+	// recovery, a degraded-then-restored link, a core-pool rescale
+	`{
+	  "name": "dyn", "seed": 13, "duration_sec": 8,
+	  "tiers": [
+	    {"name": "gw-a", "parent": "core", "uplink": {"gbps": 0.2},
+	     "compute": {"cores": 2, "service_rate_fps": 80}},
+	    {"name": "gw-b", "parent": "core", "uplink": {"gbps": 0.2, "contention": "fifo"}},
+	    {"name": "core", "uplink": {"gbps": 0.8}}
+	  ],
+	  "classes": [
+	    {"name": "east", "count": 8, "fps": 5, "arrival": "poisson",
+	     "frame_bytes": 100000, "tier": "gw-a", "queue_depth": 4},
+	    {"name": "west", "count": 8, "fps": 5, "frame_bytes": 100000, "tier": "gw-b"}
+	  ],
+	  "dynamics": {"events": [
+	    {"time_sec": 1, "kind": "fps_profile", "class": "east", "multiplier": 2},
+	    {"time_sec": 1.5, "kind": "camera_join", "class": "east", "count": 2, "every_sec": 2},
+	    {"time_sec": 2, "kind": "camera_leave", "class": "west"},
+	    {"time_sec": 2.5, "kind": "compute_scale", "tier": "gw-a", "cores": 6},
+	    {"time_sec": 3, "kind": "tier_outage", "tier": "gw-a", "fallback": "gw-b"},
+	    {"time_sec": 4.5, "kind": "tier_recover", "tier": "gw-a"},
+	    {"time_sec": 5, "kind": "link_degrade", "tier": "gw-b", "factor": 0.5},
+	    {"time_sec": 6.5, "kind": "link_restore", "tier": "gw-b"}
+	  ]}
+	}`,
+	// dynamics schedules the validator must reject: an unknown event kind,
+	// a negative time, an out-of-order pair, a ghost tier, a factor out of
+	// range, an outage that strands its attached class without a fallback,
+	// and a misplaced knob on a churn event
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "dynamics": {"events": [{"time_sec": 0.5, "kind": "meteor_strike"}]}}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "dynamics": {"events": [{"time_sec": -1, "kind": "camera_join", "class": "c"}]}}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "dynamics": {"events": [
+	    {"time_sec": 0.8, "kind": "camera_join", "class": "c"},
+	    {"time_sec": 0.2, "kind": "camera_leave", "class": "c"}]}}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "dynamics": {"events": [{"time_sec": 0.5, "kind": "link_degrade", "tier": "ghost", "factor": 0.5}]}}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "dynamics": {"events": [{"time_sec": 0.5, "kind": "link_degrade", "tier": "uplink", "factor": -2}]}}`,
+	`{"duration_sec": 1,
+	  "tiers": [{"name": "gw", "parent": "core", "uplink": {"gbps": 1}},
+	            {"name": "core", "uplink": {"gbps": 1}}],
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10, "tier": "gw"}],
+	  "dynamics": {"events": [{"time_sec": 0.5, "kind": "tier_outage", "tier": "gw"}]}}`,
+	`{"duration_sec": 1, "uplink": {"gbps": 1},
+	  "classes": [{"name": "c", "count": 1, "fps": 1, "frame_bytes": 10}],
+	  "dynamics": {"events": [{"time_sec": 0.5, "kind": "camera_join", "class": "c", "factor": 0.5}]}}`,
 }
 
 // FuzzScenarioDecode feeds arbitrary bytes to the scenario decoder:

@@ -57,6 +57,13 @@ type Scenario struct {
 	// Absent, results are byte-identical to every release before the
 	// section existed.
 	Telemetry *TelemetryConfig `json:"telemetry,omitempty"`
+	// Dynamics, when present with a non-empty schedule, injects
+	// time-ordered fleet events into the run: camera churn, link
+	// degradation, tier outages with re-homing, capture-rate profiles
+	// and core-pool resizes. Absent — or present with an empty event
+	// list — results are byte-identical to every release before the
+	// section existed.
+	Dynamics *DynamicsConfig `json:"dynamics,omitempty"`
 }
 
 // UplinkConfig sizes one shared link and names its contention model.
@@ -323,6 +330,9 @@ func (sc *Scenario) Normalize() {
 	if sc.Federated != nil {
 		sc.Federated.Normalize()
 	}
+	if sc.Dynamics != nil {
+		sc.Dynamics.normalize()
+	}
 }
 
 // validateUplink checks one tier's link configuration.
@@ -414,6 +424,9 @@ func (sc *Scenario) validate(nodes []tierNode) error {
 		return err
 	}
 	if err := sc.validateTelemetry(); err != nil {
+		return err
+	}
+	if err := sc.validateDynamics(nodes); err != nil {
 		return err
 	}
 	return nil

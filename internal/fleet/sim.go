@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 
 	"camsim/internal/fleet/fl"
 	"camsim/internal/fleet/quantile"
@@ -16,9 +17,11 @@ import (
 // and its update blob enters the attach uplink; a federated blob clears
 // its uplink hop's propagation and is absorbed for aggregation one tier
 // up (or at the cloud); a broadcast model blob clears a downlink's
-// propagation and is delivered at the owning tier. Link completions
-// themselves are not events — the loop peeks them off the links, whose
-// finish times shift as transfers are admitted.
+// propagation and is delivered at the owning tier; a dynamics schedule
+// entry fires (churn, link degradation, tier outage/recovery, rate
+// profile or core rescale). Link completions themselves are not events —
+// the loop peeks them off the links, whose finish times shift as
+// transfers are admitted.
 const (
 	evCapture = iota
 	evReady
@@ -29,6 +32,7 @@ const (
 	evFLReady
 	evFLUp
 	evFLDeliver
+	evDynamics
 )
 
 type event struct {
@@ -113,6 +117,9 @@ type camera struct {
 	placement int     // current index into the class's Placements table
 	stored    float64 // harvested joules in the store (harvesting classes)
 	lastTop   float64 // wall time of the last store top-up
+	// departed marks a camera retired by dynamics churn: it captures
+	// nothing further, but frames already in flight still complete.
+	departed bool
 }
 
 // transfer is one in-flight payload, indexed by transfer id. A frame
@@ -217,6 +224,11 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		tc := *sc.Telemetry
 		sc.Telemetry = &tc
 	}
+	if sc.Dynamics != nil {
+		dd := *sc.Dynamics
+		dd.Events = append([]FleetEvent(nil), dd.Events...)
+		sc.Dynamics = &dd
+	}
 	sc.Federated = sc.Federated.Clone()
 	sc.Normalize()
 
@@ -288,32 +300,6 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		compWait[i] = quantile.NewSketch()
 	}
 
-	// The streaming-telemetry collector, when the scenario opts in. It
-	// observes the same completions and drops at the same event times the
-	// exact path counts, so it cannot perturb the simulation — it only
-	// changes how latency statistics are accumulated (sketches instead of
-	// sample slices) and, with a window, adds the time series.
-	var tel *collector
-	if sc.Telemetry != nil && sc.Telemetry.Streaming {
-		labels := make([]string, 0, len(links))
-		caps := make([]float64, 0, len(links))
-		for _, nd := range nodes {
-			labels = append(labels, nd.Name)
-			caps = append(caps, nd.Uplink.BytesPerSecond())
-		}
-		for _, ti := range downOwner {
-			labels = append(labels, nodes[ti].Name+":down")
-			caps = append(caps, nodes[ti].Downlink.BytesPerSecond())
-		}
-		for _, ti := range compOwner {
-			// A pool's "capacity" is cores×1 core-seconds per second, so
-			// the shared utilization math reports busy fraction.
-			labels = append(labels, nodes[ti].Name+":compute")
-			caps = append(caps, float64(nodes[ti].Compute.Cores))
-		}
-		tel = newCollector(&sc, links, labels, caps)
-	}
-
 	// firstHop maps each class to the link its cameras transmit on;
 	// pathFwdJ prices the class's uplink path in forwarding joules per
 	// byte (the sum of Tier.TxPerByteJ over every hop to the root), and
@@ -343,6 +329,41 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			}
 			rowDelay[ci] = classRowDelays(&sc.Classes[ci], scale)
 		}
+	}
+
+	// The dynamics engine, created only for a non-empty fault schedule:
+	// every other run — including one with a present-but-empty dynamics
+	// section — bypasses every dyn != nil branch and stays byte-identical
+	// to the legacy path.
+	var dyn *dynamics
+	if sc.Dynamics != nil && len(sc.Dynamics.Events) > 0 {
+		dyn = newDynamics(&sc, nodes, firstHop)
+	}
+
+	// The streaming-telemetry collector, when the scenario opts in. It
+	// observes the same completions and drops at the same event times the
+	// exact path counts, so it cannot perturb the simulation — it only
+	// changes how latency statistics are accumulated (sketches instead of
+	// sample slices) and, with a window, adds the time series.
+	var tel *collector
+	if sc.Telemetry != nil && sc.Telemetry.Streaming {
+		labels := make([]string, 0, len(links))
+		caps := make([]float64, 0, len(links))
+		for _, nd := range nodes {
+			labels = append(labels, nd.Name)
+			caps = append(caps, nd.Uplink.BytesPerSecond())
+		}
+		for _, ti := range downOwner {
+			labels = append(labels, nodes[ti].Name+":down")
+			caps = append(caps, nodes[ti].Downlink.BytesPerSecond())
+		}
+		for _, ti := range compOwner {
+			// A pool's "capacity" is cores×1 core-seconds per second, so
+			// the shared utilization math reports busy fraction.
+			labels = append(labels, nodes[ti].Name+":compute")
+			caps = append(caps, float64(nodes[ti].Compute.Cores))
+		}
+		tel = newCollector(&sc, links, labels, caps, dyn)
 	}
 
 	// The federated round engine, when the scenario configures a job. It
@@ -452,6 +473,11 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		// One pending ready event per federated participant at a time.
 		heapCap += fle.Cameras()
 	}
+	if dyn != nil {
+		// One pending firing per schedule entry at a time (a recurring
+		// entry re-pushes itself only as it fires).
+		heapCap += len(dyn.events)
+	}
 	events := make(eventHeap, 0, heapCap)
 	var seq int64
 	push := func(ev event) {
@@ -461,10 +487,16 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 	}
 	nextCapture := func(c *camera, now float64) float64 {
 		cl := &sc.Classes[c.class]
-		if cl.Arrival == ArrivalPoisson {
-			return now + c.rng.ExpFloat64()/cl.FPS
+		fps := cl.FPS
+		if dyn != nil {
+			// ×1.0 is exact, so a schedule that never touches a class's
+			// rate leaves its capture times bit-identical.
+			fps *= dyn.fpsMul[c.class]
 		}
-		return now + 1/cl.FPS
+		if cl.Arrival == ArrivalPoisson {
+			return now + c.rng.ExpFloat64()/fps
+		}
+		return now + 1/fps
 	}
 	for ci := range sc.Classes {
 		cl := &sc.Classes[ci]
@@ -525,6 +557,15 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			push(event{t: f.ComputeSec + f.JitterSec*p.rng.Float64(), kind: evFLReady, cam: int32(pi), tr: 1})
 		}
 	}
+	if dyn != nil {
+		// The whole schedule is pushed up front (evDynamics reuses tr as
+		// the entry index), so same-time entries fire in declaration order
+		// via the seq tie-break. Entries past Duration still fire — the
+		// drain phase is part of the run.
+		for i := range dyn.events {
+			push(event{t: dyn.events[i].Time, kind: evDynamics, tr: i})
+		}
+	}
 
 	// Transfer ids are recycled through a free list the moment a transfer
 	// completes, so the transfers slice scales with the peak in-flight
@@ -544,11 +585,40 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		transfers = append(transfers, tr)
 		return len(transfers) - 1
 	}
+	// dropOutage accounts frame transfer id as lost to an outage at tier
+	// ti: the camera's queue slot frees (the frame will never arrive), and
+	// the drop is charged everywhere a queue drop would be — per class,
+	// per tier, telemetry, and both controller kinds — so controllers see
+	// and react to the regime shift. The caller settles netInFlight for
+	// ids drained out of a link; an id dropped on arrival was in no link.
+	dropOutage := func(ti, id int) {
+		tr := transfers[id]
+		freeIDs = append(freeIDs, id)
+		c := &cams[tr.cam]
+		c.inflight--
+		res.Classes[c.class].DroppedOutage++
+		dyn.stats.DroppedOutage++
+		dyn.outageDrops[ti]++
+		if tel != nil {
+			tel.dropOutage(c.class)
+		}
+		if ctl := ctls[c.class]; ctl != nil {
+			ctl.winDrops++
+		}
+		if gctl != nil {
+			gctl.drop(c.class)
+		}
+	}
 	// enterTier routes frame transfer id into tier ti at time now: through
 	// the tier's core pool first when it has one (service demand scales
 	// with the payload, compPlan), else straight onto the uplink — the
 	// no-compute degenerate case, identical to the pre-compute routing.
+	// A tier taken down by the dynamics schedule drops arrivals outright.
 	enterTier := func(now float64, ti, id int) {
+		if dyn != nil && dyn.down[ti] {
+			dropOutage(ti, id)
+			return
+		}
 		if ci := compLink[ti]; ci >= 0 {
 			tr := &transfers[id]
 			tr.compAt = now
@@ -700,8 +770,187 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		}
 	}
 
+	// rehome repoints class ci's first hop at tier ti and reprices the
+	// tables the placement controllers score against: forwarding joules
+	// follow the new uplink path, and the deterministic delay rows follow
+	// the new path's compute scale. rowJ/rowDelay are the outer slices the
+	// global controller holds, so element reassignment is visible to it;
+	// each class controller aliases its inner row and is repointed
+	// explicitly.
+	rehome := func(ci, ti int) {
+		firstHop[ci] = ti
+		pathFwdJ := 0.0
+		for li := ti; li >= 0; li = nodes[li].parent {
+			pathFwdJ += nodes[li].TxPerByteJ
+		}
+		rowJ[ci] = classRowEnergies(&sc.Classes[ci], pathFwdJ)
+		if scale := classPathScale(nodes, compPlan, ci, ti); scale > 0 {
+			if rowDelay == nil {
+				rowDelay = make([][]float64, len(sc.Classes))
+				if gctl != nil {
+					gctl.rowDelay = rowDelay
+				}
+			}
+			rowDelay[ci] = classRowDelays(&sc.Classes[ci], scale)
+		} else if rowDelay != nil {
+			rowDelay[ci] = nil
+		}
+		if ctl := ctls[ci]; ctl != nil {
+			ctl.rowJ = rowJ[ci]
+			if rowDelay != nil {
+				ctl.rowDelay = rowDelay[ci]
+			}
+		}
+		moved := int64(len(classCams[ci]))
+		dyn.stats.Rehomed += moved
+		res.Classes[ci].Rehomed += moved
+	}
+	// dynFire executes schedule entry i at time t, then re-arms a
+	// recurring churn entry from its own seeded stream.
+	dynFire := func(t float64, i int) {
+		e := &dyn.events[i]
+		switch e.Kind {
+		case DynCameraJoin:
+			ci := dyn.class[i]
+			cl := &sc.Classes[ci]
+			for k := 0; k < e.Count; k++ {
+				// Joiners continue the global camera-seed sequence, so
+				// every existing camera's stream is untouched.
+				idx := len(cams)
+				c := camera{class: ci, rng: newPRNG(cameraSeed(sc.Seed, idx)), stored: cl.StoreJ, lastTop: t, placement: cl.Policy.Start}
+				fps := cl.FPS * dyn.fpsMul[ci]
+				var first float64
+				if cl.Arrival == ArrivalPoisson {
+					first = c.rng.ExpFloat64() / fps
+				} else {
+					first = c.rng.Float64() / fps
+				}
+				cams = append(cams, c)
+				classCams[ci] = append(classCams[ci], int32(idx))
+				if t+first < sc.Duration {
+					push(event{t: t + first, kind: evCapture, cam: int32(idx)})
+				}
+				res.Classes[ci].Cameras++
+				res.Classes[ci].Joined++
+				dyn.stats.Joined++
+			}
+		case DynCameraLeave:
+			ci := dyn.class[i]
+			for k := 0; k < e.Count; k++ {
+				members := classCams[ci]
+				n := len(members)
+				if n == 0 {
+					break
+				}
+				// The leaver is drawn from the entry's own stream
+				// (swap-remove keeps the pick O(1)); its in-flight frames
+				// still complete, it just captures nothing further.
+				pick := dyn.rngs[i].Intn(n)
+				camIdx := members[pick]
+				members[pick] = members[n-1]
+				classCams[ci] = members[:n-1]
+				cams[camIdx].departed = true
+				res.Classes[ci].Cameras--
+				res.Classes[ci].Left++
+				dyn.stats.Left++
+			}
+		case DynLinkDegrade:
+			ti := dyn.tier[i]
+			dyn.rescale(t, ti, e.Factor)
+			links[ti].(capScaler).setCapacity(t, dyn.baseCap[ti]*e.Factor)
+			if lidx != nil {
+				lidx.invalidate(ti)
+			}
+		case DynLinkRestore:
+			ti := dyn.tier[i]
+			dyn.rescale(t, ti, 1)
+			links[ti].(capScaler).setCapacity(t, dyn.baseCap[ti])
+			if lidx != nil {
+				lidx.invalidate(ti)
+			}
+		case DynTierOutage:
+			ti := dyn.tier[i]
+			dyn.down[ti] = true
+			dyn.downAt[ti] = t
+			// In-flight transfers through the dead tier — its uplink and
+			// its core pool — are lost, in completion order then waiting
+			// order, with no served credit.
+			for _, li := range [2]int{ti, compLink[ti]} {
+				if li < 0 {
+					continue
+				}
+				ids := links[li].(drainable).drain()
+				netInFlight -= len(ids)
+				for _, id := range ids {
+					dropOutage(ti, id)
+				}
+				if lidx != nil {
+					lidx.invalidate(li)
+				}
+			}
+			if dyn.fall[i] >= 0 {
+				for ci := range sc.Classes {
+					if firstHop[ci] == ti {
+						rehome(ci, dyn.fall[i])
+					}
+				}
+			}
+		case DynTierRecover:
+			ti := dyn.tier[i]
+			dyn.down[ti] = false
+			if d := t - dyn.downAt[ti]; d > 0 {
+				dyn.downtime[ti] += d
+			}
+			for ci := range sc.Classes {
+				if dyn.home[ci] == ti && firstHop[ci] != ti {
+					rehome(ci, ti)
+				}
+			}
+		case DynFPSProfile:
+			dyn.fpsMul[dyn.class[i]] = e.Multiplier
+		case DynComputeScale:
+			li := compLink[dyn.tier[i]]
+			links[li].(coreScaler).setCores(t, e.Cores)
+			if lidx != nil {
+				lidx.invalidate(li)
+			}
+		}
+		if e.EverySec > 0 {
+			if nt := t + dyn.rngs[i].ExpFloat64()*e.EverySec; nt < sc.Duration {
+				push(event{t: nt, kind: evDynamics, tr: i})
+			}
+		}
+	}
+
 	for len(events) > 0 || anyInFlight() {
 		if li, lt, ok := nextLinkFinish(); ok && (len(events) == 0 || lt <= events[0].t) {
+			if math.IsInf(lt, 1) {
+				// Reachable only under dynamics: the schedule is spent, no
+				// event remains, and every in-flight transfer is parked on
+				// a zero-capacity link nothing will ever restore. Drain
+				// them all as outage losses — accounted, never silently
+				// lost — and let the loop terminate.
+				for i := range links {
+					if links[i].InFlight() == 0 {
+						continue
+					}
+					ti := i
+					if i >= len(nodes)+len(downOwner) {
+						ti = compOwner[i-len(nodes)-len(downOwner)]
+					} else if i >= len(nodes) {
+						ti = downOwner[i-len(nodes)]
+					}
+					ids := links[i].(drainable).drain()
+					netInFlight -= len(ids)
+					for _, id := range ids {
+						dropOutage(ti, id)
+					}
+					if lidx != nil {
+						lidx.invalidate(i)
+					}
+				}
+				continue
+			}
 			// Simulated time is monotone across both branches, so closing
 			// telemetry windows before processing puts every observation in
 			// the window covering its timestamp.
@@ -777,6 +1026,9 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		}
 		switch ev.kind {
 		case evCapture:
+			if cams[ev.cam].departed {
+				break
+			}
 			capture(ev.t, ev.cam)
 			c := &cams[ev.cam]
 			if nt := nextCapture(c, ev.t); nt < sc.Duration {
@@ -813,6 +1065,8 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 			flAbsorb(ev.t, int(ev.link), ev.tr)
 		case evFLDeliver:
 			flDeliver(ev.t, int(ev.link), ev.tr)
+		case evDynamics:
+			dynFire(ev.t, ev.tr)
 		default:
 			return nil, fmt.Errorf("fleet: unknown event kind %d", ev.kind)
 		}
@@ -827,6 +1081,17 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		// the run ends when both have.
 		if res.Federated.DoneAt > res.SimEnd {
 			res.SimEnd = res.Federated.DoneAt
+		}
+	}
+	if dyn != nil {
+		// A tier still down at the end accrues downtime to the run's end.
+		for i := range nodes {
+			if dyn.down[i] {
+				if d := res.SimEnd - dyn.downAt[i]; d > 0 {
+					dyn.downtime[i] += d
+				}
+				dyn.down[i] = false
+			}
 		}
 	}
 	for i, nd := range nodes {
@@ -845,6 +1110,10 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		}
 		if flUpBytes != nil {
 			ts.FLUpBytes = flUpBytes[i]
+		}
+		if dyn != nil {
+			ts.DowntimeSec = dyn.downtime[i]
+			ts.OutageDrops = dyn.outageDrops[i]
 		}
 		if d := nd.Downlink; d != nil {
 			dl := links[downLink[i]]
@@ -912,6 +1181,10 @@ func run(sc Scenario, indexed bool) (*Result, error) {
 		st := gctl.stats
 		res.Global = &st
 		res.Total.Switches += st.Moves
+	}
+	if dyn != nil {
+		st := dyn.stats
+		res.Dynamics = &st
 	}
 	return res, nil
 }

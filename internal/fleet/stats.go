@@ -19,7 +19,15 @@ type ClassStats struct {
 	Offloaded     int64 // offloads completed over the uplink
 	DroppedQueue  int64 // frames dropped by per-camera backpressure
 	DroppedEnergy int64 // frames skipped by an empty harvest store
+	// DroppedOutage counts frames lost to dynamics outages: in flight
+	// through a failing tier, arriving at a down one, or stalled forever
+	// on a never-restored zero-capacity link. 0 without a schedule.
+	DroppedOutage int64
 	EnergyJ       float64
+
+	// Dynamics churn accounting, 0 without a schedule: cameras added and
+	// retired, and camera re-homings (each direction counts once).
+	Joined, Left, Rehomed int64
 
 	// Offload latency percentiles, capture to completed upload (through
 	// every tier), seconds.
@@ -43,13 +51,13 @@ func (s ClassStats) EnergyPerFrame() float64 {
 	return s.EnergyJ / float64(s.Captured)
 }
 
-// DropRate returns the fraction of captured frames lost to backpressure or
-// energy starvation.
+// DropRate returns the fraction of captured frames lost to backpressure,
+// energy starvation, or an outage.
 func (s ClassStats) DropRate() float64 {
 	if s.Captured == 0 {
 		return 0
 	}
-	return float64(s.DroppedQueue+s.DroppedEnergy) / float64(s.Captured)
+	return float64(s.DroppedQueue+s.DroppedEnergy+s.DroppedOutage) / float64(s.Captured)
 }
 
 // TierStats is the per-link accounting of one network tier, in resolved
@@ -79,6 +87,12 @@ type TierStats struct {
 	// blobs plus merged aggregation blobs this uplink carried. 0 without
 	// a federated job.
 	FLUpBytes float64
+
+	// Dynamics availability accounting, 0 without a schedule: seconds the
+	// tier spent down (outage to recovery, clamped to the run's end) and
+	// frames its failures cost (drained in flight plus dropped arrivals).
+	DowntimeSec float64
+	OutageDrops int64
 
 	// Downlink accounting, set only for tiers declaring one: the
 	// parent→tier (cloud→root at the root) link's configuration and its
@@ -218,6 +232,9 @@ type Result struct {
 	// TimeSeries is the windowed streaming telemetry; nil unless the
 	// scenario sets telemetry.streaming with a window_sec.
 	TimeSeries *TimeSeries
+	// Dynamics is the fault schedule's run-wide accounting; nil unless
+	// the scenario carries a non-empty dynamics section.
+	Dynamics *DynamicsStats
 }
 
 // TierNamed returns the stats of the named tier, or nil. The root tier of
@@ -283,7 +300,11 @@ func (r *Result) finalize(tel *collector) {
 		r.Total.Offloaded += s.Offloaded
 		r.Total.DroppedQueue += s.DroppedQueue
 		r.Total.DroppedEnergy += s.DroppedEnergy
+		r.Total.DroppedOutage += s.DroppedOutage
 		r.Total.EnergyJ += s.EnergyJ
+		r.Total.Joined += s.Joined
+		r.Total.Left += s.Left
+		r.Total.Rehomed += s.Rehomed
 		r.Total.Switches += s.Switches
 	}
 	if tel != nil {
@@ -368,6 +389,14 @@ func (r *Result) Table() string {
 				fmt.Fprintf(&b, "  cpu %dx%s util %5.1f%% wait-p95 %s",
 					c.Cores, c.Discipline, c.Utilization*100, FormatLatency(c.WaitP95))
 			}
+			// Only a dynamics schedule produces these, so legacy tables
+			// are unchanged byte for byte.
+			if ti.DowntimeSec > 0 {
+				fmt.Fprintf(&b, "  down %.2fs", ti.DowntimeSec)
+			}
+			if ti.OutageDrops > 0 {
+				fmt.Fprintf(&b, "  outage-drops %d", ti.OutageDrops)
+			}
 			fmt.Fprintln(&b)
 		}
 	}
@@ -389,6 +418,10 @@ func (r *Result) Table() string {
 	if r.Energy.NetworkJ > 0 || r.Global != nil {
 		fmt.Fprintf(&b, "  energy camera %.3gJ + network %.3gJ = %.1fW avg, projected %.1fW\n",
 			r.Energy.CameraJ, r.Energy.NetworkJ, r.Energy.AvgPowerW, r.Energy.ProjectedW)
+	}
+	if d := r.Dynamics; d != nil {
+		fmt.Fprintf(&b, "  dynamics events %d  joined %d  left %d  rehomed %d  outage-drops %d\n",
+			d.Events, d.Joined, d.Left, d.Rehomed, d.DroppedOutage)
 	}
 	if g := r.Global; g != nil {
 		fmt.Fprintf(&b, "  global budget %.1fW  epochs %d  moves %d\n", g.BudgetW, len(g.Epochs), g.Moves)

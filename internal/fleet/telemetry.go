@@ -74,6 +74,15 @@ type Window struct {
 	// can report utilization above 1; the time-weighted mean across all
 	// windows equals the link's run-wide utilization exactly.
 	TierUtil []float64 `json:"tier_util"`
+	// TierDownSec and TierCapFrac are the window's availability columns,
+	// present only when the scenario carries a dynamics schedule: seconds
+	// each link's tier spent down inside the window, and the mean
+	// available-capacity fraction of its uplink over the window
+	// (∫factor·dt / window length; 1 nominal, 0 a full-window outage).
+	// Downlink and compute-pool columns report 0 and 1 — only uplinks
+	// degrade today.
+	TierDownSec []float64 `json:"tier_down_sec,omitempty"`
+	TierCapFrac []float64 `json:"tier_cap_frac,omitempty"`
 }
 
 // WindowClass is one class's telemetry inside one window.
@@ -83,6 +92,9 @@ type WindowClass struct {
 	Offloaded     int64 `json:"offloaded"`
 	DroppedQueue  int64 `json:"dropped_queue"`
 	DroppedEnergy int64 `json:"dropped_energy"`
+	// DroppedOutage counts the class's frames lost to dynamics outages in
+	// the window; omitted (always 0) without a schedule.
+	DroppedOutage int64 `json:"dropped_outage,omitempty"`
 	// P50/P95/P99 are the window's offload latency quantiles (seconds),
 	// sketch estimates under the quantile.Eps rank bound; 0 when the
 	// window completed no offloads.
@@ -103,18 +115,36 @@ func (ts *TimeSeries) WriteJSON(w io.Writer) error {
 // window utilization.
 //
 //	window,start_sec,end_sec,kind,name,offloaded,dropped_queue,dropped_energy,p50_sec,p95_sec,p99_sec,utilization
+//
+// A series from a dynamics run appends the availability columns —
+// ,dropped_outage,down_sec,cap_frac — outage drops on class rows,
+// downtime seconds and mean capacity fraction on tier rows; legacy
+// series keep the exact legacy shape.
 func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	avail := len(ts.Windows) > 0 && ts.Windows[0].TierDownSec != nil
 	var b strings.Builder
-	b.WriteString("window,start_sec,end_sec,kind,name,offloaded,dropped_queue,dropped_energy,p50_sec,p95_sec,p99_sec,utilization\n")
+	b.WriteString("window,start_sec,end_sec,kind,name,offloaded,dropped_queue,dropped_energy,p50_sec,p95_sec,p99_sec,utilization")
+	if avail {
+		b.WriteString(",dropped_outage,down_sec,cap_frac")
+	}
+	b.WriteString("\n")
 	for _, win := range ts.Windows {
 		for ci, wc := range win.Classes {
-			fmt.Fprintf(&b, "%d,%g,%g,class,%s,%d,%d,%d,%g,%g,%g,\n",
+			fmt.Fprintf(&b, "%d,%g,%g,class,%s,%d,%d,%d,%g,%g,%g,",
 				win.Index, win.Start, win.End, ts.Classes[ci],
 				wc.Offloaded, wc.DroppedQueue, wc.DroppedEnergy, wc.P50, wc.P95, wc.P99)
+			if avail {
+				fmt.Fprintf(&b, ",%d,,", wc.DroppedOutage)
+			}
+			b.WriteString("\n")
 		}
 		for ti, u := range win.TierUtil {
-			fmt.Fprintf(&b, "%d,%g,%g,tier,%s,,,,,,,%g\n",
+			fmt.Fprintf(&b, "%d,%g,%g,tier,%s,,,,,,,%g",
 				win.Index, win.Start, win.End, ts.Tiers[ti], u)
+			if avail {
+				fmt.Fprintf(&b, ",,%g,%g", win.TierDownSec[ti], win.TierCapFrac[ti])
+			}
+			b.WriteString("\n")
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -142,6 +172,13 @@ type collector struct {
 	linkBps   []float64
 	linkBytes []float64
 
+	// Dynamics availability state, set only for a run with a fault
+	// schedule: per-node snapshots of accrued downtime and ∫factor·dt at
+	// the last window close, so a window's columns are the deltas.
+	dyn      *dynamics
+	downSnap []float64
+	capSnap  []float64
+
 	series *TimeSeries
 }
 
@@ -149,8 +186,9 @@ type collector struct {
 // always, window state when the scenario sets a window. links must be
 // the simulator's live link slice (uplinks, then declared downlinks,
 // then compute pools); labels and caps name and size them in the same
-// order.
-func newCollector(sc *Scenario, links []Link, labels []string, caps []float64) *collector {
+// order. dyn, non-nil only for a run with a fault schedule, adds the
+// per-window availability columns.
+func newCollector(sc *Scenario, links []Link, labels []string, caps []float64, dyn *dynamics) *collector {
 	tel := &collector{window: sc.Telemetry.WindowSec}
 	tel.run = make([]*quantile.Sketch, len(sc.Classes))
 	for i := range tel.run {
@@ -170,6 +208,11 @@ func newCollector(sc *Scenario, links []Link, labels []string, caps []float64) *
 	classes := make([]string, len(sc.Classes))
 	for i := range sc.Classes {
 		classes[i] = sc.Classes[i].Name
+	}
+	if dyn != nil {
+		tel.dyn = dyn
+		tel.downSnap = make([]float64, len(dyn.down))
+		tel.capSnap = make([]float64, len(dyn.down))
 	}
 	tel.series = &TimeSeries{WindowSec: tel.window, Classes: classes, Tiers: labels}
 	return tel
@@ -222,6 +265,30 @@ func (tel *collector) closeWindow(end float64) {
 		win.TierUtil[li] = utilization(served-tel.linkBytes[li], tel.linkBps[li], end-start)
 		tel.linkBytes[li] = served
 	}
+	if dyn := tel.dyn; dyn != nil {
+		// Availability columns span every link; downlink and compute-pool
+		// entries (indices past the uplinks) stay at the nominal 0 / 1.
+		win.TierDownSec = make([]float64, len(tel.links))
+		win.TierCapFrac = make([]float64, len(tel.links))
+		for li := range win.TierCapFrac {
+			win.TierCapFrac[li] = 1
+		}
+		for ni := range dyn.down {
+			dd := dyn.downtimeAt(ni, end) - tel.downSnap[ni]
+			if dd < 0 {
+				dd = 0 // a schedule entry past the run's end moved the snapshot
+			}
+			win.TierDownSec[ni] = dd
+			tel.downSnap[ni] += dd
+			ci := dyn.capIntegralAt(ni, end)
+			if end > start {
+				if frac := (ci - tel.capSnap[ni]) / (end - start); frac >= 0 {
+					win.TierCapFrac[ni] = frac
+				}
+			}
+			tel.capSnap[ni] = ci
+		}
+	}
 	tel.series.Windows = append(tel.series.Windows, win)
 	tel.widx++
 }
@@ -248,6 +315,14 @@ func (tel *collector) dropQueue(ci int) {
 func (tel *collector) dropEnergy(ci int) {
 	if tel.window > 0 {
 		tel.winClass[ci].DroppedEnergy++
+	}
+}
+
+// dropOutage records one frame of class ci lost to a dynamics outage in
+// the current window.
+func (tel *collector) dropOutage(ci int) {
+	if tel.window > 0 {
+		tel.winClass[ci].DroppedOutage++
 	}
 }
 

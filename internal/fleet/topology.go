@@ -311,6 +311,64 @@ func ComputeDemoScenario(seed int64, mode string) (Scenario, error) {
 	return sc, nil
 }
 
+// DynamicsDemoScenario builds the fleet behind `camsim topo -dynamics`:
+// two monitored camera populations behind 0.2 Gb/s gateways feeding an
+// 0.8 Gb/s core (roughly half utilized at the nominal rates), with the
+// core-side of each gateway backed by a finite core pool, living through
+// a scheduled day of fleet weather:
+//
+//	t=1.0  the east population's diurnal swell doubles its frame rate
+//	t=1.5  six provisioned cameras join the east class
+//	t=2.5  gw-a's autoscaler answers the swell with four extra cores
+//	t=3.0  gw-a fails — in-flight frames drop, east re-homes to gw-b
+//	t=4.5  gw-a recovers and east re-homes back
+//	t=5.0  gw-b's backhaul degrades to half capacity
+//	t=6.5  gw-b's backhaul is restored
+//	t=7.0  the swell ends (east back to its base rate)
+//	t=7.2  the six day-shift cameras leave
+//
+// The demo compares this run against the identical fleet with the
+// schedule stripped, so the report can attribute every divergence —
+// extra captures, outage drops, re-homed traffic on gw-b — to the
+// dynamics engine alone.
+func DynamicsDemoScenario(seed int64) Scenario {
+	sc := Scenario{
+		Name:     "topo-dynamics",
+		Seed:     seed,
+		Duration: 8,
+		Tiers: []Tier{
+			{Name: "gw-a", Parent: "core",
+				Uplink:         UplinkConfig{Gbps: 0.2, Contention: ContentionFairShare},
+				PropagationSec: 0.0002,
+				Compute:        &ComputeConfig{Cores: 2, ServiceRateFPS: 80}},
+			{Name: "gw-b", Parent: "core",
+				Uplink:         UplinkConfig{Gbps: 0.2, Contention: ContentionFIFO},
+				PropagationSec: 0.0002},
+			{Name: "core",
+				Uplink:         UplinkConfig{Gbps: 0.8, Contention: ContentionFairShare},
+				PropagationSec: 0.002},
+		},
+		Classes: []Class{
+			{Name: "cam-east", Count: 24, FPS: 5, Arrival: ArrivalPoisson,
+				FrameBytes: 100_000, Tier: "gw-a", QueueDepth: 4},
+			{Name: "cam-west", Count: 24, FPS: 5, Arrival: ArrivalPoisson,
+				FrameBytes: 100_000, Tier: "gw-b", QueueDepth: 4},
+		},
+		Dynamics: &DynamicsConfig{Events: []FleetEvent{
+			{Time: 1.0, Kind: DynFPSProfile, Class: "cam-east", Multiplier: 2},
+			{Time: 1.5, Kind: DynCameraJoin, Class: "cam-east", Count: 6},
+			{Time: 2.5, Kind: DynComputeScale, Tier: "gw-a", Cores: 6},
+			{Time: 3.0, Kind: DynTierOutage, Tier: "gw-a", Fallback: "gw-b"},
+			{Time: 4.5, Kind: DynTierRecover, Tier: "gw-a"},
+			{Time: 5.0, Kind: DynLinkDegrade, Tier: "gw-b", Factor: 0.5},
+			{Time: 6.5, Kind: DynLinkRestore, Tier: "gw-b"},
+			{Time: 7.0, Kind: DynFPSProfile, Class: "cam-east", Multiplier: 1},
+			{Time: 7.2, Kind: DynCameraLeave, Class: "cam-east", Count: 6},
+		}},
+	}
+	return sc
+}
+
 // FederatedDemoScenario builds the bidirectional fleet behind `camsim
 // topo -fl`: two gateways and a core, every tier carrying a downlink
 // alongside its uplink, and a federated-learning job training the

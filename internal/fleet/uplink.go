@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 )
 
 // Contention model names.
@@ -78,7 +79,12 @@ type fifoUplink struct {
 	ring       []fifoItem // circular: n live items starting at head
 	head, n    int
 	headFinish float64 // completion time of the head item, valid when n > 0
-	served     float64
+	// headRem is the head item's remaining bytes, maintained only while
+	// the link's capacity is zero (a dynamics outage) — headFinish is
+	// +Inf then, so the remaining work has to be carried explicitly for
+	// the eventual restore.
+	headRem float64
+	served  float64
 }
 
 func (u *fifoUplink) Name() string { return ContentionFIFO }
@@ -107,7 +113,8 @@ func (u *fifoUplink) pop() fifoItem {
 
 func (u *fifoUplink) Start(now float64, id int, bytes float64) {
 	if u.n == 0 {
-		u.headFinish = now + bytes/u.cap
+		u.headFinish = now + bytes/u.cap // +Inf on a zero-capacity link
+		u.headRem = bytes
 	}
 	u.push(fifoItem{id: id, bytes: bytes})
 }
@@ -126,12 +133,47 @@ func (u *fifoUplink) Finish() int {
 		// The next transfer was already queued, so its service starts the
 		// instant the head departs.
 		u.headFinish += u.ring[u.head].bytes / u.cap
+		u.headRem = u.ring[u.head].bytes
 	}
 	return head.id
 }
 
 func (u *fifoUplink) InFlight() int        { return u.n }
 func (u *fifoUplink) ServedBytes() float64 { return u.served }
+
+// setCapacity rescales the link to bytesPerSec at time now, conserving
+// the head transfer's progress: its remaining bytes continue at the new
+// rate. Zero parks the link — the head's remaining work is carried in
+// headRem and its finish time becomes +Inf until a later restore.
+func (u *fifoUplink) setCapacity(now, bytesPerSec float64) {
+	if u.n > 0 {
+		rem := u.headRem
+		if u.cap > 0 {
+			rem = (u.headFinish - now) * u.cap
+			if rem < 0 {
+				rem = 0 // float drift guard
+			}
+		}
+		u.headRem = rem
+		if bytesPerSec > 0 {
+			u.headFinish = now + rem/bytesPerSec
+		} else {
+			u.headFinish = math.Inf(1)
+		}
+	}
+	u.cap = bytesPerSec
+}
+
+// drain removes every in-flight transfer — head first, then waiting
+// order — crediting no served bytes: the payloads were lost, not
+// delivered.
+func (u *fifoUplink) drain() []int {
+	ids := make([]int, 0, u.n)
+	for u.n > 0 {
+		ids = append(ids, u.pop().id)
+	}
+	return ids
+}
 
 // --- fair share (egalitarian processor sharing) ---
 
@@ -227,6 +269,11 @@ func (u *psUplink) NextFinish() (float64, bool) {
 	if len(u.h) == 0 {
 		return 0, false
 	}
+	if u.cap == 0 {
+		// A dynamics outage parked the link: the in-flight set exists but
+		// nothing completes until a restore.
+		return math.Inf(1), true
+	}
 	remaining := u.h[0].vfinish - u.vnow
 	if remaining < 0 {
 		remaining = 0 // float drift guard
@@ -245,3 +292,23 @@ func (u *psUplink) Finish() int {
 
 func (u *psUplink) InFlight() int        { return len(u.h) }
 func (u *psUplink) ServedBytes() float64 { return u.served }
+
+// setCapacity rescales the link to bytesPerSec at time now. Virtual
+// progress is conserved: the clock advances to now at the old rate
+// first, so every in-flight transfer keeps the service it has accrued
+// and its remaining virtual work continues at the new rate. Zero parks
+// the link (the virtual clock stops; NextFinish reports +Inf).
+func (u *psUplink) setCapacity(now, bytesPerSec float64) {
+	u.advance(now)
+	u.cap = bytesPerSec
+}
+
+// drain removes every in-flight transfer in completion order (vfinish,
+// then admission), crediting no served bytes.
+func (u *psUplink) drain() []int {
+	ids := make([]int, 0, len(u.h))
+	for len(u.h) > 0 {
+		ids = append(ids, u.h.pop().id)
+	}
+	return ids
+}
